@@ -1,0 +1,155 @@
+//! Equal-width histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over a closed range.
+///
+/// Values below the range clamp into the first bin, values above into the
+/// last — reported counts therefore always sum to the number of
+/// observations.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 30.0, 6).expect("valid spec");
+/// for v in [1.0, 6.0, 7.0, 29.0, 35.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.counts()[1], 2); // 6.0 and 7.0 fall in [5, 10)
+/// assert_eq!(h.counts()[5], 2); // 29.0 plus the clamped 35.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// Returns `None` when the range is empty/non-finite or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Records one observation (NaN is ignored).
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let bins = self.counts.len();
+        let fraction = (value - self.lo) / (self.hi - self.lo);
+        let index = ((fraction * bins as f64).floor() as i64)
+            .clamp(0, bins as i64 - 1) as usize;
+        self.counts[index] += 1;
+        self.total += 1;
+    }
+
+    /// Records every value in an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for value in values {
+            self.record(value);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `[start, end)` value range of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bin_range(&self, index: usize) -> (f64, f64) {
+        assert!(index < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + width * index as f64,
+            self.lo + width * (index + 1) as f64,
+        )
+    }
+
+    /// Iterates `(bin start, bin end, count, fraction)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64, f64)> + '_ {
+        let total = self.total.max(1) as f64;
+        (0..self.counts.len()).map(move |i| {
+            let (start, end) = self.bin_range(i);
+            (start, end, self.counts[i], self.counts[i] as f64 / total)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_none());
+        assert!(Histogram::new(5.0, 5.0, 4).is_none());
+        assert!(Histogram::new(10.0, 0.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bins_values_and_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record_all([-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 100.0]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 3]);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn bin_ranges_partition_the_domain() {
+        let h = Histogram::new(0.0, 30.0, 6).unwrap();
+        assert_eq!(h.bin_range(0), (0.0, 5.0));
+        assert_eq!(h.bin_range(5), (25.0, 30.0));
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows.len(), 6);
+        for window in rows.windows(2) {
+            assert_eq!(window[0].1, window[1].0, "bins must be contiguous");
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 4).unwrap();
+        h.record_all((0..100).map(|i| i as f64 / 10.0));
+        let sum: f64 = h.rows().map(|(_, _, _, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bin_index_panics() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_range(2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Analysis toolkit for the temporal-importance reproduction.
+//!
+//! Small, dependency-free statistics used to regenerate the paper's
+//! figures:
+//!
+//! * [`stats`] — summaries (mean/variance/quantiles) and least-squares
+//!   regression.
+//! * [`cdf`] — weighted empirical CDFs (Figure 7).
+//! * [`timeseries`] — time-indexed series with bucketed downsampling
+//!   (Figures 3, 4, 6, 12).
+//! * [`time_constant`] — Palimpsest's time-constant estimator over
+//!   hour/day/month windows, plus the heteroscedasticity diagnostic that
+//!   §5.1.2 uses to argue the metric is unpredictable (Figures 5, 11).
+//! * [`report`] — aligned text tables and CSV writers for the `repro`
+//!   binary's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod predict;
+pub mod report;
+pub mod stats;
+pub mod time_constant;
+pub mod timeseries;
+
+pub use cdf::WeightedCdf;
+pub use histogram::Histogram;
+pub use predict::PredictionReport;
+pub use stats::{LinearFit, Summary};
+pub use time_constant::{TimeConstantEstimator, TimeConstantSeries};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,177 @@
+//! Forecast quality of the Palimpsest time constant.
+//!
+//! §5.1.2: a Palimpsest application must schedule its own rejuvenation
+//! from observed time constants; "unless the arrival rates are
+//! predictable... an application might misinterpret the arrival rates and
+//! wake up later than necessary, potentially losing the object to
+//! reclamation". This module quantifies that risk: a rolling-mean
+//! forecaster predicts the next window's time constant from history, and
+//! the report measures both the relative error and — the dangerous
+//! direction — how often the true turnover was *faster* than predicted
+//! (the application oversleeps).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Summary;
+use crate::time_constant::TimeConstantSeries;
+
+/// Forecast-quality report for a time-constant series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionReport {
+    /// History windows used per forecast.
+    pub history: usize,
+    /// Forecasts evaluated.
+    pub forecasts: usize,
+    /// Mean absolute relative error `|τ̂ − τ| / τ`.
+    pub mean_abs_rel_error: f64,
+    /// 90th-percentile absolute relative error.
+    pub p90_abs_rel_error: f64,
+    /// Fraction of forecasts where the true time constant came in *below*
+    /// the prediction — the window in which a rejuvenation scheduled from
+    /// τ̂ arrives too late.
+    pub oversleep_fraction: f64,
+    /// Mean oversleep margin (relative) over oversleeping forecasts:
+    /// how much sooner than predicted the storage actually turned over.
+    pub mean_oversleep_margin: f64,
+}
+
+/// Evaluates a rolling-mean forecaster over a time-constant series: each
+/// window's τ is predicted as the mean of the preceding `history`
+/// windows. Returns `None` when the series is too short to produce any
+/// forecast or `history` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::{predict, TimeConstantEstimator};
+/// use sim_core::{ByteSize, SimDuration, SimTime};
+///
+/// // A perfectly constant arrival rate is perfectly predictable.
+/// let arrivals: Vec<_> = (0..30u64)
+///     .map(|d| (SimTime::from_days(d), ByteSize::from_gib(1)))
+///     .collect();
+/// let series = TimeConstantEstimator::new(ByteSize::from_gib(30), SimDuration::DAY)
+///     .estimate(arrivals);
+/// let report = predict::rolling_mean_report(&series, 5).expect("enough windows");
+/// assert!(report.mean_abs_rel_error < 1e-9);
+/// assert_eq!(report.oversleep_fraction, 0.0);
+/// ```
+pub fn rolling_mean_report(
+    series: &TimeConstantSeries,
+    history: usize,
+) -> Option<PredictionReport> {
+    if history == 0 || series.points.len() <= history {
+        return None;
+    }
+    let taus: Vec<f64> = series.points.iter().map(|p| p.tau_days).collect();
+    let mut abs_errors = Vec::new();
+    let mut oversleeps = Vec::new();
+    for i in history..taus.len() {
+        let predicted: f64 = taus[i - history..i].iter().sum::<f64>() / history as f64;
+        let actual = taus[i];
+        if actual <= 0.0 {
+            continue;
+        }
+        abs_errors.push((predicted - actual).abs() / actual);
+        if actual < predicted {
+            // The storage turned over sooner than the app expected.
+            oversleeps.push((predicted - actual) / predicted);
+        }
+    }
+    if abs_errors.is_empty() {
+        return None;
+    }
+    let summary = Summary::from_slice(&abs_errors)?;
+    let p90 = crate::stats::quantile(&abs_errors, 0.9);
+    let oversleep_fraction = oversleeps.len() as f64 / abs_errors.len() as f64;
+    let mean_oversleep_margin = if oversleeps.is_empty() {
+        0.0
+    } else {
+        oversleeps.iter().sum::<f64>() / oversleeps.len() as f64
+    };
+    Some(PredictionReport {
+        history,
+        forecasts: abs_errors.len(),
+        mean_abs_rel_error: summary.mean,
+        p90_abs_rel_error: p90,
+        oversleep_fraction,
+        mean_oversleep_margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time_constant::TimeConstantEstimator;
+    use sim_core::{ByteSize, SimDuration, SimTime};
+
+    fn series_from_daily_gib(volumes: &[u64]) -> TimeConstantSeries {
+        let arrivals: Vec<_> = volumes
+            .iter()
+            .enumerate()
+            .map(|(d, &gib)| (SimTime::from_days(d as u64), ByteSize::from_gib(gib)))
+            .collect();
+        TimeConstantEstimator::new(ByteSize::from_gib(100), SimDuration::DAY).estimate(arrivals)
+    }
+
+    #[test]
+    fn constant_rate_is_perfectly_predictable() {
+        let series = series_from_daily_gib(&[5; 40]);
+        let report = rolling_mean_report(&series, 7).unwrap();
+        assert!(report.mean_abs_rel_error < 1e-12);
+        assert_eq!(report.oversleep_fraction, 0.0);
+        assert_eq!(report.mean_oversleep_margin, 0.0);
+        assert_eq!(report.forecasts, 40 - 7);
+    }
+
+    #[test]
+    fn accelerating_rate_causes_oversleep() {
+        // Volume doubles every 10 days: τ keeps shrinking, so a rolling
+        // mean of past τ always over-estimates — the app oversleeps on
+        // (almost) every forecast.
+        let volumes: Vec<u64> = (0..40).map(|d| 2 + d / 5).collect();
+        let series = series_from_daily_gib(&volumes);
+        let report = rolling_mean_report(&series, 7).unwrap();
+        assert!(
+            report.oversleep_fraction > 0.8,
+            "oversleep fraction {:.2}",
+            report.oversleep_fraction
+        );
+        assert!(report.mean_oversleep_margin > 0.0);
+    }
+
+    #[test]
+    fn bursty_rate_has_large_errors() {
+        let volumes: Vec<u64> = (0..60).map(|d| if d % 2 == 0 { 1 } else { 20 }).collect();
+        let series = series_from_daily_gib(&volumes);
+        let report = rolling_mean_report(&series, 3).unwrap();
+        assert!(
+            report.mean_abs_rel_error > 0.5,
+            "error {:.2}",
+            report.mean_abs_rel_error
+        );
+        assert!(report.p90_abs_rel_error >= report.mean_abs_rel_error);
+    }
+
+    #[test]
+    fn longer_history_smooths_bursty_noise() {
+        let volumes: Vec<u64> = (0..120).map(|d| if d % 2 == 0 { 4 } else { 8 }).collect();
+        let series = series_from_daily_gib(&volumes);
+        let short = rolling_mean_report(&series, 1).unwrap();
+        let long = rolling_mean_report(&series, 30).unwrap();
+        assert!(
+            long.mean_abs_rel_error < short.mean_abs_rel_error,
+            "long {:.3} vs short {:.3}",
+            long.mean_abs_rel_error,
+            short.mean_abs_rel_error
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let series = series_from_daily_gib(&[5; 3]);
+        assert!(rolling_mean_report(&series, 0).is_none());
+        assert!(rolling_mean_report(&series, 3).is_none());
+        assert!(rolling_mean_report(&series, 10).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Aligned text tables and CSV writers for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::report::Table;
+///
+/// let mut table = Table::new(vec!["day", "density"]);
+/// table.row(vec!["10".into(), "0.41".into()]);
+/// table.row(vec!["20".into(), "0.83".into()]);
+/// let text = table.render();
+/// assert!(text.contains("density"));
+/// assert!(text.contains("0.83"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with right-padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i + 1 < cols {
+                    let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+                } else {
+                    // Last column unpadded: no trailing whitespace.
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting — callers pass plain numbers
+    /// and identifiers).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt_f64(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "2".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All value columns start at the same offset.
+        let offset = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].len().min(offset), offset);
+        assert!(lines[3].ends_with('2'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f64(0.83691, 4), "0.8369");
+        assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+}

@@ -1,0 +1,276 @@
+//! Palimpsest's time-constant estimator (Figures 5 and 11).
+//!
+//! Palimpsest applications must predict when their data will be reclaimed
+//! by watching the storage *time constant* — the time a FIFO store of
+//! capacity `C` takes to turn over at the observed arrival rate `r`:
+//! `τ = C / r`. The paper estimates `τ` over hour, day and month analysis
+//! windows and shows the estimate is wildly variable at short windows and
+//! heteroscedastic at medium ones (§5.1.2), which is the argument for the
+//! storage importance density as a better feedback signal.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimDuration, SimTime};
+
+use crate::stats::{LinearFit, Summary};
+
+/// One analysis window's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowEstimate {
+    /// Window start.
+    pub start: SimTime,
+    /// Observed arrival rate within the window, bytes per day.
+    pub rate_bytes_per_day: f64,
+    /// The estimated time constant, in days.
+    pub tau_days: f64,
+}
+
+/// Estimates the Palimpsest time constant over fixed analysis windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeConstantEstimator {
+    capacity: ByteSize,
+    window: SimDuration,
+}
+
+impl TimeConstantEstimator {
+    /// Creates an estimator for a store of `capacity` analyzed over
+    /// windows of `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero or the capacity is zero bytes.
+    pub fn new(capacity: ByteSize, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "analysis window must be positive");
+        assert!(!capacity.is_zero(), "capacity must be positive");
+        TimeConstantEstimator { capacity, window }
+    }
+
+    /// Runs the estimator over a time-ordered arrival stream.
+    ///
+    /// Windows with no arrivals yield an infinite time constant; they are
+    /// excluded from the series but counted in
+    /// [`TimeConstantSeries::empty_windows`].
+    pub fn estimate<I>(&self, arrivals: I) -> TimeConstantSeries
+    where
+        I: IntoIterator<Item = (SimTime, ByteSize)>,
+    {
+        let window_minutes = self.window.as_minutes();
+        let window_days = self.window.as_days_f64();
+        let capacity = self.capacity.as_bytes() as f64;
+
+        let mut points: Vec<WindowEstimate> = Vec::new();
+        let mut empty_windows = 0usize;
+        let mut current: Option<u64> = None;
+        let mut acc = 0u64;
+
+        let flush = |index: u64, acc: u64, points: &mut Vec<WindowEstimate>| {
+            let rate_per_day = acc as f64 / window_days;
+            points.push(WindowEstimate {
+                start: SimTime::from_minutes(index * window_minutes),
+                rate_bytes_per_day: rate_per_day,
+                tau_days: capacity / rate_per_day,
+            });
+        };
+
+        for (at, size) in arrivals {
+            let index = at.as_minutes() / window_minutes;
+            match current {
+                Some(cur) if cur == index => acc += size.as_bytes(),
+                Some(cur) => {
+                    flush(cur, acc, &mut points);
+                    empty_windows += (index - cur - 1) as usize;
+                    current = Some(index);
+                    acc = size.as_bytes();
+                }
+                None => {
+                    empty_windows += index as usize;
+                    current = Some(index);
+                    acc = size.as_bytes();
+                }
+            }
+        }
+        if let Some(cur) = current {
+            flush(cur, acc, &mut points);
+        }
+
+        TimeConstantSeries {
+            window: self.window,
+            points,
+            empty_windows,
+        }
+    }
+}
+
+/// The per-window estimates produced by a [`TimeConstantEstimator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeConstantSeries {
+    /// The analysis window length.
+    pub window: SimDuration,
+    /// Non-empty window estimates, in time order.
+    pub points: Vec<WindowEstimate>,
+    /// Windows (within the observed span) that saw no arrivals at all —
+    /// their time constant is infinite.
+    pub empty_windows: usize,
+}
+
+impl TimeConstantSeries {
+    /// Summary of the τ estimates (days); `None` if no windows had data.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::from_slice(&self.points.iter().map(|p| p.tau_days).collect::<Vec<_>>())
+    }
+
+    /// Coefficient of variation of τ — the "varies considerably" headline
+    /// of Figure 5.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        self.summary()?.coefficient_of_variation()
+    }
+
+    /// Heteroscedasticity diagnostic: splits windows into `groups` rate
+    /// bands and returns `(mean rate, τ variance)` per band, ascending by
+    /// rate. A homoscedastic estimator would show similar variances across
+    /// bands; §5.1.2 observes the day-window estimates do not.
+    ///
+    /// Returns `None` when there are fewer windows than groups.
+    pub fn variance_by_rate(&self, groups: usize) -> Option<Vec<(f64, f64)>> {
+        if groups == 0 || self.points.len() < groups * 2 {
+            return None;
+        }
+        let mut sorted: Vec<&WindowEstimate> = self.points.iter().collect();
+        sorted.sort_by(|a, b| a.rate_bytes_per_day.total_cmp(&b.rate_bytes_per_day));
+        let per = sorted.len() / groups;
+        let mut out = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let slice = &sorted[g * per..if g == groups - 1 { sorted.len() } else { (g + 1) * per }];
+            let rates: Vec<f64> = slice.iter().map(|p| p.rate_bytes_per_day).collect();
+            let taus: Vec<f64> = slice.iter().map(|p| p.tau_days).collect();
+            let rate_mean = Summary::from_slice(&rates)?.mean;
+            let tau_var = Summary::from_slice(&taus)?.variance;
+            out.push((rate_mean, tau_var));
+        }
+        Some(out)
+    }
+
+    /// Ratio of the largest to smallest per-band τ variance (from
+    /// [`variance_by_rate`](TimeConstantSeries::variance_by_rate)); large
+    /// ratios indicate heteroscedasticity. `None` when undefined.
+    pub fn heteroscedasticity_ratio(&self, groups: usize) -> Option<f64> {
+        let bands = self.variance_by_rate(groups)?;
+        let max = bands.iter().map(|b| b.1).fold(f64::MIN, f64::max);
+        let min = bands.iter().map(|b| b.1).fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            return None;
+        }
+        Some(max / min)
+    }
+
+    /// A Breusch–Pagan-style score: R² of regressing the squared τ
+    /// deviations on the arrival rate. Values near zero mean the τ
+    /// dispersion does not depend on the rate; the paper's day-window
+    /// estimates show clear dependence.
+    pub fn dispersion_rate_r2(&self) -> Option<f64> {
+        let mean_tau = self.summary()?.mean;
+        let pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.rate_bytes_per_day, (p.tau_days - mean_tau).powi(2)))
+            .collect();
+        LinearFit::fit(&pts).map(|f| f.r_squared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals_every_hour(days: u64, bytes: u64) -> Vec<(SimTime, ByteSize)> {
+        (0..days * 24)
+            .map(|h| (SimTime::from_hours(h), ByteSize::from_bytes(bytes)))
+            .collect()
+    }
+
+    #[test]
+    fn constant_rate_gives_constant_tau() {
+        // 1 GiB/day into a 30 GiB store → τ = 30 days in every window.
+        let arrivals = arrivals_every_hour(10, ByteSize::from_gib(1).as_bytes() / 24);
+        let est = TimeConstantEstimator::new(ByteSize::from_gib(30), SimDuration::DAY);
+        let series = est.estimate(arrivals);
+        assert_eq!(series.points.len(), 10);
+        for p in &series.points {
+            assert!((p.tau_days - 30.0).abs() < 0.2, "tau {}", p.tau_days);
+        }
+        let cv = series.coefficient_of_variation().unwrap();
+        assert!(cv < 0.01, "cv {cv}");
+        assert_eq!(series.empty_windows, 0);
+    }
+
+    #[test]
+    fn bursty_rate_inflates_cv_at_short_windows() {
+        // Alternate loud and quiet days.
+        let mut arrivals = Vec::new();
+        for d in 0..30u64 {
+            let bytes = if d % 2 == 0 { 10u64 << 30 } else { 1u64 << 30 };
+            arrivals.push((SimTime::from_days(d), ByteSize::from_bytes(bytes)));
+        }
+        let cap = ByteSize::from_gib(100);
+        let daily = TimeConstantEstimator::new(cap, SimDuration::DAY).estimate(arrivals.clone());
+        let monthly =
+            TimeConstantEstimator::new(cap, SimDuration::from_days(30)).estimate(arrivals);
+        let cv_daily = daily.coefficient_of_variation().unwrap();
+        assert!(cv_daily > 0.5, "daily cv {cv_daily}");
+        // One month window: a single estimate, no variation to speak of.
+        assert_eq!(monthly.points.len(), 1);
+    }
+
+    #[test]
+    fn empty_windows_are_counted_not_estimated() {
+        let arrivals = vec![
+            (SimTime::from_days(0), ByteSize::from_gib(1)),
+            (SimTime::from_days(5), ByteSize::from_gib(1)),
+        ];
+        let est = TimeConstantEstimator::new(ByteSize::from_gib(10), SimDuration::DAY);
+        let series = est.estimate(arrivals);
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.empty_windows, 4);
+    }
+
+    #[test]
+    fn heteroscedasticity_detected_when_dispersion_tracks_rate() {
+        // Low-rate windows get very noisy τ; high-rate windows are stable.
+        let mut arrivals = Vec::new();
+        for d in 0..200u64 {
+            let base = if d % 2 == 0 {
+                // Low rate, jittered heavily: 1..6 GiB.
+                1 + (d * 7 % 6)
+            } else {
+                // High rate, stable: 50 or 51 GiB.
+                50 + (d % 2)
+            };
+            arrivals.push((SimTime::from_days(d), ByteSize::from_gib(base)));
+        }
+        let est = TimeConstantEstimator::new(ByteSize::from_tib(1), SimDuration::DAY);
+        let series = est.estimate(arrivals);
+        let ratio = series.heteroscedasticity_ratio(4).unwrap();
+        assert!(ratio > 10.0, "variance ratio {ratio}");
+        let r2 = series.dispersion_rate_r2().unwrap();
+        assert!(r2 > 0.1, "dispersion r² {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = TimeConstantEstimator::new(ByteSize::from_gib(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = TimeConstantEstimator::new(ByteSize::ZERO, SimDuration::DAY);
+    }
+
+    #[test]
+    fn variance_by_rate_requires_enough_windows() {
+        let est = TimeConstantEstimator::new(ByteSize::from_gib(1), SimDuration::DAY);
+        let series = est.estimate(vec![(SimTime::ZERO, ByteSize::from_gib(1))]);
+        assert!(series.variance_by_rate(4).is_none());
+        assert!(series.heteroscedasticity_ratio(4).is_none());
+    }
+}

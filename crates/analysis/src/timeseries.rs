@@ -1,0 +1,233 @@
+//! Time-indexed series with bucketed downsampling.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+
+use crate::stats::Summary;
+
+/// A series of `(time, value)` samples, append-only in time order.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::TimeSeries;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let mut series = TimeSeries::new();
+/// for day in 0..10 {
+///     series.push(SimTime::from_days(day), day as f64);
+/// }
+/// let buckets = series.bucket_mean(SimDuration::from_days(5));
+/// assert_eq!(buckets.len(), 2);
+/// assert_eq!(buckets[0].1, 2.0); // mean of 0..=4
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last sample (series are time-ordered).
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "samples must be pushed in time order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Summary over all values; `None` if empty.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::from_slice(&self.values())
+    }
+
+    /// Means over fixed-width buckets starting at the epoch. Buckets with
+    /// no samples are omitted. Returns `(bucket start, mean)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn bucket_mean(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut bucket_index: Option<u64> = None;
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for &(at, value) in &self.points {
+            let index = at.as_minutes() / width.as_minutes();
+            if Some(index) != bucket_index {
+                if let Some(prev) = bucket_index {
+                    out.push((
+                        SimTime::from_minutes(prev * width.as_minutes()),
+                        sum / count as f64,
+                    ));
+                }
+                bucket_index = Some(index);
+                sum = 0.0;
+                count = 0;
+            }
+            sum += value;
+            count += 1;
+        }
+        if let Some(prev) = bucket_index {
+            out.push((
+                SimTime::from_minutes(prev * width.as_minutes()),
+                sum / count as f64,
+            ));
+        }
+        out
+    }
+
+    /// Like [`bucket_mean`](TimeSeries::bucket_mean) but sums the values —
+    /// the right reduction for counts (e.g. rejections per week).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn bucket_sum(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut bucket_index: Option<u64> = None;
+        let mut sum = 0.0;
+        for &(at, value) in &self.points {
+            let index = at.as_minutes() / width.as_minutes();
+            if Some(index) != bucket_index {
+                if let Some(prev) = bucket_index {
+                    out.push((SimTime::from_minutes(prev * width.as_minutes()), sum));
+                }
+                bucket_index = Some(index);
+                sum = 0.0;
+            }
+            sum += value;
+        }
+        if let Some(prev) = bucket_index {
+            out.push((SimTime::from_minutes(prev * width.as_minutes()), sum));
+        }
+        out
+    }
+
+    /// The last value at or before `at`, if any (step interpolation).
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|(t, _)| t.cmp(&at)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut series = TimeSeries::new();
+        for (at, value) in iter {
+            series.push(at, value);
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_days(1), 1.0);
+        s.push(SimTime::from_days(1), 2.0); // equal is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_days(2), 1.0);
+        s.push(SimTime::from_days(1), 2.0);
+    }
+
+    #[test]
+    fn bucket_mean_and_sum() {
+        let s: TimeSeries = (0..10u64)
+            .map(|d| (SimTime::from_days(d), d as f64))
+            .collect();
+        let means = s.bucket_mean(SimDuration::from_days(5));
+        assert_eq!(
+            means,
+            vec![
+                (SimTime::ZERO, 2.0),
+                (SimTime::from_days(5), 7.0),
+            ]
+        );
+        let sums = s.bucket_sum(SimDuration::from_days(5));
+        assert_eq!(sums[0].1, 10.0);
+        assert_eq!(sums[1].1, 35.0);
+    }
+
+    #[test]
+    fn buckets_skip_gaps() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_days(0), 1.0);
+        s.push(SimTime::from_days(20), 3.0);
+        let means = s.bucket_mean(SimDuration::from_days(5));
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[1].0, SimTime::from_days(20));
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_days(1), 10.0);
+        s.push(SimTime::from_days(5), 20.0);
+        assert_eq!(s.value_at(SimTime::ZERO), None);
+        assert_eq!(s.value_at(SimTime::from_days(1)), Some(10.0));
+        assert_eq!(s.value_at(SimTime::from_days(3)), Some(10.0));
+        assert_eq!(s.value_at(SimTime::from_days(9)), Some(20.0));
+    }
+
+    #[test]
+    fn summary_of_series() {
+        let s: TimeSeries = (0..5u64)
+            .map(|d| (SimTime::from_days(d), d as f64))
+            .collect();
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.count, 5);
+        assert_eq!(sum.mean, 2.0);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        let s = TimeSeries::new();
+        let _ = s.bucket_mean(SimDuration::ZERO);
+    }
+}

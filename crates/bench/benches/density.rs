@@ -1,0 +1,36 @@
+//! Benchmarks of the storage-importance-density metric (Figures 6/7/12's
+//! per-sample cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::{ByteSize, SimTime};
+
+use bench_harness::mixed_unit;
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance_density");
+    for residents in [100u64, 400, 1600] {
+        let unit = mixed_unit(ByteSize::from_mib(residents * 10), residents, 10);
+        group.bench_function(format!("{residents}_residents"), |b| {
+            b.iter(|| unit.importance_density(SimTime::from_days(5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let unit = mixed_unit(ByteSize::from_mib(4000), 400, 10);
+    c.bench_function("byte_importance_histogram/400_residents", |b| {
+        b.iter(|| unit.byte_importance_histogram(SimTime::from_days(5)))
+    });
+}
+
+fn bench_snapshot_cdf(c: &mut Criterion) {
+    let unit = mixed_unit(ByteSize::from_mib(4000), 400, 10);
+    let snapshot = unit.density_snapshot(SimTime::from_days(5));
+    c.bench_function("density_snapshot_cdf/400_residents", |b| {
+        b.iter(|| snapshot.byte_cdf())
+    });
+}
+
+criterion_group!(benches, bench_density, bench_histogram, bench_snapshot_cdf);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the reclamation engine's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sim_core::{ByteSize, SimTime};
+use temporal_importance::{EvictionPolicy, Importance, StorageUnit};
+
+use bench_harness::{incoming_spec, mixed_unit};
+
+fn bench_store_free_space(c: &mut Criterion) {
+    c.bench_function("store/into_free_space", |b| {
+        b.iter_batched(
+            || {
+                let mut unit = StorageUnit::new(ByteSize::from_gib(10));
+                unit.set_recording(false);
+                unit
+            },
+            |mut unit| {
+                unit.store(incoming_spec(0, 64), SimTime::ZERO).unwrap();
+                unit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_store_with_preemption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/with_preemption");
+    for residents in [100u64, 400, 1600] {
+        group.bench_function(format!("{residents}_residents"), |b| {
+            let capacity = ByteSize::from_mib(residents * 10);
+            b.iter_batched(
+                || mixed_unit(capacity, residents, 10),
+                |mut unit| {
+                    // Forces a plan over all residents plus an eviction.
+                    unit.store(incoming_spec(u64::MAX, 30), SimTime::ZERO)
+                        .unwrap();
+                    unit
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_peek_admission(c: &mut Criterion) {
+    let unit = mixed_unit(ByteSize::from_mib(4000), 400, 10);
+    c.bench_function("peek_admission/400_residents", |b| {
+        b.iter(|| {
+            unit.peek_admission(
+                ByteSize::from_mib(30),
+                Importance::new_clamped(0.9),
+                SimTime::ZERO,
+            )
+        })
+    });
+}
+
+fn bench_fifo_store(c: &mut Criterion) {
+    c.bench_function("store/fifo_eviction_400_residents", |b| {
+        b.iter_batched(
+            || {
+                let mut unit =
+                    StorageUnit::with_policy(ByteSize::from_mib(4000), EvictionPolicy::Fifo);
+                unit.set_recording(false);
+                for i in 0..400 {
+                    unit.store(incoming_spec(i, 10), SimTime::ZERO).unwrap();
+                }
+                unit
+            },
+            |mut unit| {
+                unit.store(incoming_spec(u64::MAX, 30), SimTime::from_minutes(1))
+                    .unwrap();
+                unit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_store_free_space,
+    bench_store_with_preemption,
+    bench_peek_admission,
+    bench_fifo_store
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! One bench per paper table/figure: times the full regeneration of each
+//! artifact at a reduced (CI-friendly) horizon. `cargo bench` therefore
+//! both exercises and times every experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures;
+
+const SEED: u64 = experiments::DEFAULT_SEED;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_storage_requirements", |b| {
+        b.iter(|| figures::fig2(SEED))
+    });
+    group.bench_function("fig3_lifetimes_achieved", |b| {
+        b.iter(|| figures::fig3(SEED, 365))
+    });
+    group.bench_function("fig4_requests_turned_down", |b| {
+        b.iter(|| figures::fig4(SEED, 365))
+    });
+    group.bench_function("fig5_time_constant", |b| {
+        b.iter(|| figures::fig5(SEED, 365))
+    });
+    group.bench_function("fig6_importance_density", |b| {
+        b.iter(|| figures::fig6(SEED, 365))
+    });
+    group.bench_function("fig7_byte_importance_cdf", |b| {
+        b.iter(|| figures::fig7(SEED, 365))
+    });
+    group.bench_function("table1_lecture_lifetimes", |b| b.iter(figures::table1));
+    group.bench_function("fig8_lecture_downloads", |b| {
+        b.iter(|| figures::fig8(SEED))
+    });
+    group.bench_function("fig9_lecture_lifetimes", |b| {
+        b.iter(|| figures::fig9(SEED, 2))
+    });
+    group.bench_function("fig10_importance_at_reclamation", |b| {
+        b.iter(|| figures::fig10(SEED, 2))
+    });
+    group.bench_function("fig11_lecture_time_constant", |b| {
+        b.iter(|| figures::fig11(SEED, 2))
+    });
+    group.bench_function("fig12_lecture_density", |b| {
+        b.iter(|| figures::fig12(SEED, 2))
+    });
+    group.bench_function("sec53_university_wide", |b| {
+        b.iter(|| figures::sec53(SEED, 1, 100))
+    });
+    group.bench_function("ablate_decay", |b| {
+        b.iter(|| figures::ablate_decay(SEED, 365))
+    });
+    group.bench_function("ablate_placement", |b| {
+        b.iter(|| figures::ablate_placement(SEED))
+    });
+    group.bench_function("sec6_sensor", |b| b.iter(|| figures::sec6_sensor(SEED)));
+    group.bench_function("fairness", |b| b.iter(|| figures::fairness(SEED)));
+    group.bench_function("advisor", |b| b.iter(|| figures::advisor(SEED, 365)));
+    group.bench_function("mixed_apps", |b| b.iter(|| figures::mixed_apps(SEED, 200)));
+    group.bench_function("predictability", |b| {
+        b.iter(|| figures::predictability(SEED, 365))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks of the §5.3 distributed placement path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sim_core::{rng, ByteSize, SimTime};
+
+use besteffs::{Besteffs, PlacementConfig};
+use bench_harness::incoming_spec;
+
+fn loaded_cluster(nodes: usize, config: PlacementConfig) -> Besteffs {
+    let mut rand = rng::seeded(42);
+    let mut cluster = Besteffs::new(nodes, ByteSize::from_gib(1), config, &mut rand);
+    // Half-fill so placements mix direct stores and preemption probes.
+    let mut id = 1_000_000u64;
+    for _ in 0..nodes * 5 {
+        id += 1;
+        let _ = cluster.place(incoming_spec(id, 100), SimTime::ZERO, &mut rand);
+    }
+    cluster
+}
+
+fn bench_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("besteffs_place");
+    for (nodes, x) in [(100usize, 4usize), (100, 16), (1000, 8)] {
+        let config = PlacementConfig {
+            candidates_per_try: x,
+            max_tries: 3,
+            walk_steps: 10,
+        };
+        group.bench_function(format!("{nodes}_nodes_x{x}"), |b| {
+            b.iter_batched(
+                || (loaded_cluster(nodes, config), rng::seeded(7), 0u64),
+                |(mut cluster, mut rand, _)| {
+                    let _ = cluster.place(incoming_spec(0, 100), SimTime::ZERO, &mut rand);
+                    cluster
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_walks(c: &mut Criterion) {
+    let mut rand = rng::seeded(3);
+    let overlay = besteffs::Overlay::random(2000, 6, &mut rand);
+    c.bench_function("overlay_random_walk/2000_nodes_10_steps", |b| {
+        b.iter(|| overlay.random_walk(besteffs::NodeId::new(0), 10, &mut rand))
+    });
+}
+
+criterion_group!(benches, bench_place, bench_random_walks);
+criterion_main!(benches);

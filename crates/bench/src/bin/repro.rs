@@ -1,0 +1,153 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--seed N] [--quick] [--json DIR] [EXPERIMENT...]
+//! repro --list
+//! ```
+//!
+//! With no experiment arguments, all of them run in paper order. `--quick`
+//! shortens the simulated horizons (CI-friendly); the default horizons
+//! match the figures in the paper. `--json DIR` additionally dumps each
+//! report's tables as CSV files into DIR.
+
+use std::process::ExitCode;
+
+use experiments::figures::{self, FigureReport};
+use experiments::DEFAULT_SEED;
+
+struct Options {
+    seed: u64,
+    quick: bool,
+    json_dir: Option<String>,
+    experiments: Vec<String>,
+}
+
+const ALL_EXPERIMENTS: [&str; 20] = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "sec53", "ablate-decay", "ablate-placement", "sec6-sensor", "fairness", "advisor",
+    "mixed-apps", "predictability",
+];
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ids: Vec<String> = if options.experiments.is_empty() {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        options.experiments.clone()
+    };
+
+    for id in &ids {
+        let report = match run_experiment(id, &options) {
+            Some(report) => report,
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'; known: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{report}");
+        if let Some(dir) = &options.json_dir {
+            if let Err(e) = dump_csv(dir, &report) {
+                eprintln!("failed to write CSV for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        seed: DEFAULT_SEED,
+        quick: false,
+        json_dir: None,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed '{value}'"))?;
+            }
+            "--quick" => options.quick = true,
+            "--json" => {
+                options.json_dir = Some(args.next().ok_or("--json needs a directory")?);
+            }
+            "--list" => {
+                println!("{}", ALL_EXPERIMENTS.join("\n"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--seed N] [--quick] [--json DIR] [EXPERIMENT...]\n       repro --list"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => options.experiments.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn run_experiment(id: &str, options: &Options) -> Option<FigureReport> {
+    let seed = options.seed;
+    // Paper-scale horizons vs CI-friendly quick ones.
+    let (days, years, uni_years, scale) = if options.quick {
+        (365, 3, 1, 50)
+    } else {
+        (730, 5, 2, 10)
+    };
+    Some(match id {
+        "fig2" => figures::fig2(seed),
+        "fig3" => figures::fig3(seed, days),
+        "fig4" => figures::fig4(seed, days),
+        "fig5" => figures::fig5(seed, days),
+        "fig6" => figures::fig6(seed, days),
+        "fig7" => figures::fig7(seed, days),
+        "table1" => figures::table1(),
+        "fig8" => figures::fig8(seed),
+        "fig9" => figures::fig9(seed, years),
+        "fig10" => figures::fig10(seed, years),
+        "fig11" => figures::fig11(seed, years),
+        "fig12" => figures::fig12(seed, years),
+        "sec53" => figures::sec53(seed, uni_years, scale),
+        "ablate-decay" => figures::ablate_decay(seed, days),
+        "ablate-placement" => figures::ablate_placement(seed),
+        "sec6-sensor" => figures::sec6_sensor(seed),
+        "fairness" => figures::fairness(seed),
+        "advisor" => figures::advisor(seed, days),
+        "mixed-apps" => figures::mixed_apps(seed, days.min(365)),
+        "predictability" => figures::predictability(seed, days),
+        _ => return None,
+    })
+}
+
+fn dump_csv(dir: &str, report: &FigureReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (index, (name, table)) in report.tables.iter().enumerate() {
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = format!("{dir}/{}_{index}_{slug}.csv", report.id);
+        std::fs::write(path, table.to_csv())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Shared fixtures for the Criterion benches and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim_core::{ByteSize, SimDuration, SimTime};
+use temporal_importance::{
+    Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
+};
+
+/// Builds a unit pre-filled with `count` objects of `mib` MiB whose fixed
+/// importance cycles through ten levels — a representative mixed-pressure
+/// state for eviction/density benchmarks.
+pub fn mixed_unit(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
+    let mut unit = StorageUnit::new(capacity);
+    unit.set_recording(false);
+    for i in 0..count {
+        let importance = Importance::new_clamped(0.05 + (i % 10) as f64 * 0.1);
+        let spec = ObjectSpec::new(
+            ObjectId::new(i),
+            ByteSize::from_mib(mib),
+            ImportanceCurve::Fixed {
+                importance,
+                expiry: SimDuration::from_days(3650),
+            },
+        );
+        unit.store(spec, SimTime::ZERO).expect("fixture fits");
+    }
+    unit
+}
+
+/// A full-importance two-step spec used as the "incoming" object in
+/// benchmarks.
+pub fn incoming_spec(id: u64, mib: u64) -> ObjectSpec {
+    ObjectSpec::new(
+        ObjectId::new(id),
+        ByteSize::from_mib(mib),
+        ImportanceCurve::two_step(
+            Importance::FULL,
+            SimDuration::from_days(15),
+            SimDuration::from_days(15),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_unit_fixture_is_full_enough_to_force_eviction() {
+        let unit = mixed_unit(ByteSize::from_mib(1000), 100, 10);
+        assert_eq!(unit.len(), 100);
+        assert_eq!(unit.free(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn incoming_spec_has_full_initial_importance() {
+        let spec = incoming_spec(1, 10);
+        assert_eq!(spec.curve().initial_importance(), Importance::FULL);
+    }
+}

@@ -1,0 +1,635 @@
+//! The Besteffs cluster and the §5.3 placement algorithm.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimTime};
+use temporal_importance::{
+    EvictionRecord, Importance, ObjectId, ObjectSpec, StorageUnit, StoreOutcome,
+};
+
+use crate::overlay::{NodeId, Overlay};
+
+/// Parameters of the §5.3 distributed placement algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Candidate units sampled per try (`x`: "randomly pick x storage
+    /// units").
+    pub candidates_per_try: usize,
+    /// Maximum successive tries (`m`: "we wait for up to m successive
+    /// tries").
+    pub max_tries: usize,
+    /// Random-walk length used for sampling.
+    pub walk_steps: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            candidates_per_try: 8,
+            max_tries: 3,
+            walk_steps: 10,
+        }
+    }
+}
+
+/// Where and how an object was placed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOutcome {
+    /// The chosen node.
+    pub node: NodeId,
+    /// The underlying store outcome (including preempted victims).
+    pub outcome: StoreOutcome,
+    /// How many tries were used.
+    pub tries: usize,
+    /// How many candidate units were probed in total.
+    pub probed: usize,
+}
+
+/// A placement request the cluster could not satisfy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// Every probed unit was full for this object's importance level.
+    ClusterFull {
+        /// Candidate units probed across all tries.
+        probed: usize,
+        /// The incoming importance that could not find room.
+        incoming: Importance,
+    },
+    /// No live node exists to probe.
+    NoLiveNodes,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::ClusterFull { probed, incoming } => write!(
+                f,
+                "all {probed} probed units are full for importance {incoming}"
+            ),
+            PlacementError::NoLiveNodes => write!(f, "no live storage nodes remain"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+/// Aggregate counters for a cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ClusterStats {
+    /// Objects successfully placed.
+    pub placed: u64,
+    /// Placement requests rejected (cluster full for the object).
+    pub rejected: u64,
+    /// Placements that landed on a zero-preemption unit on the first try.
+    pub direct_stores: u64,
+    /// Nodes that have failed.
+    pub failed_nodes: u64,
+    /// Objects lost to node failures (no replication).
+    pub objects_lost: u64,
+    /// Bytes lost to node failures.
+    pub bytes_lost: u64,
+}
+
+/// A simulated Besteffs deployment: `n` storage units joined by a p2p
+/// overlay, placing objects with the §5.3 algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use besteffs::{Besteffs, PlacementConfig};
+/// use sim_core::{rng, ByteSize, SimDuration, SimTime};
+/// use temporal_importance::{Importance, ImportanceCurve, ObjectId, ObjectSpec};
+///
+/// let mut rand = rng::seeded(11);
+/// let mut cluster = Besteffs::new(50, ByteSize::from_gib(1), PlacementConfig::default(), &mut rand);
+/// let spec = ObjectSpec::new(
+///     ObjectId::new(0),
+///     ByteSize::from_mib(100),
+///     ImportanceCurve::two_step(
+///         Importance::FULL,
+///         SimDuration::from_days(30),
+///         SimDuration::from_days(30),
+///     ),
+/// );
+/// let placed = cluster.place(spec, SimTime::ZERO, &mut rand)?;
+/// assert!(cluster.node(placed.node).contains(ObjectId::new(0)));
+/// # Ok::<(), besteffs::PlacementError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Besteffs {
+    units: Vec<StorageUnit>,
+    alive: Vec<bool>,
+    overlay: Overlay,
+    config: PlacementConfig,
+    stats: ClusterStats,
+}
+
+impl Besteffs {
+    /// Creates a cluster of `nodes` units of equal `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 3` (the overlay needs a ring).
+    pub fn new<R: Rng>(
+        nodes: usize,
+        capacity: ByteSize,
+        config: PlacementConfig,
+        rng: &mut R,
+    ) -> Self {
+        let degree = 6.min(nodes - 1).max(2);
+        let overlay = Overlay::random(nodes, degree, rng);
+        let mut units: Vec<StorageUnit> = (0..nodes).map(|_| StorageUnit::new(capacity)).collect();
+        // Large fleets keep aggregate stats only; per-eviction records on
+        // 2,000 nodes over years would dominate memory.
+        for unit in &mut units {
+            unit.set_recording(false);
+        }
+        Besteffs {
+            units,
+            alive: vec![true; nodes],
+            overlay,
+            config,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Number of nodes (live and failed).
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Cluster-level counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// The placement configuration.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.config
+    }
+
+    /// Borrow a node's storage unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &StorageUnit {
+        &self.units[node.index()]
+    }
+
+    /// Mutably borrow a node's storage unit (e.g. to enable recording on
+    /// a sampled subset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_mut(&mut self, node: NodeId) -> &mut StorageUnit {
+        &mut self.units[node.index()]
+    }
+
+    /// Iterates over `(id, unit)` for all live nodes.
+    pub fn live_units(&self) -> impl Iterator<Item = (NodeId, &StorageUnit)> {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i])
+            .map(|(i, u)| (NodeId::new(i), u))
+    }
+
+    /// True if `node` is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Adds a fresh storage node of the given capacity to the running
+    /// cluster, wiring it into the overlay. Returns its id.
+    ///
+    /// Models the §5.3 expectation that "the university \[will\]
+    /// continuously replace older desktops with newer desktops that will
+    /// likely host larger disks": new nodes may have any capacity.
+    pub fn add_node<R: Rng>(&mut self, capacity: ByteSize, rng: &mut R) -> NodeId {
+        let degree = 6.min(self.units.len()).max(2);
+        let id = self.overlay.add_node(degree, rng);
+        debug_assert_eq!(id.index(), self.units.len());
+        let mut unit = StorageUnit::new(capacity);
+        unit.set_recording(false);
+        self.units.push(unit);
+        self.alive.push(true);
+        id
+    }
+
+    /// Fails a node: its objects are lost (Besteffs does not replicate).
+    /// Returns the number of objects lost. Failing a dead node is a no-op.
+    pub fn fail_node(&mut self, node: NodeId) -> u64 {
+        let i = node.index();
+        if !self.alive[i] {
+            return 0;
+        }
+        self.alive[i] = false;
+        let lost_objects = self.units[i].len() as u64;
+        let lost_bytes = self.units[i].used().as_bytes();
+        self.stats.failed_nodes += 1;
+        self.stats.objects_lost += lost_objects;
+        self.stats.bytes_lost += lost_bytes;
+        self.units[i] = StorageUnit::new(self.units[i].capacity());
+        self.units[i].set_recording(false);
+        lost_objects
+    }
+
+    /// Places an object with the §5.3 algorithm.
+    ///
+    /// Each try samples `x` distinct live units by random walks and asks
+    /// each for the *highest importance object that would be preempted*.
+    /// A unit scoring zero accepts the object immediately; otherwise up to
+    /// `m` tries run and the lowest-scoring admitting unit wins. The score
+    /// is deliberately *not* weighted by victim sizes, matching the paper.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::NoLiveNodes`] — the cluster has no live nodes.
+    /// * [`PlacementError::ClusterFull`] — every probed unit was full for
+    ///   this object's importance level.
+    pub fn place<R: Rng>(
+        &mut self,
+        spec: ObjectSpec,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        if self.live_nodes() == 0 {
+            return Err(PlacementError::NoLiveNodes);
+        }
+        let incoming = spec.curve().initial_importance();
+        let start = self.random_live_start(rng);
+
+        let mut best: Option<(NodeId, Importance)> = None;
+        let mut probed = 0usize;
+        let mut tries_used = 0usize;
+
+        'tries: for try_index in 0..self.config.max_tries {
+            tries_used = try_index + 1;
+            let alive = &self.alive;
+            let candidates = self.overlay.sample_walks(
+                start,
+                self.config.candidates_per_try,
+                self.config.walk_steps,
+                rng,
+                |n| alive[n.index()],
+            );
+            for node in candidates {
+                probed += 1;
+                let admission =
+                    self.units[node.index()].peek_admission(spec.size(), incoming, now);
+                let Some(score) = admission.placement_score() else {
+                    continue; // full for this object
+                };
+                if score.is_zero() {
+                    // "If the highest preempted objects' importance value
+                    // ... is zero, then the object can be directly stored."
+                    best = Some((node, score));
+                    break 'tries;
+                }
+                if best.is_none_or(|(_, b)| score < b) {
+                    best = Some((node, score));
+                }
+            }
+        }
+
+        let Some((node, score)) = best else {
+            self.stats.rejected += 1;
+            return Err(PlacementError::ClusterFull { probed, incoming });
+        };
+        let outcome = self.units[node.index()]
+            .store(spec, now)
+            .expect("peeked unit must admit");
+        self.stats.placed += 1;
+        if score.is_zero() {
+            self.stats.direct_stores += 1;
+        }
+        Ok(PlacementOutcome {
+            node,
+            outcome,
+            tries: tries_used,
+            probed,
+        })
+    }
+
+    /// Sweeps expired objects on all live nodes, returning the records
+    /// (empty unless recording is enabled on the node — records returned
+    /// here are generated regardless of the recording flag).
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
+        let mut out = Vec::new();
+        for (i, unit) in self.units.iter_mut().enumerate() {
+            if self.alive[i] {
+                out.extend(unit.sweep_expired(now));
+            }
+        }
+        out
+    }
+
+    /// Total bytes stored across live nodes.
+    pub fn used(&self) -> ByteSize {
+        self.live_units().map(|(_, u)| u.used()).sum()
+    }
+
+    /// Total capacity across live nodes.
+    pub fn capacity(&self) -> ByteSize {
+        self.live_units().map(|(_, u)| u.capacity()).sum()
+    }
+
+    /// The cluster-wide average storage importance density at `now`:
+    /// importance-weighted bytes over total live capacity.
+    pub fn importance_density(&self, now: SimTime) -> f64 {
+        let capacity = self.capacity().as_bytes() as f64;
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .live_units()
+            .map(|(_, u)| u.importance_density(now) * u.capacity().as_bytes() as f64)
+            .sum();
+        weighted / capacity
+    }
+
+    /// Locates the live node storing `id`, if any (directory-service
+    /// lookup; the simulation keeps it simple with a scan).
+    pub fn locate(&self, id: ObjectId) -> Option<NodeId> {
+        self.live_units()
+            .find(|(_, u)| u.contains(id))
+            .map(|(n, _)| n)
+    }
+
+    fn random_live_start<R: Rng>(&self, rng: &mut R) -> NodeId {
+        loop {
+            let i = rng.gen_range(0..self.units.len());
+            if self.alive[i] {
+                return NodeId::new(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{rng, SimDuration};
+    use temporal_importance::ImportanceCurve;
+
+    fn spec(id: u64, mib: u64, importance: f64, expiry_days: u64) -> ObjectSpec {
+        ObjectSpec::new(
+            ObjectId::new(id),
+            ByteSize::from_mib(mib),
+            ImportanceCurve::Fixed {
+                importance: Importance::new(importance).unwrap(),
+                expiry: SimDuration::from_days(expiry_days),
+            },
+        )
+    }
+
+    fn small_cluster(seed: u64) -> (Besteffs, rand::rngs::StdRng) {
+        let mut rand = rng::seeded(seed);
+        let cluster = Besteffs::new(
+            20,
+            ByteSize::from_mib(100),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        (cluster, rand)
+    }
+
+    #[test]
+    fn places_objects_and_locates_them() {
+        let (mut cluster, mut rand) = small_cluster(1);
+        let placed = cluster.place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        assert_eq!(cluster.locate(ObjectId::new(1)), Some(placed.node));
+        assert_eq!(cluster.stats().placed, 1);
+        assert_eq!(cluster.stats().direct_stores, 1);
+        assert_eq!(cluster.used(), ByteSize::from_mib(50));
+    }
+
+    #[test]
+    fn fills_cluster_then_rejects_low_importance() {
+        let (mut cluster, mut rand) = small_cluster(2);
+        // Fill every node with full-importance data.
+        let mut id = 0u64;
+        let mut rejected = false;
+        for _ in 0..3000 {
+            id += 1;
+            match cluster.place(spec(id, 25, 1.0, 3650), SimTime::ZERO, &mut rand) {
+                Ok(_) => {}
+                Err(PlacementError::ClusterFull { .. }) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected, "cluster should eventually be full");
+        // Cluster is essentially full of importance-1.0 data: a lower
+        // importance object is rejected...
+        let err = cluster
+            .place(spec(99_999, 25, 0.5, 30), SimTime::ZERO, &mut rand)
+            .unwrap_err();
+        assert!(matches!(err, PlacementError::ClusterFull { .. }));
+        assert!(cluster.stats().rejected >= 2);
+    }
+
+    #[test]
+    fn higher_importance_preempts_lower_across_cluster() {
+        let (mut cluster, mut rand) = small_cluster(3);
+        // Fill every node to the brim with 0.3-importance data (directly,
+        // so no node retains free space that random sampling might miss).
+        let mut id = 0u64;
+        for i in 0..cluster.len() {
+            for _ in 0..2 {
+                id += 1;
+                cluster
+                    .node_mut(NodeId::new(i))
+                    .store(spec(id, 50, 0.3, 3650), SimTime::ZERO)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cluster.used(), cluster.capacity());
+        // A 0.9-importance object still finds room by preempting.
+        let placed = cluster
+            .place(spec(50_000, 50, 0.9, 30), SimTime::ZERO, &mut rand)
+            .unwrap();
+        assert!(!placed.outcome.evicted.is_empty());
+        assert_eq!(
+            placed.outcome.highest_preempted,
+            Some(Importance::new(0.3).unwrap())
+        );
+    }
+
+    #[test]
+    fn placement_prefers_empty_units() {
+        let (mut cluster, mut rand) = small_cluster(4);
+        // With mostly-empty units, placements should be direct stores.
+        for i in 0..10 {
+            let p = cluster
+                .place(spec(i, 10, 1.0, 30), SimTime::ZERO, &mut rand)
+                .unwrap();
+            assert_eq!(p.outcome.highest_preempted, None);
+            assert_eq!(p.tries, 1);
+        }
+        assert_eq!(cluster.stats().direct_stores, 10);
+    }
+
+    #[test]
+    fn node_failure_loses_objects_without_replication() {
+        let (mut cluster, mut rand) = small_cluster(5);
+        let placed = cluster.place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        let lost = cluster.fail_node(placed.node);
+        assert_eq!(lost, 1);
+        assert_eq!(cluster.locate(ObjectId::new(1)), None);
+        assert_eq!(cluster.stats().objects_lost, 1);
+        assert_eq!(cluster.live_nodes(), 19);
+        // Idempotent.
+        assert_eq!(cluster.fail_node(placed.node), 0);
+        assert_eq!(cluster.stats().failed_nodes, 1);
+        // Placement still works around the failure.
+        let again = cluster.place(spec(2, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        assert!(cluster.is_alive(again.node));
+    }
+
+    #[test]
+    fn all_nodes_failed_yields_no_live_nodes() {
+        let (mut cluster, mut rand) = small_cluster(6);
+        for i in 0..20 {
+            cluster.fail_node(NodeId::new(i));
+        }
+        let err = cluster
+            .place(spec(1, 10, 1.0, 30), SimTime::ZERO, &mut rand)
+            .unwrap_err();
+        assert_eq!(err, PlacementError::NoLiveNodes);
+    }
+
+    #[test]
+    fn cluster_density_aggregates_nodes() {
+        let (mut cluster, mut rand) = small_cluster(7);
+        assert_eq!(cluster.importance_density(SimTime::ZERO), 0.0);
+        for i in 0..20 {
+            let _ = cluster.place(spec(i, 50, 1.0, 3650), SimTime::ZERO, &mut rand);
+        }
+        let d = cluster.importance_density(SimTime::ZERO);
+        // 20 × 50 MiB of importance-1.0 data over 2,000 MiB capacity.
+        assert!((d - 0.5).abs() < 0.01, "density {d}");
+    }
+
+    #[test]
+    fn sweep_expired_reclaims_cluster_wide() {
+        let (mut cluster, mut rand) = small_cluster(8);
+        for i in 0..5 {
+            cluster
+                .place(spec(i, 10, 1.0, 10), SimTime::ZERO, &mut rand)
+                .unwrap();
+        }
+        let swept = cluster.sweep_expired(SimTime::from_days(30));
+        assert_eq!(swept.len(), 5);
+        assert_eq!(cluster.used(), ByteSize::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use sim_core::{rng, SimDuration};
+    use temporal_importance::ImportanceCurve;
+
+    fn spec(id: u64, mib: u64) -> ObjectSpec {
+        ObjectSpec::new(
+            ObjectId::new(id),
+            ByteSize::from_mib(mib),
+            ImportanceCurve::fixed_lifetime(SimDuration::from_days(365)),
+        )
+    }
+
+    #[test]
+    fn added_nodes_join_the_overlay_and_accept_placements() {
+        let mut rand = rng::seeded(21);
+        let mut cluster = Besteffs::new(
+            10,
+            ByteSize::from_mib(50),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        // Fill the original fleet to the brim.
+        let mut id = 0u64;
+        for i in 0..10 {
+            id += 1;
+            cluster
+                .node_mut(NodeId::new(i))
+                .store(spec(id, 50), SimTime::ZERO)
+                .unwrap();
+        }
+        assert!(cluster
+            .place(spec(9_000, 50), SimTime::ZERO, &mut rand)
+            .is_err());
+
+        // Add bigger replacement desktops; capacity grows and placements
+        // succeed again without touching any annotation.
+        for _ in 0..5 {
+            let node = cluster.add_node(ByteSize::from_mib(200), &mut rand);
+            assert!(cluster.is_alive(node));
+        }
+        assert_eq!(cluster.len(), 15);
+        assert_eq!(
+            cluster.capacity(),
+            ByteSize::from_mib(10 * 50 + 5 * 200)
+        );
+        let mut placed = 0;
+        for i in 0..20u64 {
+            if cluster
+                .place(spec(10_000 + i, 50), SimTime::ZERO, &mut rand)
+                .is_ok()
+            {
+                placed += 1;
+            }
+        }
+        assert!(placed > 10, "only {placed} placements landed on new nodes");
+    }
+
+    #[test]
+    fn grown_overlay_stays_connected() {
+        let mut rand = rng::seeded(22);
+        let mut cluster = Besteffs::new(
+            5,
+            ByteSize::from_mib(10),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        for _ in 0..50 {
+            cluster.add_node(ByteSize::from_mib(10), &mut rand);
+        }
+        assert_eq!(cluster.len(), 55);
+        // Walk sampling reaches the newcomers.
+        let sampled = (0..200)
+            .map(|_| {
+                cluster
+                    .place(
+                        spec(rand.gen_range(100_000..u64::MAX), 5),
+                        SimTime::ZERO,
+                        &mut rand,
+                    )
+                    .map(|p| p.node.index())
+                    .unwrap_or(0)
+            })
+            .filter(|&n| n >= 5)
+            .count();
+        assert!(sampled > 50, "new nodes rarely sampled: {sampled}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Write-once named objects with versioned updates.
+//!
+//! Besteffs objects "are read-only and write once with versioned updates"
+//! (§4.1): a logical name never changes content in place — each update
+//! creates a new version with its own object id (and its own temporal
+//! importance annotation). The directory maps names to version histories.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use temporal_importance::ObjectId;
+
+use crate::overlay::NodeId;
+
+/// A logical object name (e.g. `"os-course/lecture-17"`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ObjectName(String);
+
+impl ObjectName {
+    /// Creates a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ObjectName(name.into())
+    }
+
+    /// The name as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ObjectName {
+    fn from(s: &str) -> Self {
+        ObjectName::new(s)
+    }
+}
+
+/// A monotonically increasing version number, starting at 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Version(u32);
+
+impl Version {
+    /// The first version of any object.
+    pub const FIRST: Version = Version(1);
+
+    /// The raw version number.
+    pub const fn number(self) -> u32 {
+        self.0
+    }
+
+    /// The next version.
+    #[must_use]
+    pub const fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One version's placement record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionEntry {
+    /// The stored object backing this version.
+    pub object: ObjectId,
+    /// Which node it was placed on.
+    pub node: NodeId,
+}
+
+/// A name → version-history directory.
+///
+/// The simulation keeps one logically-centralized directory for
+/// convenience; the real system distributes it, but nothing in the paper's
+/// evaluation depends on directory placement.
+///
+/// # Examples
+///
+/// ```
+/// use besteffs::{Directory, NodeId, ObjectName, Version};
+/// use temporal_importance::ObjectId;
+///
+/// let mut dir = Directory::new();
+/// let name = ObjectName::from("lecture-1");
+/// let v1 = dir.publish(name.clone(), ObjectId::new(10), NodeId::new(3));
+/// assert_eq!(v1, Version::FIRST);
+/// let v2 = dir.publish(name.clone(), ObjectId::new(11), NodeId::new(4));
+/// assert_eq!(v2, Version::FIRST.next());
+/// assert_eq!(dir.latest(&name).unwrap().object, ObjectId::new(11));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Directory {
+    entries: BTreeMap<ObjectName, Vec<VersionEntry>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Publishes a new version of `name`, returning its version number.
+    pub fn publish(&mut self, name: ObjectName, object: ObjectId, node: NodeId) -> Version {
+        let history = self.entries.entry(name).or_default();
+        history.push(VersionEntry { object, node });
+        Version(history.len() as u32)
+    }
+
+    /// The latest version's entry, if the name exists.
+    pub fn latest(&self, name: &ObjectName) -> Option<VersionEntry> {
+        self.entries.get(name).and_then(|h| h.last().copied())
+    }
+
+    /// A specific version's entry.
+    pub fn version(&self, name: &ObjectName, version: Version) -> Option<VersionEntry> {
+        let index = version.0.checked_sub(1)? as usize;
+        self.entries.get(name).and_then(|h| h.get(index).copied())
+    }
+
+    /// Number of versions recorded for `name` (zero if unknown).
+    pub fn version_count(&self, name: &ObjectName) -> usize {
+        self.entries.get(name).map_or(0, Vec::len)
+    }
+
+    /// Iterates over all names in order.
+    pub fn names(&self) -> impl Iterator<Item = &ObjectName> {
+        self.entries.keys()
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops directory entries that point at a failed node (the objects
+    /// are gone; Besteffs does not replicate). Returns how many version
+    /// entries were dropped.
+    pub fn purge_node(&mut self, node: NodeId) -> usize {
+        let mut dropped = 0;
+        self.entries.retain(|_, history| {
+            let before = history.len();
+            history.retain(|e| e.node != node);
+            dropped += before - history.len();
+            !history.is_empty()
+        });
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotonic_per_name() {
+        let mut dir = Directory::new();
+        let name = ObjectName::from("a");
+        assert_eq!(dir.publish(name.clone(), ObjectId::new(1), NodeId::new(0)), Version(1));
+        assert_eq!(dir.publish(name.clone(), ObjectId::new(2), NodeId::new(1)), Version(2));
+        assert_eq!(dir.version_count(&name), 2);
+        assert_eq!(
+            dir.version(&name, Version::FIRST).unwrap().object,
+            ObjectId::new(1)
+        );
+        assert_eq!(dir.latest(&name).unwrap().object, ObjectId::new(2));
+        assert_eq!(dir.version(&name, Version(3)), None);
+    }
+
+    #[test]
+    fn unknown_names() {
+        let dir = Directory::new();
+        let name = ObjectName::from("missing");
+        assert_eq!(dir.latest(&name), None);
+        assert_eq!(dir.version_count(&name), 0);
+        assert!(dir.is_empty());
+        assert_eq!(dir.len(), 0);
+    }
+
+    #[test]
+    fn purge_node_drops_lost_versions() {
+        let mut dir = Directory::new();
+        let a = ObjectName::from("a");
+        let b = ObjectName::from("b");
+        dir.publish(a.clone(), ObjectId::new(1), NodeId::new(0));
+        dir.publish(a.clone(), ObjectId::new(2), NodeId::new(1));
+        dir.publish(b.clone(), ObjectId::new(3), NodeId::new(0));
+        let dropped = dir.purge_node(NodeId::new(0));
+        assert_eq!(dropped, 2);
+        // "a" falls back to the surviving version; "b" disappears.
+        assert_eq!(dir.latest(&a).unwrap().object, ObjectId::new(2));
+        assert_eq!(dir.latest(&b), None);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.names().count(), 1);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ObjectName::from("x").to_string(), "x");
+        assert_eq!(Version::FIRST.to_string(), "v1");
+        assert_eq!(Version::FIRST.next().number(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! A simulated *Besteffs* distributed object store (§4.1, §5.3).
+//!
+//! Besteffs is the paper's storage substrate: "an object level, fully
+//! distributed storage. Objects are read-only and write once with versioned
+//! updates... The system is fully distributed with no centralized
+//! components... designed to scale to tens of thousands of storage units.
+//! Objects are not replicated."
+//!
+//! This crate simulates that system faithfully at the level the paper
+//! evaluates it:
+//!
+//! * [`overlay`] — a connected random-regular p2p overlay whose random
+//!   walks supply placement candidates ("random walks on our p2p overlay
+//!   help us choose a good set of storage units").
+//! * [`cluster`] — the §5.3 placement algorithm: probe `x` walk-sampled
+//!   units per try, store immediately on a unit whose highest preempted
+//!   importance is zero, otherwise take up to `m` tries and pick the unit
+//!   with the lowest highest-preempted importance (unweighted by size).
+//! * [`directory`] — write-once named objects with versioned updates.
+//! * Node failure injection — objects on a failed node are simply lost
+//!   (no replication), as the paper specifies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cluster;
+pub mod concurrent;
+pub mod directory;
+pub mod overlay;
+
+pub use cluster::{Besteffs, ClusterStats, PlacementConfig, PlacementError, PlacementOutcome};
+pub use concurrent::SharedCluster;
+pub use directory::{Directory, ObjectName, Version};
+pub use overlay::{NodeId, Overlay};

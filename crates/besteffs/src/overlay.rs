@@ -1,0 +1,263 @@
+//! The p2p overlay graph and its random walks.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a storage node in the overlay.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(raw: usize) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A connected, approximately-regular random overlay graph.
+///
+/// Built as a ring (guaranteeing connectivity) plus random chords until
+/// every node has at least `degree` neighbors. Random walks over the
+/// overlay provide the uniform-ish node samples the §5.3 placement
+/// algorithm relies on.
+///
+/// # Examples
+///
+/// ```
+/// use besteffs::Overlay;
+/// use sim_core::rng;
+///
+/// let mut rand = rng::seeded(7);
+/// let overlay = Overlay::random(100, 6, &mut rand);
+/// assert_eq!(overlay.len(), 100);
+/// let walk_end = overlay.random_walk(besteffs::NodeId::new(0), 10, &mut rand);
+/// assert!(walk_end.index() < 100);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Overlay {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Overlay {
+    /// Builds a random overlay of `nodes` nodes with target `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 3` or `degree < 2`.
+    pub fn random<R: Rng>(nodes: usize, degree: usize, rng: &mut R) -> Self {
+        assert!(nodes >= 3, "overlay needs at least 3 nodes");
+        assert!(degree >= 2, "overlay degree must be at least 2");
+        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::with_capacity(degree); nodes];
+        // Ring edges for connectivity.
+        for i in 0..nodes {
+            let next = (i + 1) % nodes;
+            neighbors[i].push(NodeId(next));
+            neighbors[next].push(NodeId(i));
+        }
+        // Random chords until the target degree is met.
+        for i in 0..nodes {
+            let mut guard = 0;
+            while neighbors[i].len() < degree && guard < 100 {
+                guard += 1;
+                let j = rng.gen_range(0..nodes);
+                if j == i || neighbors[i].contains(&NodeId(j)) {
+                    continue;
+                }
+                neighbors[i].push(NodeId(j));
+                neighbors[j].push(NodeId(i));
+            }
+        }
+        Overlay { neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if the overlay has no nodes (never, for constructed overlays).
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.0]
+    }
+
+    /// Performs a `steps`-hop uniform random walk from `start`.
+    pub fn random_walk<R: Rng>(&self, start: NodeId, steps: usize, rng: &mut R) -> NodeId {
+        let mut at = start;
+        for _ in 0..steps {
+            let next = self.neighbors[at.0]
+                .choose(rng)
+                .expect("every node has ring neighbors");
+            at = *next;
+        }
+        at
+    }
+
+    /// Samples up to `count` *distinct* nodes by repeated random walks
+    /// from `start`, skipping nodes for which `alive` returns false.
+    /// Gives up after a bounded number of attempts, so the result may be
+    /// shorter than `count` on small or heavily-failed overlays.
+    pub fn sample_walks<R, F>(
+        &self,
+        start: NodeId,
+        count: usize,
+        steps: usize,
+        rng: &mut R,
+        alive: F,
+    ) -> Vec<NodeId>
+    where
+        R: Rng,
+        F: Fn(NodeId) -> bool,
+    {
+        let mut out: Vec<NodeId> = Vec::with_capacity(count);
+        let max_attempts = count * 8 + 16;
+        for _ in 0..max_attempts {
+            if out.len() >= count {
+                break;
+            }
+            let node = self.random_walk(start, steps, rng);
+            if alive(node) && !out.contains(&node) {
+                out.push(node);
+            }
+        }
+        out
+    }
+
+    /// Joins a new node to the overlay, wiring it to `degree` random
+    /// existing neighbors (always at least one, so it stays reachable).
+    /// Returns the new node's id.
+    ///
+    /// This models the churn §5.3 anticipates: "we expect the university
+    /// to continuously replace older desktops with newer desktops".
+    pub fn add_node<R: Rng>(&mut self, degree: usize, rng: &mut R) -> NodeId {
+        let id = NodeId(self.neighbors.len());
+        self.neighbors.push(Vec::with_capacity(degree.max(1)));
+        let existing = id.0;
+        let mut guard = 0;
+        while self.neighbors[id.0].len() < degree.max(1) && guard < 100 {
+            guard += 1;
+            let j = rng.gen_range(0..existing);
+            if self.neighbors[id.0].contains(&NodeId(j)) {
+                continue;
+            }
+            self.neighbors[id.0].push(NodeId(j));
+            self.neighbors[j].push(id);
+        }
+        id
+    }
+
+    /// True if every node can reach every other (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        if self.neighbors.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.neighbors.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(i) = queue.pop() {
+            for n in &self.neighbors[i] {
+                if !seen[n.0] {
+                    seen[n.0] = true;
+                    visited += 1;
+                    queue.push(n.0);
+                }
+            }
+        }
+        visited == self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng;
+
+    #[test]
+    fn overlay_is_connected_and_meets_degree() {
+        let mut rand = rng::seeded(1);
+        let overlay = Overlay::random(500, 8, &mut rand);
+        assert!(overlay.is_connected());
+        let min_degree = (0..500)
+            .map(|i| overlay.neighbors(NodeId::new(i)).len())
+            .min()
+            .unwrap();
+        assert!(min_degree >= 8);
+    }
+
+    #[test]
+    fn walks_stay_in_range_and_mix() {
+        let mut rand = rng::seeded(2);
+        let overlay = Overlay::random(200, 6, &mut rand);
+        let mut hits = vec![0u32; 200];
+        for _ in 0..4000 {
+            let end = overlay.random_walk(NodeId::new(0), 12, &mut rand);
+            hits[end.index()] += 1;
+        }
+        // A 12-step walk over a degree-6 expander should reach a large
+        // fraction of a 200-node overlay.
+        let reached = hits.iter().filter(|&&h| h > 0).count();
+        assert!(reached > 150, "walks reached only {reached} nodes");
+    }
+
+    #[test]
+    fn sample_walks_returns_distinct_alive_nodes() {
+        let mut rand = rng::seeded(3);
+        let overlay = Overlay::random(100, 6, &mut rand);
+        let dead = NodeId::new(5);
+        let sample = overlay.sample_walks(NodeId::new(0), 10, 8, &mut rand, |n| n != dead);
+        assert!(sample.len() <= 10);
+        assert!(!sample.contains(&dead));
+        let mut unique = sample.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), sample.len());
+    }
+
+    #[test]
+    fn sample_walks_gives_up_gracefully_when_everything_is_dead() {
+        let mut rand = rng::seeded(4);
+        let overlay = Overlay::random(10, 3, &mut rand);
+        let sample = overlay.sample_walks(NodeId::new(0), 5, 4, &mut rand, |_| false);
+        assert!(sample.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_overlay_panics() {
+        let mut rand = rng::seeded(5);
+        let _ = Overlay::random(2, 2, &mut rand);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_one_panics() {
+        let mut rand = rng::seeded(6);
+        let _ = Overlay::random(10, 1, &mut rand);
+    }
+}

@@ -1,0 +1,205 @@
+//! Error types for the temporal-importance core library.
+
+use std::error::Error;
+use std::fmt;
+
+use sim_core::ByteSize;
+
+use crate::{Importance, ObjectId};
+
+/// An importance value outside the valid `[0, 1]` range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImportanceError {
+    /// The offending value.
+    pub(crate) value: f64,
+}
+
+impl ImportanceError {
+    /// The value that failed validation.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for ImportanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "importance must be a finite value in [0, 1], got {}",
+            self.value
+        )
+    }
+}
+
+impl Error for ImportanceError {}
+
+/// An invalid importance-curve specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CurveError {
+    /// A piecewise curve had no points.
+    Empty,
+    /// A piecewise curve's first point was not at age zero.
+    MissingOrigin,
+    /// Point ages were not strictly increasing.
+    NonIncreasingAges {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// Importance values increased with age, violating the paper's
+    /// requirement that curves be monotonically non-increasing (§3).
+    IncreasingImportance {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// An exponential decay curve had a zero-length half life.
+    ZeroHalfLife,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "piecewise curve needs at least one point"),
+            CurveError::MissingOrigin => {
+                write!(f, "piecewise curve must start at age zero")
+            }
+            CurveError::NonIncreasingAges { index } => {
+                write!(f, "piecewise curve ages must strictly increase (point {index})")
+            }
+            CurveError::IncreasingImportance { index } => write!(
+                f,
+                "importance curves must be monotonically non-increasing (point {index})"
+            ),
+            CurveError::ZeroHalfLife => write!(f, "exponential decay half-life must be positive"),
+        }
+    }
+}
+
+impl Error for CurveError {}
+
+/// A store request that the unit could not satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The storage is *full* for this object: even after preempting every
+    /// strictly-less-important object there is not enough room.
+    ///
+    /// `blocking` is the lowest current importance among objects that could
+    /// not be preempted — the signal the paper feeds back to content
+    /// creators ("objects with importance less than 0.25 cannot be stored",
+    /// §5.1.2).
+    Full {
+        /// Bytes the object needs.
+        required: ByteSize,
+        /// Bytes reclaimable for it (free space + preemptible bytes).
+        reclaimable: ByteSize,
+        /// Lowest importance among non-preemptible objects, if any.
+        blocking: Option<Importance>,
+    },
+    /// The object is larger than the unit's total capacity.
+    TooLarge {
+        /// Bytes the object needs.
+        size: ByteSize,
+        /// The unit's capacity.
+        capacity: ByteSize,
+    },
+    /// An object with this id is already stored.
+    DuplicateId(ObjectId),
+    /// The object declared a zero size, which the store rejects to keep
+    /// accounting meaningful.
+    EmptyObject(ObjectId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Full {
+                required,
+                reclaimable,
+                blocking,
+            } => {
+                write!(
+                    f,
+                    "storage full for this importance level: need {required}, reclaimable {reclaimable}"
+                )?;
+                if let Some(b) = blocking {
+                    write!(f, ", blocked by importance {b}")?;
+                }
+                Ok(())
+            }
+            StoreError::TooLarge { size, capacity } => {
+                write!(f, "object of {size} exceeds unit capacity {capacity}")
+            }
+            StoreError::DuplicateId(id) => write!(f, "object {id} is already stored"),
+            StoreError::EmptyObject(id) => write!(f, "object {id} has zero size"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// A failed re-annotation (rejuvenation) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejuvenateError {
+    /// No stored object has this id.
+    NotFound(ObjectId),
+    /// The replacement curve would *lower* the object's current importance.
+    ///
+    /// Rejuvenation exists so users can raise importance via "active
+    /// intervention" (§3); lowering happens naturally through decay, and a
+    /// silent drop would let a caller bypass preemption accounting.
+    WouldLowerImportance {
+        /// Importance under the existing annotation.
+        current: Importance,
+        /// Importance the replacement curve would start at.
+        proposed: Importance,
+    },
+}
+
+impl fmt::Display for RejuvenateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejuvenateError::NotFound(id) => write!(f, "object {id} is not stored here"),
+            RejuvenateError::WouldLowerImportance { current, proposed } => write!(
+                f,
+                "rejuvenation cannot lower importance (current {current}, proposed {proposed})"
+            ),
+        }
+    }
+}
+
+impl Error for RejuvenateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error<E: Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn error_types_are_well_behaved() {
+        assert_error::<ImportanceError>();
+        assert_error::<CurveError>();
+        assert_error::<StoreError>();
+        assert_error::<RejuvenateError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StoreError::TooLarge {
+            size: ByteSize::from_gib(2),
+            capacity: ByteSize::from_gib(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("object"));
+        assert!(msg.contains("2.00 GiB"));
+
+        let e = StoreError::Full {
+            required: ByteSize::from_mib(10),
+            reclaimable: ByteSize::from_mib(5),
+            blocking: Some(Importance::new(0.25).unwrap()),
+        };
+        assert!(e.to_string().contains("0.2500"));
+    }
+}

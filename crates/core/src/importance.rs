@@ -1,0 +1,193 @@
+//! The scalar importance metric.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ImportanceError;
+
+/// A scalar importance value in `[0, 1]`.
+///
+/// Importance is the comparison metric of the whole system (§3 of the
+/// paper): an object whose *current* importance is higher may preempt an
+/// object of strictly lower current importance. Importance `1.0` objects are
+/// not preemptible; importance `0.0` objects may be freely replaced.
+///
+/// The type guarantees its value is a finite float in `[0, 1]`, which makes
+/// it totally ordered ([`Ord`]) and hashable despite wrapping an `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use temporal_importance::Importance;
+///
+/// let half = Importance::new(0.5)?;
+/// assert!(half > Importance::ZERO);
+/// assert!(half < Importance::FULL);
+/// assert_eq!(half.value(), 0.5);
+/// # Ok::<(), temporal_importance::ImportanceError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Importance(f64);
+
+impl Importance {
+    /// The lowest importance: freely replaceable by any object.
+    pub const ZERO: Importance = Importance(0.0);
+
+    /// The highest importance: never preemptible.
+    pub const FULL: Importance = Importance(1.0);
+
+    /// Creates an importance value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImportanceError`] if `value` is NaN, infinite, or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ImportanceError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Importance(value))
+        } else {
+            Err(ImportanceError { value })
+        }
+    }
+
+    /// Creates an importance value, clamping finite inputs into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn new_clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "importance cannot be NaN");
+        Importance(value.clamp(0.0, 1.0))
+    }
+
+    /// The wrapped value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True if this is exactly zero (freely replaceable).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// True if this is exactly one (never preemptible).
+    pub fn is_full(self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// Multiplies two importance values (e.g. scaling a curve by its
+    /// plateau level). The product of two values in `[0, 1]` stays in range.
+    pub fn scale(self, factor: Importance) -> Importance {
+        Importance(self.0 * factor.0)
+    }
+}
+
+impl Eq for Importance {}
+
+impl PartialOrd for Importance {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Importance {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite, so total_cmp agrees with the
+        // mathematical order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Importance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl TryFrom<f64> for Importance {
+    type Error = ImportanceError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Importance::new(value)
+    }
+}
+
+impl From<Importance> for f64 {
+    fn from(i: Importance) -> f64 {
+        i.0
+    }
+}
+
+impl fmt::Display for Importance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_unit_interval_only() {
+        assert!(Importance::new(0.0).is_ok());
+        assert!(Importance::new(1.0).is_ok());
+        assert!(Importance::new(0.5).is_ok());
+        assert!(Importance::new(-0.01).is_err());
+        assert!(Importance::new(1.01).is_err());
+        assert!(Importance::new(f64::NAN).is_err());
+        assert!(Importance::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamped_constructor() {
+        assert_eq!(Importance::new_clamped(-3.0), Importance::ZERO);
+        assert_eq!(Importance::new_clamped(7.0), Importance::FULL);
+        assert_eq!(Importance::new_clamped(0.25).value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = Importance::new_clamped(f64::NAN);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut xs = vec![
+            Importance::FULL,
+            Importance::ZERO,
+            Importance::new(0.3).unwrap(),
+        ];
+        xs.sort();
+        assert_eq!(
+            xs,
+            vec![
+                Importance::ZERO,
+                Importance::new(0.3).unwrap(),
+                Importance::FULL
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates_and_scale() {
+        assert!(Importance::ZERO.is_zero());
+        assert!(Importance::FULL.is_full());
+        let half = Importance::new(0.5).unwrap();
+        assert!(!half.is_zero() && !half.is_full());
+        assert_eq!(half.scale(half).value(), 0.25);
+        assert_eq!(half.scale(Importance::FULL), half);
+        assert_eq!(half.scale(Importance::ZERO), Importance::ZERO);
+    }
+
+    #[test]
+    fn display_and_error_message() {
+        assert_eq!(Importance::new(0.8369).unwrap().to_string(), "0.8369");
+        let err = Importance::new(2.0).unwrap_err();
+        assert!(err.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Temporal-importance annotations and preemptive storage reclamation.
+//!
+//! This crate is the core library of a reproduction of *"Automated Storage
+//! Reclamation Using Temporal Importance Annotations"* (Chandra, Gehani,
+//! Yu — ICDCS 2007). The paper's idea: content creators annotate each
+//! stored object with a **temporal importance function** `L(t)` —
+//! monotonically non-increasing, valued in `[0, 1]` — and the storage
+//! system evicts less important objects automatically when space runs out,
+//! instead of relying on applications to delete data.
+//!
+//! # The abstraction
+//!
+//! * [`Importance`] — the scalar comparison metric. Higher current
+//!   importance may preempt strictly lower current importance; importance
+//!   `1` is never preemptible, importance `0` is freely replaceable.
+//! * [`ImportanceCurve`] — the lifetime annotation `L(age)`, including the
+//!   paper's headline **two-step** function (a plateau followed by a linear
+//!   wane, Fig. 1) plus persistent, fixed-expiry, ephemeral (cache-like),
+//!   exponential-wane and general piecewise variants.
+//! * [`StorageUnit`] — a capacity-bounded store implementing the
+//!   preemptive reclamation engine, the Palimpsest-style FIFO baseline
+//!   ([`EvictionPolicy::Fifo`]), admission previews for distributed
+//!   placement, expired-object sweeps, and rejuvenation.
+//! * [`StorageUnit::importance_density`] — the paper's **storage
+//!   importance density** metric: every stored byte scaled by its current
+//!   importance, normalized by capacity. It quantifies *which importance
+//!   levels the storage is full for* and is the feedback signal content
+//!   creators use to pick annotations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sim_core::{ByteSize, SimDuration, SimTime};
+//! use temporal_importance::{
+//!     Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
+//! };
+//!
+//! let mut unit = StorageUnit::new(ByteSize::from_gib(1));
+//!
+//! // "Definitely important for 15 days, maybe for another 15" (§5.1).
+//! let curve = ImportanceCurve::two_step(
+//!     Importance::FULL,
+//!     SimDuration::from_days(15),
+//!     SimDuration::from_days(15),
+//! );
+//!
+//! let spec = ObjectSpec::new(ObjectId::new(0), ByteSize::from_mib(700), curve);
+//! let outcome = unit.store(spec, SimTime::ZERO)?;
+//! assert!(outcome.evicted.is_empty());
+//!
+//! // Twenty days in, the object has waned to 1/3 importance and the
+//! // density metric reflects it.
+//! let later = SimTime::from_days(20);
+//! let density = unit.importance_density(later);
+//! assert!(density > 0.0 && density < 1.0);
+//! # Ok::<(), temporal_importance::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod advisor;
+mod curve;
+mod fairness;
+mod density;
+mod error;
+mod importance;
+mod object;
+mod policy;
+mod records;
+mod unit;
+
+pub use advisor::{Advisor, Forecast};
+pub use curve::{ImportanceCurve, PiecewiseCurve};
+pub use fairness::{FairStore, FairStoreError, PrincipalId, PrincipalUsage};
+pub use density::DensitySnapshot;
+pub use error::{CurveError, ImportanceError, RejuvenateError, StoreError};
+pub use importance::Importance;
+pub use object::{ObjectClass, ObjectId, ObjectIdGen, ObjectSpec, StoredObject};
+pub use policy::EvictionPolicy;
+pub use records::{
+    Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
+};
+pub use unit::StorageUnit;
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        assert_send_sync::<Importance>();
+        assert_send_sync::<ImportanceCurve>();
+        assert_send_sync::<StorageUnit>();
+        assert_send_sync::<ObjectSpec>();
+        assert_send_sync::<StoredObject>();
+        assert_send_sync::<StoreError>();
+        assert_send_sync::<EvictionRecord>();
+        assert_send_sync::<DensitySnapshot>();
+    }
+}

@@ -1,0 +1,62 @@
+//! Reclamation policies.
+
+use serde::{Deserialize, Serialize};
+
+/// How a [`StorageUnit`](crate::StorageUnit) selects victims and decides
+/// admission under storage pressure.
+///
+/// The paper's §5.1 comparison uses three configurations. Two of them —
+/// *no temporal importance* (`L(t)=1`, hard 30-day expiry) and the
+/// *two-step temporal importance* function — are the **same engine**
+/// ([`EvictionPolicy::Preemptive`]) with different curve annotations; only
+/// Palimpsest-style FIFO needs a genuinely different engine, because web
+/// caches "are allowed to discard any objects, whether they have expired or
+/// not" (§3), which violates the strict preemption rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EvictionPolicy {
+    /// The paper's policy: an incoming object may evict only objects whose
+    /// *current* importance is strictly lower than its own. Victims are
+    /// consumed in increasing (current importance, remaining lifetime,
+    /// arrival) order — the sort described in §5.3. If preempting every
+    /// eligible victim still leaves too little room, the unit is *full for
+    /// this object* and the store is rejected.
+    #[default]
+    Preemptive,
+    /// Palimpsest / web-cache behaviour: admission never fails (for objects
+    /// that fit in the unit at all); victims are evicted strictly in
+    /// arrival order (FIFO), ignoring importance entirely.
+    Fifo,
+}
+
+impl EvictionPolicy {
+    /// A short human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Preemptive => "preemptive",
+            EvictionPolicy::Fifo => "fifo",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_policy() {
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Preemptive);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EvictionPolicy::Preemptive.to_string(), "preemptive");
+        assert_eq!(EvictionPolicy::Fifo.to_string(), "fifo");
+    }
+}

@@ -1,0 +1,842 @@
+//! A single storage unit with the temporal-importance reclamation engine.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimTime};
+
+use crate::error::{RejuvenateError, StoreError};
+use crate::records::{
+    Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
+};
+use crate::{EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, StoredObject};
+
+/// A storage unit of fixed capacity holding temporally-annotated objects.
+///
+/// This is the paper's core mechanism (§3): objects carry an importance
+/// curve, and an incoming object may preempt stored objects of strictly
+/// lower *current* importance. The unit appears **full** to an object when
+/// even preempting every strictly-less-important object would not make
+/// room — so fullness is relative to importance, which is what the
+/// [storage importance density](StorageUnit::importance_density) metric
+/// quantifies.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{ByteSize, SimDuration, SimTime};
+/// use temporal_importance::{
+///     Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
+/// };
+///
+/// let mut unit = StorageUnit::new(ByteSize::from_mib(100));
+/// let curve = ImportanceCurve::two_step(
+///     Importance::FULL,
+///     SimDuration::from_days(15),
+///     SimDuration::from_days(15),
+/// );
+/// let spec = ObjectSpec::new(ObjectId::new(0), ByteSize::from_mib(60), curve);
+/// let outcome = unit.store(spec, SimTime::ZERO)?;
+/// assert!(outcome.evicted.is_empty());
+/// assert_eq!(unit.used(), ByteSize::from_mib(60));
+/// # Ok::<(), temporal_importance::StoreError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StorageUnit {
+    capacity: ByteSize,
+    used: ByteSize,
+    policy: EvictionPolicy,
+    objects: BTreeMap<ObjectId, StoredObject>,
+    stats: UnitStats,
+    evictions: Vec<EvictionRecord>,
+    rejections: Vec<RejectionRecord>,
+    recording: bool,
+}
+
+/// A preemption plan computed by [`StorageUnit::plan`].
+#[derive(Debug)]
+struct Plan {
+    victims: Vec<ObjectId>,
+    freed: ByteSize,
+    highest: Option<Importance>,
+}
+
+#[derive(Debug)]
+enum PlanResult {
+    Admit(Plan),
+    Full { blocking: Option<Importance> },
+}
+
+impl StorageUnit {
+    /// Creates an empty unit with the paper's preemptive policy.
+    pub fn new(capacity: ByteSize) -> Self {
+        StorageUnit::with_policy(capacity, EvictionPolicy::Preemptive)
+    }
+
+    /// Creates an empty unit with an explicit eviction policy.
+    pub fn with_policy(capacity: ByteSize, policy: EvictionPolicy) -> Self {
+        StorageUnit {
+            capacity,
+            used: ByteSize::ZERO,
+            policy,
+            objects: BTreeMap::new(),
+            stats: UnitStats::default(),
+            evictions: Vec::new(),
+            rejections: Vec::new(),
+            recording: true,
+        }
+    }
+
+    /// The unit's total capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Bytes currently unallocated.
+    pub fn free(&self) -> ByteSize {
+        self.capacity - self.used
+    }
+
+    /// The unit's eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the unit holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+
+    /// Looks up a stored object.
+    pub fn get(&self, id: ObjectId) -> Option<&StoredObject> {
+        self.objects.get(&id)
+    }
+
+    /// True if an object with this id is stored.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Iterates over stored objects in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredObject> {
+        self.objects.values()
+    }
+
+    /// Enables or disables eviction/rejection record keeping.
+    ///
+    /// Recording is on by default; large multi-node simulations that only
+    /// need aggregate [`stats`](StorageUnit::stats) can turn it off.
+    pub fn set_recording(&mut self, recording: bool) {
+        self.recording = recording;
+    }
+
+    /// Drains the accumulated eviction records.
+    pub fn take_evictions(&mut self) -> Vec<EvictionRecord> {
+        std::mem::take(&mut self.evictions)
+    }
+
+    /// Drains the accumulated rejection records.
+    pub fn take_rejections(&mut self) -> Vec<RejectionRecord> {
+        std::mem::take(&mut self.rejections)
+    }
+
+    /// Attempts to store `spec` at simulated time `now`, preempting less
+    /// important objects if necessary.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::EmptyObject`] — zero-sized object.
+    /// * [`StoreError::TooLarge`] — larger than total capacity.
+    /// * [`StoreError::DuplicateId`] — id already present.
+    /// * [`StoreError::Full`] — the unit is full *for this object's
+    ///   importance level*: preempting every strictly-less-important object
+    ///   still leaves too little room. Under [`EvictionPolicy::Fifo`] this
+    ///   is never returned for objects that fit in the unit at all.
+    pub fn store(&mut self, spec: ObjectSpec, now: SimTime) -> Result<StoreOutcome, StoreError> {
+        self.stats.stores_attempted += 1;
+        if spec.size().is_zero() {
+            return Err(StoreError::EmptyObject(spec.id()));
+        }
+        if spec.size() > self.capacity {
+            self.stats.rejections_too_large += 1;
+            return Err(StoreError::TooLarge {
+                size: spec.size(),
+                capacity: self.capacity,
+            });
+        }
+        if self.objects.contains_key(&spec.id()) {
+            return Err(StoreError::DuplicateId(spec.id()));
+        }
+
+        let incoming = spec.curve().initial_importance();
+        let plan = match self.plan(spec.size(), incoming, now) {
+            PlanResult::Admit(plan) => plan,
+            PlanResult::Full { blocking } => {
+                self.stats.rejections_full += 1;
+                if self.recording {
+                    self.rejections.push(RejectionRecord {
+                        id: spec.id(),
+                        class: spec.class(),
+                        size: spec.size(),
+                        at: now,
+                        incoming_importance: incoming,
+                        blocking,
+                    });
+                }
+                return Err(StoreError::Full {
+                    required: spec.size(),
+                    reclaimable: self.free() + plan_reclaimable(self, incoming, now),
+                    blocking,
+                });
+            }
+        };
+
+        let mut evicted = Vec::with_capacity(plan.victims.len());
+        for victim in plan.victims {
+            let record = self.evict(victim, now, EvictionReason::Preempted);
+            evicted.push(record);
+        }
+        debug_assert!(self.free() >= spec.size());
+
+        let id = spec.id();
+        self.used += spec.size();
+        self.stats.stores_accepted += 1;
+        self.stats.bytes_accepted += spec.size().as_bytes();
+        self.objects.insert(id, StoredObject::from_spec(spec, now));
+
+        Ok(StoreOutcome {
+            id,
+            evicted,
+            highest_preempted: plan.highest,
+        })
+    }
+
+    /// Previews the admission decision for an object of the given size and
+    /// incoming importance, without mutating the unit.
+    ///
+    /// This is the probe the §5.3 distributed placement algorithm sends to
+    /// candidate units: it reports the *highest importance object that will
+    /// be preempted* as the placement score.
+    pub fn peek_admission(&self, size: ByteSize, incoming: Importance, now: SimTime) -> Admission {
+        if size.is_zero() || size > self.capacity {
+            return Admission::TooLarge;
+        }
+        match self.plan(size, incoming, now) {
+            PlanResult::Admit(plan) => match plan.highest {
+                Some(h) if !h.is_zero() => Admission::Preempting {
+                    highest: h,
+                    victims: plan.victims.len(),
+                    freed: plan.freed,
+                },
+                _ => Admission::Fits {
+                    victims: plan.victims.len(),
+                },
+            },
+            PlanResult::Full { blocking } => Admission::Full { blocking },
+        }
+    }
+
+    /// Explicitly removes an object (e.g. user deletion), returning its
+    /// eviction record.
+    pub fn remove(&mut self, id: ObjectId, now: SimTime) -> Option<EvictionRecord> {
+        if !self.objects.contains_key(&id) {
+            return None;
+        }
+        self.stats.removals += 1;
+        Some(self.evict(id, now, EvictionReason::Removed))
+    }
+
+    /// Reclaims every expired object, returning their records.
+    ///
+    /// The engine does not require this — expired bytes are preemptible by
+    /// any incoming object — but an explicit sweep keeps
+    /// [`used`](StorageUnit::used) meaningful for dashboards and mirrors
+    /// the delete-optimized grouping of Douglis et al. that §2 discusses.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
+        let expired: Vec<ObjectId> = self
+            .objects
+            .values()
+            .filter(|o| o.is_expired(now))
+            .map(|o| o.id())
+            .collect();
+        expired
+            .into_iter()
+            .map(|id| self.evict(id, now, EvictionReason::Expired))
+            .collect()
+    }
+
+    /// Replaces a stored object's annotation with a fresh curve — the
+    /// "active intervention by the user" §3 requires for raising
+    /// importance. The new curve's age restarts at `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RejuvenateError::NotFound`] — no such object.
+    /// * [`RejuvenateError::WouldLowerImportance`] — the replacement curve
+    ///   starts below the object's current importance.
+    pub fn rejuvenate(
+        &mut self,
+        id: ObjectId,
+        curve: ImportanceCurve,
+        now: SimTime,
+    ) -> Result<(), RejuvenateError> {
+        let object = self
+            .objects
+            .get_mut(&id)
+            .ok_or(RejuvenateError::NotFound(id))?;
+        let current = object.current_importance(now);
+        let proposed = curve.initial_importance();
+        if proposed < current {
+            return Err(RejuvenateError::WouldLowerImportance { current, proposed });
+        }
+        object.rejuvenate(curve, now);
+        Ok(())
+    }
+
+    /// Lowers a stored object's annotation without the raise-only check —
+    /// the §6 "trigger" scenario (e.g. a backup completed, so the local
+    /// copy's importance can drop). The new curve's age restarts at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejuvenateError::NotFound`] if no such object is stored.
+    pub fn reannotate(
+        &mut self,
+        id: ObjectId,
+        curve: ImportanceCurve,
+        now: SimTime,
+    ) -> Result<(), RejuvenateError> {
+        let object = self
+            .objects
+            .get_mut(&id)
+            .ok_or(RejuvenateError::NotFound(id))?;
+        object.rejuvenate(curve, now);
+        Ok(())
+    }
+
+    fn evict(&mut self, id: ObjectId, now: SimTime, reason: EvictionReason) -> EvictionRecord {
+        let object = self
+            .objects
+            .remove(&id)
+            .expect("evict called with resident id");
+        self.used -= object.size();
+        match reason {
+            EvictionReason::Preempted => self.stats.evictions_preempted += 1,
+            EvictionReason::Expired => self.stats.evictions_expired += 1,
+            EvictionReason::Removed => {}
+        }
+        self.stats.bytes_evicted += object.size().as_bytes();
+        let record = EvictionRecord {
+            id: object.id(),
+            class: object.class(),
+            size: object.size(),
+            arrival: object.arrival(),
+            evicted_at: now,
+            importance_at_eviction: object.current_importance(now),
+            requested_expiry: object.curve().expiry(),
+            reason,
+        };
+        if self.recording {
+            self.evictions.push(record.clone());
+        }
+        record
+    }
+
+    /// Computes the set of victims needed to fit `size` bytes for an
+    /// object entering with importance `incoming`.
+    fn plan(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+        if self.free() >= size {
+            return PlanResult::Admit(Plan {
+                victims: Vec::new(),
+                freed: ByteSize::ZERO,
+                highest: None,
+            });
+        }
+
+        // Candidate victims in eviction order.
+        let mut candidates: Vec<(&StoredObject, Importance)> = self
+            .objects
+            .values()
+            .filter_map(|o| {
+                let imp = o.current_importance(now);
+                let preemptible = match self.policy {
+                    // Strict rule (§3): strictly lower importance only.
+                    // Expired objects carry importance zero, so they are
+                    // preemptible by anything positive; a zero-importance
+                    // incoming object may still replace *expired* data
+                    // ("objects of importance zero may be freely replaced
+                    // by any other object").
+                    EvictionPolicy::Preemptive => imp < incoming || o.is_expired(now),
+                    // Palimpsest: everything is fair game.
+                    EvictionPolicy::Fifo => true,
+                };
+                preemptible.then_some((o, imp))
+            })
+            .collect();
+
+        match self.policy {
+            EvictionPolicy::Preemptive => {
+                // §5.3: "increasing current temporal importance value
+                // followed by the amount of the remaining lifetimes";
+                // arrival then id break remaining ties deterministically.
+                candidates.sort_by(|(a, ia), (b, ib)| {
+                    ia.cmp(ib)
+                        .then_with(|| {
+                            let ra = a.remaining_lifetime(now).map(|d| d.as_minutes());
+                            let rb = b.remaining_lifetime(now).map(|d| d.as_minutes());
+                            // None (never expires) sorts last.
+                            match (ra, rb) {
+                                (Some(x), Some(y)) => x.cmp(&y),
+                                (Some(_), None) => std::cmp::Ordering::Less,
+                                (None, Some(_)) => std::cmp::Ordering::Greater,
+                                (None, None) => std::cmp::Ordering::Equal,
+                            }
+                        })
+                        .then_with(|| a.arrival().cmp(&b.arrival()))
+                        .then_with(|| a.id().cmp(&b.id()))
+                });
+            }
+            EvictionPolicy::Fifo => {
+                candidates.sort_by(|(a, _), (b, _)| {
+                    a.arrival().cmp(&b.arrival()).then_with(|| a.id().cmp(&b.id()))
+                });
+            }
+        }
+
+        let mut victims = Vec::new();
+        let mut freed = ByteSize::ZERO;
+        let mut highest: Option<Importance> = None;
+        for (object, imp) in &candidates {
+            if self.free() + freed >= size {
+                break;
+            }
+            victims.push(object.id());
+            freed += object.size();
+            highest = Some(match highest {
+                Some(h) => h.max(*imp),
+                None => *imp,
+            });
+        }
+
+        if self.free() + freed >= size {
+            PlanResult::Admit(Plan {
+                victims,
+                freed,
+                highest,
+            })
+        } else {
+            // Not enough even after preempting everything eligible: the
+            // unit is full for this importance level. Report the lowest
+            // importance among the objects that block admission.
+            let blocking = self
+                .objects
+                .values()
+                .filter(|o| {
+                    !(o.current_importance(now) < incoming || o.is_expired(now))
+                })
+                .map(|o| o.current_importance(now))
+                .min();
+            PlanResult::Full { blocking }
+        }
+    }
+}
+
+/// Bytes that could be reclaimed for an object of the given importance
+/// (victim bytes only, excluding already-free space).
+fn plan_reclaimable(unit: &StorageUnit, incoming: Importance, now: SimTime) -> ByteSize {
+    unit.objects
+        .values()
+        .filter(|o| o.current_importance(now) < incoming || o.is_expired(now))
+        .map(|o| o.size())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn mib(n: u64) -> ByteSize {
+        ByteSize::from_mib(n)
+    }
+
+    fn days(n: u64) -> SimDuration {
+        SimDuration::from_days(n)
+    }
+
+    fn imp(v: f64) -> Importance {
+        Importance::new(v).unwrap()
+    }
+
+    fn fixed_spec(id: u64, size: ByteSize, importance: f64, expiry_days: u64) -> ObjectSpec {
+        ObjectSpec::new(
+            ObjectId::new(id),
+            size,
+            ImportanceCurve::Fixed {
+                importance: imp(importance),
+                expiry: days(expiry_days),
+            },
+        )
+    }
+
+    #[test]
+    fn stores_into_free_space_without_eviction() {
+        let mut unit = StorageUnit::new(mib(100));
+        let out = unit.store(fixed_spec(1, mib(40), 1.0, 30), SimTime::ZERO).unwrap();
+        assert!(out.evicted.is_empty());
+        assert_eq!(out.highest_preempted, None);
+        assert_eq!(unit.used(), mib(40));
+        assert_eq!(unit.free(), mib(60));
+        assert_eq!(unit.len(), 1);
+        assert!(unit.contains(ObjectId::new(1)));
+    }
+
+    #[test]
+    fn rejects_zero_sized_and_oversized_and_duplicate() {
+        let mut unit = StorageUnit::new(mib(100));
+        assert!(matches!(
+            unit.store(fixed_spec(1, ByteSize::ZERO, 1.0, 1), SimTime::ZERO),
+            Err(StoreError::EmptyObject(_))
+        ));
+        assert!(matches!(
+            unit.store(fixed_spec(1, mib(200), 1.0, 1), SimTime::ZERO),
+            Err(StoreError::TooLarge { .. })
+        ));
+        unit.store(fixed_spec(1, mib(10), 1.0, 1), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            unit.store(fixed_spec(1, mib(10), 1.0, 1), SimTime::ZERO),
+            Err(StoreError::DuplicateId(_))
+        ));
+        assert_eq!(unit.stats().rejections_too_large, 1);
+    }
+
+    #[test]
+    fn preempts_strictly_lower_importance_only() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(60), 0.5, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(40), 0.9, 365), SimTime::ZERO).unwrap();
+
+        // Equal importance (0.5) cannot preempt the 0.5 object.
+        let err = unit
+            .store(fixed_spec(3, mib(50), 0.5, 365), SimTime::ZERO)
+            .unwrap_err();
+        match err {
+            StoreError::Full { blocking, .. } => {
+                assert_eq!(blocking, Some(imp(0.5)));
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+
+        // Higher importance (0.7) preempts the 0.5 object but not the 0.9.
+        let out = unit
+            .store(fixed_spec(4, mib(50), 0.7, 365), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].id, ObjectId::new(1));
+        assert_eq!(out.highest_preempted, Some(imp(0.5)));
+        assert!(unit.contains(ObjectId::new(2)));
+        assert!(unit.contains(ObjectId::new(4)));
+    }
+
+    #[test]
+    fn full_importance_objects_are_never_preempted() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(100), 1.0, 365), SimTime::ZERO).unwrap();
+        let err = unit
+            .store(fixed_spec(2, mib(1), 1.0, 365), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Full { .. }));
+        assert_eq!(unit.stats().rejections_full, 1);
+    }
+
+    #[test]
+    fn expired_objects_are_preemptible_by_anything() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(100), 1.0, 10), SimTime::ZERO).unwrap();
+        // After expiry, even an ephemeral (importance-0) object can displace it.
+        let later = SimTime::from_days(11);
+        let spec = ObjectSpec::new(ObjectId::new(2), mib(50), ImportanceCurve::Ephemeral);
+        let out = unit.store(spec, later).unwrap();
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].importance_at_eviction, Importance::ZERO);
+        assert_eq!(out.highest_preempted, Some(Importance::ZERO));
+        // The outcome still scores zero for placement.
+        assert_eq!(out.placement_score(), Importance::ZERO);
+    }
+
+    #[test]
+    fn victims_are_taken_in_increasing_importance_order() {
+        let mut unit = StorageUnit::new(mib(90));
+        unit.store(fixed_spec(1, mib(30), 0.2, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(30), 0.6, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(3, mib(30), 0.4, 365), SimTime::ZERO).unwrap();
+
+        // Needs 60 MiB: should take 0.2 then 0.4, leaving 0.6 resident.
+        let out = unit
+            .store(fixed_spec(4, mib(60), 0.9, 365), SimTime::ZERO)
+            .unwrap();
+        let evicted: Vec<u64> = out.evicted.iter().map(|r| r.id.raw()).collect();
+        assert_eq!(evicted, vec![1, 3]);
+        assert_eq!(out.highest_preempted, Some(imp(0.4)));
+        assert!(unit.contains(ObjectId::new(2)));
+    }
+
+    #[test]
+    fn equal_importance_ties_break_by_remaining_lifetime() {
+        let mut unit = StorageUnit::new(mib(60));
+        // Same importance, different expiries.
+        unit.store(fixed_spec(1, mib(30), 0.5, 100), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(30), 0.5, 10), SimTime::ZERO).unwrap();
+        let out = unit
+            .store(fixed_spec(3, mib(30), 0.8, 365), SimTime::ZERO)
+            .unwrap();
+        // Object 2 expires sooner, so it goes first.
+        assert_eq!(out.evicted[0].id, ObjectId::new(2));
+        assert!(unit.contains(ObjectId::new(1)));
+    }
+
+    #[test]
+    fn never_expiring_objects_sort_after_expiring_peers() {
+        let mut unit = StorageUnit::new(mib(60));
+        let persistent_low = ObjectSpec::new(
+            ObjectId::new(1),
+            mib(30),
+            ImportanceCurve::Fixed {
+                importance: imp(0.5),
+                expiry: days(100_000),
+            },
+        );
+        unit.store(persistent_low, SimTime::ZERO).unwrap();
+        // A piecewise curve with positive tail never expires.
+        let tail = crate::PiecewiseCurve::new(vec![
+            (SimDuration::ZERO, imp(0.5)),
+        ])
+        .unwrap();
+        unit.store(
+            ObjectSpec::new(ObjectId::new(2), mib(30), tail.into()),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let out = unit
+            .store(fixed_spec(3, mib(30), 0.9, 365), SimTime::ZERO)
+            .unwrap();
+        // Finite expiry (id 1) evicts before the never-expiring id 2.
+        assert_eq!(out.evicted[0].id, ObjectId::new(1));
+    }
+
+    #[test]
+    fn fifo_policy_never_rejects_and_evicts_oldest() {
+        let mut unit = StorageUnit::with_policy(mib(100), EvictionPolicy::Fifo);
+        for (i, t) in [(1u64, 0u64), (2, 5), (3, 10)] {
+            unit.store(
+                fixed_spec(i, mib(30), 1.0, 365),
+                SimTime::from_days(t),
+            )
+            .unwrap();
+        }
+        // Even a zero-importance object displaces the oldest full-importance
+        // one: 10 MiB free + 30 MiB from the oldest victim covers 40 MiB.
+        let spec = ObjectSpec::new(ObjectId::new(4), mib(40), ImportanceCurve::Ephemeral);
+        let out = unit.store(spec, SimTime::from_days(20)).unwrap();
+        let evicted: Vec<u64> = out.evicted.iter().map(|r| r.id.raw()).collect();
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(unit.stats().rejections_full, 0);
+
+        // A second large arrival keeps consuming in FIFO order.
+        let spec = ObjectSpec::new(ObjectId::new(5), mib(60), ImportanceCurve::Ephemeral);
+        let out = unit.store(spec, SimTime::from_days(21)).unwrap();
+        let evicted: Vec<u64> = out.evicted.iter().map(|r| r.id.raw()).collect();
+        assert_eq!(evicted, vec![2, 3]);
+    }
+
+    #[test]
+    fn eviction_records_capture_lifetime_achieved() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(100), 0.5, 30), SimTime::ZERO).unwrap();
+        let at = SimTime::from_days(12);
+        let out = unit.store(fixed_spec(2, mib(50), 0.9, 30), at).unwrap();
+        let rec = &out.evicted[0];
+        assert_eq!(rec.lifetime_achieved(), days(12));
+        assert_eq!(rec.importance_at_eviction, imp(0.5));
+        assert_eq!(rec.requested_expiry, Some(days(30)));
+        assert_eq!(rec.reason, EvictionReason::Preempted);
+        // The unit also logged it.
+        let log = unit.take_evictions();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0], *rec);
+        assert!(unit.take_evictions().is_empty());
+    }
+
+    #[test]
+    fn rejection_records_capture_blocking_importance() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(80), 0.6, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(20), 0.3, 365), SimTime::ZERO).unwrap();
+        let _ = unit.store(fixed_spec(3, mib(50), 0.4, 365), SimTime::ZERO);
+        let rejections = unit.take_rejections();
+        assert_eq!(rejections.len(), 1);
+        assert_eq!(rejections[0].incoming_importance, imp(0.4));
+        assert_eq!(rejections[0].blocking, Some(imp(0.6)));
+    }
+
+    #[test]
+    fn peek_admission_matches_store_and_does_not_mutate() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(60), 0.3, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(40), 0.8, 365), SimTime::ZERO).unwrap();
+
+        let before = unit.used();
+        let peek = unit.peek_admission(mib(50), imp(0.5), SimTime::ZERO);
+        assert_eq!(unit.used(), before);
+        match peek {
+            Admission::Preempting { highest, victims, freed } => {
+                assert_eq!(highest, imp(0.3));
+                assert_eq!(victims, 1);
+                assert_eq!(freed, mib(60));
+            }
+            other => panic!("expected Preempting, got {other:?}"),
+        }
+
+        let full = unit.peek_admission(mib(50), imp(0.2), SimTime::ZERO);
+        assert!(matches!(full, Admission::Full { .. }));
+        assert!(matches!(
+            unit.peek_admission(mib(500), imp(1.0), SimTime::ZERO),
+            Admission::TooLarge
+        ));
+        // With zero free space, a 0.1-importance object cannot displace the
+        // resident 0.3 object — the unit is full even for 1 MiB.
+        assert!(matches!(
+            unit.peek_admission(mib(1), imp(0.1), SimTime::ZERO),
+            Admission::Full { .. }
+        ));
+        // An empty unit admits into free space.
+        let empty = StorageUnit::new(mib(100));
+        assert!(matches!(
+            empty.peek_admission(mib(1), imp(0.1), SimTime::ZERO),
+            Admission::Fits { victims: 0 }
+        ));
+
+        // Store agrees with peek.
+        let out = unit.store(fixed_spec(3, mib(50), 0.5, 365), SimTime::ZERO).unwrap();
+        assert_eq!(out.highest_preempted, Some(imp(0.3)));
+    }
+
+    #[test]
+    fn sweep_expired_reclaims_only_expired() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(2, mib(30), 1.0, 100), SimTime::ZERO).unwrap();
+        let swept = unit.sweep_expired(SimTime::from_days(50));
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].id, ObjectId::new(1));
+        assert_eq!(swept[0].reason, EvictionReason::Expired);
+        assert_eq!(unit.len(), 1);
+        assert_eq!(unit.used(), mib(30));
+        assert_eq!(unit.stats().evictions_expired, 1);
+    }
+
+    #[test]
+    fn remove_returns_record() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO).unwrap();
+        let rec = unit.remove(ObjectId::new(1), SimTime::from_days(3)).unwrap();
+        assert_eq!(rec.reason, EvictionReason::Removed);
+        assert_eq!(rec.lifetime_achieved(), days(3));
+        assert!(unit.remove(ObjectId::new(1), SimTime::from_days(3)).is_none());
+        assert_eq!(unit.stats().removals, 1);
+        assert!(unit.is_empty());
+    }
+
+    #[test]
+    fn rejuvenate_raises_importance_and_rejects_lowering() {
+        let mut unit = StorageUnit::new(mib(100));
+        let spec = ObjectSpec::new(
+            ObjectId::new(1),
+            mib(10),
+            ImportanceCurve::two_step(Importance::FULL, days(10), days(10)),
+        );
+        unit.store(spec, SimTime::ZERO).unwrap();
+        let mid_wane = SimTime::from_days(15); // importance 0.5
+
+        // Lowering is refused...
+        let err = unit
+            .rejuvenate(ObjectId::new(1), ImportanceCurve::Ephemeral, mid_wane)
+            .unwrap_err();
+        assert!(matches!(err, RejuvenateError::WouldLowerImportance { .. }));
+
+        // ...raising succeeds and restarts the curve.
+        unit.rejuvenate(
+            ObjectId::new(1),
+            ImportanceCurve::fixed_lifetime(days(30)),
+            mid_wane,
+        )
+        .unwrap();
+        let obj = unit.get(ObjectId::new(1)).unwrap();
+        assert_eq!(obj.current_importance(mid_wane), Importance::FULL);
+        assert!(!obj.is_expired(SimTime::from_days(40)));
+        assert!(obj.is_expired(SimTime::from_days(45)));
+
+        // Unknown id.
+        assert!(matches!(
+            unit.rejuvenate(ObjectId::new(9), ImportanceCurve::Persistent, mid_wane),
+            Err(RejuvenateError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn reannotate_allows_demotion() {
+        let mut unit = StorageUnit::new(mib(100));
+        unit.store(fixed_spec(1, mib(10), 1.0, 365), SimTime::ZERO).unwrap();
+        unit.reannotate(ObjectId::new(1), ImportanceCurve::Ephemeral, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            unit.get(ObjectId::new(1)).unwrap().current_importance(SimTime::ZERO),
+            Importance::ZERO
+        );
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let mut unit = StorageUnit::new(mib(10));
+        unit.set_recording(false);
+        unit.store(fixed_spec(1, mib(10), 0.5, 10), SimTime::ZERO).unwrap();
+        let _ = unit.store(fixed_spec(2, mib(10), 0.9, 10), SimTime::ZERO);
+        let _ = unit.store(fixed_spec(3, mib(10), 0.1, 10), SimTime::ZERO);
+        assert!(unit.take_evictions().is_empty());
+        assert!(unit.take_rejections().is_empty());
+        // Stats still counted.
+        assert_eq!(unit.stats().evictions_preempted, 1);
+        assert_eq!(unit.stats().rejections_full, 1);
+    }
+
+    #[test]
+    fn used_plus_free_equals_capacity_through_churn() {
+        let mut unit = StorageUnit::new(mib(100));
+        let mut t = SimTime::ZERO;
+        for i in 0..200u64 {
+            let _ = unit.store(
+                fixed_spec(i, mib(1 + i % 37), (i % 10) as f64 / 10.0, 20),
+                t,
+            );
+            t += days(1);
+            assert_eq!(unit.used() + unit.free(), unit.capacity());
+            let resident: ByteSize = unit.iter().map(|o| o.size()).sum();
+            assert_eq!(resident, unit.used());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The §5.3 university-wide experiment driver.
+//!
+//! A Besteffs cluster stores the whole university's capture stream using
+//! the random-walk placement algorithm. The paper summarizes (rather than
+//! plots) this scenario: demand (~300 TB/yr) exceeds capacity (160/240 TB),
+//! student cameras stay squeezed out until more storage arrives, and the
+//! average importance density remains the useful feedback signal — all
+//! without changing any lifetime annotation.
+
+use besteffs::{Besteffs, ClusterStats, PlacementConfig, PlacementError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use sim_core::{rng, ByteSize, SimDuration, SimTime};
+use temporal_importance::ObjectClass;
+use workload::university::{UniversityCapture, UniversityConfig};
+use workload::{CLASS_STUDENT, CLASS_UNIVERSITY};
+
+use analysis::TimeSeries;
+
+/// Configuration of a §5.3 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniversityRunConfig {
+    /// Workload/placement seed.
+    pub seed: u64,
+    /// Simulated years.
+    pub years: u64,
+    /// Number of storage nodes (paper: 2,000).
+    pub nodes: usize,
+    /// Per-node capacity (paper: 80 GB and 120 GB).
+    pub node_capacity: ByteSize,
+    /// Scale-down factor applied to both course count and node count,
+    /// preserving the demand-to-capacity ratio. 1 = the paper's full
+    /// deployment.
+    pub scale: usize,
+    /// Placement parameters (x candidates, m tries).
+    pub placement: PlacementConfig,
+    /// Cluster-density sampling interval.
+    pub sample_every: SimDuration,
+}
+
+impl UniversityRunConfig {
+    /// The paper's deployment at a given scale-down factor and per-node
+    /// capacity in GiB. Scale 10 (200 nodes, ~232 courses) runs on a
+    /// laptop in seconds and preserves the demand/capacity ratio.
+    pub fn paper(seed: u64, capacity_gib: u64, scale: usize) -> Self {
+        assert!(scale > 0, "scale factor must be positive");
+        UniversityRunConfig {
+            seed,
+            years: 2,
+            nodes: (2000 / scale).max(3),
+            node_capacity: ByteSize::from_gib(capacity_gib),
+            scale,
+            placement: PlacementConfig::default(),
+            sample_every: SimDuration::from_days(7),
+        }
+    }
+}
+
+/// Per-class placement accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassOutcome {
+    /// Arrivals offered to the cluster.
+    pub offered: u64,
+    /// Arrivals placed.
+    pub placed: u64,
+    /// Arrivals rejected (cluster full for their importance).
+    pub rejected: u64,
+    /// Bytes placed.
+    pub bytes_placed: u64,
+}
+
+impl ClassOutcome {
+    /// Fraction of offered arrivals that were placed.
+    pub fn acceptance(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.placed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Results of a §5.3 run.
+#[derive(Debug, Clone)]
+pub struct UniversityRunResult {
+    /// The configuration that produced this result.
+    pub config: UniversityRunConfig,
+    /// University-camera placement accounting.
+    pub university: ClassOutcome,
+    /// Student-camera placement accounting.
+    pub student: ClassOutcome,
+    /// Weekly cluster-wide importance-density samples.
+    pub density: TimeSeries,
+    /// Placement probes used per placed object (mean).
+    pub mean_probes: f64,
+    /// Cluster counters.
+    pub cluster_stats: ClusterStats,
+    /// Total demand offered over the run.
+    pub offered_bytes: u64,
+    /// Live cluster capacity.
+    pub capacity_bytes: u64,
+}
+
+impl UniversityRunResult {
+    /// Demand-to-capacity ratio over the whole run.
+    pub fn pressure(&self) -> f64 {
+        self.offered_bytes as f64 / self.capacity_bytes as f64
+    }
+}
+
+/// Runs the §5.3 experiment.
+pub fn run(config: UniversityRunConfig) -> UniversityRunResult {
+    let mut rand: StdRng = rng::stream(config.seed, "university-placement");
+    let mut cluster = Besteffs::new(
+        config.nodes,
+        config.node_capacity,
+        config.placement,
+        &mut rand,
+    );
+    let workload_cfg = UniversityConfig {
+        seed: config.seed,
+        ..UniversityConfig::default()
+    }
+    .scaled_down(config.scale);
+
+    let mut ids = temporal_importance::ObjectIdGen::new();
+    let mut university = ClassOutcome::default();
+    let mut student = ClassOutcome::default();
+    let mut density = TimeSeries::new();
+    let mut next_sample = SimTime::ZERO;
+    let mut offered_bytes = 0u64;
+    let mut probes = 0u64;
+
+    for arrival in UniversityCapture::new(workload_cfg, config.years) {
+        while next_sample <= arrival.at {
+            density.push(next_sample, cluster.importance_density(next_sample));
+            next_sample += config.sample_every;
+        }
+        offered_bytes += arrival.size.as_bytes();
+        let at = arrival.at;
+        let size = arrival.size;
+        let class = arrival.class;
+        let spec = arrival.into_spec(&mut ids);
+        let stats = tally_for(class, &mut university, &mut student);
+        stats.offered += 1;
+        match cluster.place(spec, at, &mut rand) {
+            Ok(placed) => {
+                stats.placed += 1;
+                stats.bytes_placed += size.as_bytes();
+                probes += placed.probed as u64;
+            }
+            Err(PlacementError::ClusterFull { .. }) => {
+                stats.rejected += 1;
+            }
+            Err(e) => panic!("unexpected placement error: {e}"),
+        }
+    }
+
+    let placed_total = cluster.stats().placed.max(1);
+    UniversityRunResult {
+        university,
+        student,
+        density,
+        mean_probes: probes as f64 / placed_total as f64,
+        cluster_stats: *cluster.stats(),
+        offered_bytes,
+        capacity_bytes: cluster.capacity().as_bytes(),
+        config,
+    }
+}
+
+fn tally_for<'a>(
+    class: ObjectClass,
+    university: &'a mut ClassOutcome,
+    student: &'a mut ClassOutcome,
+) -> &'a mut ClassOutcome {
+    if class == CLASS_UNIVERSITY {
+        university
+    } else {
+        debug_assert_eq!(class, CLASS_STUDENT);
+        student
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(capacity_gib: u64) -> UniversityRunResult {
+        let mut cfg = UniversityRunConfig::paper(2, capacity_gib, 40);
+        cfg.years = 2;
+        run(cfg)
+    }
+
+    #[test]
+    fn demand_exceeds_capacity_at_80_gib_nodes() {
+        let result = quick(80);
+        assert!(
+            result.pressure() > 1.0,
+            "no storage pressure: {:.2}",
+            result.pressure()
+        );
+        // Offered more than placed.
+        assert!(result.cluster_stats.rejected > 0);
+    }
+
+    #[test]
+    fn students_are_squeezed_out_before_university_cameras() {
+        let result = quick(80);
+        assert!(
+            result.university.acceptance() > result.student.acceptance(),
+            "university {:.2} vs student {:.2}",
+            result.university.acceptance(),
+            result.student.acceptance()
+        );
+    }
+
+    #[test]
+    fn more_storage_helps_students_without_changing_annotations() {
+        let small = quick(80);
+        let large = quick(120);
+        assert!(
+            large.student.acceptance() > small.student.acceptance(),
+            "student acceptance {:.2} → {:.2}",
+            small.student.acceptance(),
+            large.student.acceptance()
+        );
+    }
+
+    #[test]
+    fn density_saturates_under_pressure() {
+        let result = quick(80);
+        let peak = result
+            .density
+            .values()
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert!(peak > 0.6, "cluster density peak {peak}");
+        assert!(result.density.values().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn placement_probes_are_bounded_by_config() {
+        let result = quick(80);
+        let max = (result.config.placement.candidates_per_try
+            * result.config.placement.max_tries) as f64;
+        assert!(result.mean_probes <= max);
+        assert!(result.mean_probes >= 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event simulation substrate used by the temporal-importance
+//! storage reclamation reproduction.
+//!
+//! The paper (Chandra, Gehani, Yu — ICDCS 2007, §4.3) evaluates its storage
+//! abstraction with a minute-granularity simulator run over five to ten
+//! simulated years. This crate provides the foundations every other crate in
+//! the workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — minute-granularity simulated time with
+//!   integer arithmetic (no floating-point drift over a decade of minutes),
+//! * [`ByteSize`] — byte quantities with GB/MB/KB constructors and display,
+//! * [`EventQueue`] — a stable priority queue of timestamped events
+//!   (ties break in insertion order, which keeps runs deterministic),
+//! * [`Simulation`] — a minimal driver loop around an [`EventQueue`],
+//! * [`rng`] — seeded RNG constructors so every experiment is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_days(2), "later");
+//! queue.push(SimTime::from_hours(1), "sooner");
+//!
+//! let (at, what) = queue.pop().expect("queue is non-empty");
+//! assert_eq!(what, "sooner");
+//! assert_eq!(at, SimTime::ZERO + SimDuration::from_hours(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod bytes;
+mod queue;
+mod time;
+
+pub mod driver;
+pub mod rng;
+
+pub use bytes::ByteSize;
+pub use driver::Simulation;
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,42 @@
+//! `tifs` — a user-level temporal-importance file system.
+//!
+//! §6 of the paper announces "a user level file system prototype of the
+//! system". This crate is that prototype as a library: a hierarchical
+//! namespace whose files carry temporal importance annotations and whose
+//! free space is managed entirely by the preemptive reclamation engine.
+//! Files are write-once (Besteffs semantics); when the store reclaims a
+//! file's object, the file silently vanishes from the namespace — exactly
+//! the "no guarantees after `t_expire`" contract of §3.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{ByteSize, SimDuration, SimTime};
+//! use temporal_importance::{Importance, ImportanceCurve};
+//! use tifs::TiFs;
+//!
+//! let mut fs = TiFs::new(ByteSize::from_mib(10));
+//! fs.mkdir_all("/lectures/os", SimTime::ZERO)?;
+//!
+//! let curve = ImportanceCurve::two_step(
+//!     Importance::FULL,
+//!     SimDuration::from_days(120),
+//!     SimDuration::from_days(730),
+//! );
+//! fs.create("/lectures/os/lecture-01.mp4", vec![0u8; 1024], curve, SimTime::ZERO)?;
+//!
+//! let data = fs.read("/lectures/os/lecture-01.mp4", SimTime::ZERO)?;
+//! assert_eq!(data.len(), 1024);
+//! # Ok::<(), tifs::FsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod fs;
+mod path;
+
+pub use error::FsError;
+pub use fs::{DirEntry, EntryKind, FileStat, TiFs};
+pub use path::normalize;

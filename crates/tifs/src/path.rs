@@ -1,0 +1,101 @@
+//! Path normalization and validation.
+
+use crate::error::FsError;
+
+/// Normalizes an absolute path into its segments.
+///
+/// Accepts `/`-separated absolute paths; collapses repeated separators;
+/// rejects empty paths, relative paths, `.`/`..` components and interior
+/// NULs.
+///
+/// # Errors
+///
+/// Returns [`FsError::InvalidPath`] for anything that is not a clean
+/// absolute path.
+///
+/// # Examples
+///
+/// ```
+/// let segments = tifs::normalize("/a//b/c/")?;
+/// assert_eq!(segments, vec!["a", "b", "c"]);
+/// assert!(tifs::normalize("relative/path").is_err());
+/// # Ok::<(), tifs::FsError>(())
+/// ```
+pub fn normalize(path: &str) -> Result<Vec<String>, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath {
+            path: path.to_string(),
+            reason: "paths must be absolute",
+        });
+    }
+    let mut segments = Vec::new();
+    for segment in path.split('/') {
+        match segment {
+            "" => continue,
+            "." | ".." => {
+                return Err(FsError::InvalidPath {
+                    path: path.to_string(),
+                    reason: "dot segments are not supported",
+                })
+            }
+            s if s.contains('\0') => {
+                return Err(FsError::InvalidPath {
+                    path: path.to_string(),
+                    reason: "NUL bytes are not allowed",
+                })
+            }
+            s => segments.push(s.to_string()),
+        }
+    }
+    Ok(segments)
+}
+
+/// Splits normalized segments into (parent directory, file name).
+///
+/// # Errors
+///
+/// Returns [`FsError::InvalidPath`] when `segments` is empty (the root
+/// cannot be a file).
+pub(crate) fn split_parent(
+    path: &str,
+    segments: Vec<String>,
+) -> Result<(Vec<String>, String), FsError> {
+    let mut segments = segments;
+    match segments.pop() {
+        Some(name) => Ok((segments, name)),
+        None => Err(FsError::InvalidPath {
+            path: path.to_string(),
+            reason: "the root directory cannot be used as a file",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_separators() {
+        assert_eq!(normalize("/").unwrap(), Vec::<String>::new());
+        assert_eq!(normalize("/a/b").unwrap(), vec!["a", "b"]);
+        assert_eq!(normalize("//a///b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert!(normalize("relative").is_err());
+        assert!(normalize("").is_err());
+        assert!(normalize("/a/./b").is_err());
+        assert!(normalize("/a/../b").is_err());
+        assert!(normalize("/a\0b").is_err());
+    }
+
+    #[test]
+    fn split_parent_extracts_name() {
+        let (parent, name) =
+            split_parent("/a/b/c", normalize("/a/b/c").unwrap()).unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/", normalize("/").unwrap()).is_err());
+    }
+}

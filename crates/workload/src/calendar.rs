@@ -1,0 +1,287 @@
+//! The academic calendar and Table 1's lifetime parameters.
+//!
+//! §5.2.1: "spring semester starts after the first week in January and
+//! proceeds till May. After a month break, the summer term runs for two
+//! months. After another break, the fall semester starts in the second week
+//! of September and runs till the end of the year."
+//!
+//! Table 1 encodes this as day-of-year arithmetic — for an object captured
+//! on day `d` of a term, `t_persist` runs to a fixed end-of-importance day
+//! and `t_wane` is a per-term constant:
+//!
+//! | Term   | begins (doy) | `t_persist` (days) | `t_wane` (days) |
+//! |--------|--------------|--------------------|-----------------|
+//! | Spring | 8            | `120 − today`      | 730             |
+//! | Summer | 150          | `210 − today`      | 365             |
+//! | Fall   | 248          | `360 − today`      | 850             |
+//!
+//! Student-created streams carry 50% importance until the end of the
+//! semester "with values gradually dropping in importance two weeks after
+//! the end of the term".
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+use temporal_importance::{Importance, ImportanceCurve};
+
+/// A university term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// Spring semester (early January through April).
+    Spring,
+    /// Summer term (two months from late May).
+    Summer,
+    /// Fall semester (early September through year end).
+    Fall,
+}
+
+impl Term {
+    /// All terms in calendar order.
+    pub const ALL: [Term; 3] = [Term::Spring, Term::Summer, Term::Fall];
+
+    /// Day-of-year the term begins (Table 1's *TermBegin*).
+    pub fn begin_day(self) -> u64 {
+        match self {
+            Term::Spring => 8,
+            Term::Summer => 150,
+            Term::Fall => 248,
+        }
+    }
+
+    /// Day-of-year importance stops persisting (Table 1's `t_persist`
+    /// reference point: `t_persist = end_day − today`). This is also the
+    /// day lectures stop being captured for the term.
+    pub fn end_day(self) -> u64 {
+        match self {
+            Term::Spring => 120,
+            Term::Summer => 210,
+            Term::Fall => 360,
+        }
+    }
+
+    /// Table 1's `t_wane` for university-created objects.
+    pub fn wane(self) -> SimDuration {
+        match self {
+            Term::Spring => SimDuration::from_days(730),
+            Term::Summer => SimDuration::from_days(365),
+            Term::Fall => SimDuration::from_days(850),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Term::Spring => "spring",
+            Term::Summer => "summer",
+            Term::Fall => "fall",
+        }
+    }
+}
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Who created a lecture object — determines plateau importance and wane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Creator {
+    /// University-maintained cameras: 100% importance, Table 1 wane.
+    University,
+    /// Student interpretations: 50% importance, two-week wane after term.
+    Student,
+}
+
+/// The academic calendar: Table 1 plus the student policy from §5.2.1.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::SimTime;
+/// use workload::calendar::{AcademicCalendar, Creator, Term};
+///
+/// let cal = AcademicCalendar::paper();
+/// // Day 10 falls in spring term.
+/// assert_eq!(cal.term_on(SimTime::from_days(10)), Some(Term::Spring));
+/// // Day 130 is between terms.
+/// assert_eq!(cal.term_on(SimTime::from_days(130)), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct AcademicCalendar {
+    _private: (),
+}
+
+impl AcademicCalendar {
+    /// The paper's calendar (Table 1).
+    pub fn paper() -> Self {
+        AcademicCalendar { _private: () }
+    }
+
+    /// The term in session on the given simulated day, if any.
+    /// Years repeat on a 365-day cycle.
+    pub fn term_on(&self, at: SimTime) -> Option<Term> {
+        let doy = at.day_of_year();
+        Term::ALL
+            .into_iter()
+            .find(|t| (t.begin_day()..t.end_day()).contains(&doy))
+    }
+
+    /// Table 1's `t_persist` for an object captured at `at`: the time
+    /// until the current term's end-of-importance day. `None` when no
+    /// term is in session.
+    pub fn persist_for(&self, at: SimTime) -> Option<SimDuration> {
+        let term = self.term_on(at)?;
+        let doy = at.day_of_year();
+        Some(SimDuration::from_days(term.end_day() - doy))
+    }
+
+    /// The full two-step lifetime annotation for an object captured at
+    /// `at` by the given creator, or `None` when no term is in session
+    /// (no lectures are captured between terms).
+    ///
+    /// University objects: plateau 1.0 for `end_day − today`, then Table
+    /// 1's per-term wane. Student objects: plateau 0.5 for the same
+    /// persist period, then a two-week wane.
+    pub fn lifetime_for(&self, at: SimTime, creator: Creator) -> Option<ImportanceCurve> {
+        let term = self.term_on(at)?;
+        let persist = self.persist_for(at)?;
+        Some(match creator {
+            Creator::University => {
+                ImportanceCurve::two_step(Importance::FULL, persist, term.wane())
+            }
+            Creator::Student => ImportanceCurve::two_step(
+                Importance::new_clamped(0.5),
+                persist,
+                SimDuration::from_days(14),
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: u64) -> SimTime {
+        SimTime::from_days(d)
+    }
+
+    #[test]
+    fn table_1_parameters() {
+        assert_eq!(Term::Spring.begin_day(), 8);
+        assert_eq!(Term::Summer.begin_day(), 150);
+        assert_eq!(Term::Fall.begin_day(), 248);
+        assert_eq!(Term::Spring.wane(), SimDuration::from_days(730));
+        assert_eq!(Term::Summer.wane(), SimDuration::from_days(365));
+        assert_eq!(Term::Fall.wane(), SimDuration::from_days(850));
+    }
+
+    #[test]
+    fn term_boundaries() {
+        let cal = AcademicCalendar::paper();
+        assert_eq!(cal.term_on(day(7)), None);
+        assert_eq!(cal.term_on(day(8)), Some(Term::Spring));
+        assert_eq!(cal.term_on(day(119)), Some(Term::Spring));
+        assert_eq!(cal.term_on(day(120)), None);
+        assert_eq!(cal.term_on(day(150)), Some(Term::Summer));
+        assert_eq!(cal.term_on(day(209)), Some(Term::Summer));
+        assert_eq!(cal.term_on(day(210)), None);
+        assert_eq!(cal.term_on(day(248)), Some(Term::Fall));
+        assert_eq!(cal.term_on(day(359)), Some(Term::Fall));
+        assert_eq!(cal.term_on(day(360)), None);
+    }
+
+    #[test]
+    fn calendar_repeats_every_year() {
+        let cal = AcademicCalendar::paper();
+        assert_eq!(cal.term_on(day(365 + 10)), Some(Term::Spring));
+        assert_eq!(cal.term_on(day(3 * 365 + 250)), Some(Term::Fall));
+    }
+
+    #[test]
+    fn persist_is_end_day_minus_today() {
+        let cal = AcademicCalendar::paper();
+        // Table 1: Spring t_persist = 120 − today.
+        assert_eq!(
+            cal.persist_for(day(8)),
+            Some(SimDuration::from_days(112))
+        );
+        assert_eq!(
+            cal.persist_for(day(100)),
+            Some(SimDuration::from_days(20))
+        );
+        // Summer: 210 − today.
+        assert_eq!(
+            cal.persist_for(day(160)),
+            Some(SimDuration::from_days(50))
+        );
+        // Fall: 360 − today.
+        assert_eq!(
+            cal.persist_for(day(300)),
+            Some(SimDuration::from_days(60))
+        );
+        assert_eq!(cal.persist_for(day(130)), None);
+    }
+
+    #[test]
+    fn university_lifetime_uses_term_wane() {
+        let cal = AcademicCalendar::paper();
+        let curve = cal.lifetime_for(day(50), Creator::University).unwrap();
+        match curve {
+            ImportanceCurve::TwoStep {
+                importance,
+                persist,
+                wane,
+            } => {
+                assert_eq!(importance, Importance::FULL);
+                assert_eq!(persist, SimDuration::from_days(70));
+                assert_eq!(wane, SimDuration::from_days(730));
+            }
+            other => panic!("expected TwoStep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn student_lifetime_is_half_importance_two_week_wane() {
+        let cal = AcademicCalendar::paper();
+        let curve = cal.lifetime_for(day(50), Creator::Student).unwrap();
+        match curve {
+            ImportanceCurve::TwoStep {
+                importance,
+                persist,
+                wane,
+            } => {
+                assert_eq!(importance.value(), 0.5);
+                assert_eq!(persist, SimDuration::from_days(70));
+                assert_eq!(wane, SimDuration::from_days(14));
+            }
+            other => panic!("expected TwoStep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_lifetime_between_terms() {
+        let cal = AcademicCalendar::paper();
+        assert_eq!(cal.lifetime_for(day(140), Creator::University), None);
+        assert_eq!(cal.lifetime_for(day(220), Creator::Student), None);
+    }
+
+    #[test]
+    fn spring_object_expiry_matches_paper_narrative() {
+        // "All objects captured in spring are considered to be important
+        // till the end of the semester. Their importance gradually wanes
+        // over the next two years."
+        let cal = AcademicCalendar::paper();
+        let curve = cal.lifetime_for(day(30), Creator::University).unwrap();
+        // Expiry = persist (120-30=90 d) + wane (730 d).
+        assert_eq!(curve.expiry(), Some(SimDuration::from_days(90 + 730)));
+        // Still at full importance at semester's end...
+        assert_eq!(
+            curve.importance_at(SimDuration::from_days(90)),
+            Importance::FULL
+        );
+        // ...half-waned a year later.
+        let one_year_in = curve.importance_at(SimDuration::from_days(90 + 365));
+        assert!((one_year_in.value() - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,224 @@
+//! §5.2's lecture-capture stream for a single instructor.
+//!
+//! University cameras capture every lecture as a 1 Mbps stream; up to
+//! three students may add their own 320×240 interpretation at 50%
+//! importance. Lifetimes come from the academic calendar (Table 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sim_core::{rng, ByteSize, SimDuration, SimTime};
+
+use crate::calendar::{AcademicCalendar, Creator, Term};
+use crate::{Arrival, CLASS_STUDENT, CLASS_UNIVERSITY};
+
+/// Configuration for a single instructor's capture stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LectureConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Lectures per week (3 = MWF-style schedule).
+    pub lectures_per_week: u64,
+    /// Terms the instructor teaches.
+    pub teaches: Vec<Term>,
+    /// University camera bitrate in kbit/s (paper: 1 Mbps).
+    pub university_kbps: u64,
+    /// Student stream bitrate in kbit/s (320×240 MPEG4; ≈384 kbit/s).
+    pub student_kbps: u64,
+    /// Lecture length range in minutes, inclusive.
+    pub lecture_minutes: (u64, u64),
+    /// Maximum student interpretations per lecture ("up to three").
+    pub max_student_streams: u64,
+}
+
+impl Default for LectureConfig {
+    fn default() -> Self {
+        LectureConfig {
+            seed: 0,
+            lectures_per_week: 3,
+            teaches: vec![Term::Spring, Term::Summer, Term::Fall],
+            university_kbps: 1000,
+            student_kbps: 384,
+            lecture_minutes: (50, 75),
+            max_student_streams: 3,
+        }
+    }
+}
+
+impl LectureConfig {
+    /// Size of a stream of `minutes` at `kbps` kilobits per second.
+    pub fn stream_size(kbps: u64, minutes: u64) -> ByteSize {
+        ByteSize::from_bytes(kbps * 1000 / 8 * minutes * 60)
+    }
+}
+
+/// Generates the full annotated arrival stream for `years` simulated
+/// years, time-ordered.
+///
+/// # Examples
+///
+/// ```
+/// use workload::lecture::{generate, LectureConfig};
+///
+/// let arrivals = generate(&LectureConfig::default(), 1);
+/// assert!(!arrivals.is_empty());
+/// // Streams are time-ordered.
+/// assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+/// ```
+pub fn generate(config: &LectureConfig, years: u64) -> Vec<Arrival> {
+    let calendar = AcademicCalendar::paper();
+    let mut rand = rng::stream(config.seed, "lecture-capture");
+    let mut arrivals = Vec::new();
+
+    for day in 0..(years * 365) {
+        let at_day = SimTime::from_days(day);
+        let Some(term) = calendar.term_on(at_day) else {
+            continue;
+        };
+        if !config.teaches.contains(&term) {
+            continue;
+        }
+        if !is_lecture_day(term, at_day.day_of_year(), config.lectures_per_week) {
+            continue;
+        }
+
+        // University capture at a mid-morning slot.
+        let start = at_day
+            + SimDuration::from_hours(10)
+            + SimDuration::from_minutes(rand.gen_range(0..30));
+        let minutes = rand.gen_range(config.lecture_minutes.0..=config.lecture_minutes.1);
+        let curve = calendar
+            .lifetime_for(start, Creator::University)
+            .expect("term is in session");
+        arrivals.push(Arrival {
+            at: start,
+            size: LectureConfig::stream_size(config.university_kbps, minutes),
+            class: CLASS_UNIVERSITY,
+            curve,
+        });
+
+        // "The system allows up to three students to randomly add their
+        // own video interpretation of the lecture."
+        let students = rand.gen_range(0..=config.max_student_streams);
+        for _ in 0..students {
+            let upload = start + SimDuration::from_minutes(rand.gen_range(60..600));
+            let Some(curve) = calendar.lifetime_for(upload, Creator::Student) else {
+                // An evening upload can slip past the term boundary; the
+                // student then has no in-term annotation and skips it.
+                continue;
+            };
+            arrivals.push(Arrival {
+                at: upload,
+                size: LectureConfig::stream_size(config.student_kbps, minutes),
+                class: CLASS_STUDENT,
+                curve,
+            });
+        }
+    }
+
+    arrivals.sort_by_key(|a| a.at);
+    arrivals
+}
+
+/// Whether `day_of_year` is a lecture day for a term with the given
+/// weekly cadence (lectures fall on the first `per_week` alternating
+/// weekdays of each term week).
+fn is_lecture_day(term: Term, day_of_year: u64, per_week: u64) -> bool {
+    let offset = day_of_year.saturating_sub(term.begin_day());
+    let weekday = offset % 7;
+    // Alternate days: 0, 2, 4, 6 (capped at 5/week on weekdays 0..=6).
+    (0..per_week.min(4)).any(|k| weekday == 2 * k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_importance::ImportanceCurve;
+
+    #[test]
+    fn stream_size_matches_bitrate_math() {
+        // 1 Mbps for 75 minutes = 1000 kbit/s × 4500 s / 8 = 562.5 MB.
+        let size = LectureConfig::stream_size(1000, 75);
+        assert_eq!(size.as_bytes(), 562_500_000);
+    }
+
+    #[test]
+    fn one_course_consumes_about_25_gb_per_semester() {
+        // §1: "The lectures consumed over 25 GB of storage in a single
+        // semester" for one course.
+        let cfg = LectureConfig {
+            teaches: vec![Term::Spring],
+            ..LectureConfig::default()
+        };
+        let arrivals = generate(&cfg, 1);
+        let university: u64 = arrivals
+            .iter()
+            .filter(|a| a.class == CLASS_UNIVERSITY)
+            .map(|a| a.size.as_bytes())
+            .sum();
+        let gb = university as f64 / 1e9;
+        assert!((18.0..34.0).contains(&gb), "semester volume {gb} GB");
+    }
+
+    #[test]
+    fn lectures_only_on_term_days() {
+        let cal = AcademicCalendar::paper();
+        for arrival in generate(&LectureConfig::default(), 2) {
+            assert!(
+                cal.term_on(arrival.at).is_some(),
+                "arrival at {} outside any term",
+                arrival.at
+            );
+        }
+    }
+
+    #[test]
+    fn student_streams_are_half_importance_and_smaller() {
+        let arrivals = generate(&LectureConfig::default(), 1);
+        let students: Vec<_> = arrivals
+            .iter()
+            .filter(|a| a.class == CLASS_STUDENT)
+            .collect();
+        assert!(!students.is_empty(), "expected some student uploads");
+        for s in &students {
+            match &s.curve {
+                ImportanceCurve::TwoStep { importance, wane, .. } => {
+                    assert_eq!(importance.value(), 0.5);
+                    assert_eq!(*wane, SimDuration::from_days(14));
+                }
+                other => panic!("unexpected curve {other:?}"),
+            }
+            assert!(s.size < LectureConfig::stream_size(1000, 50));
+        }
+        // Between zero and three students per lecture on average.
+        let university = arrivals
+            .iter()
+            .filter(|a| a.class == CLASS_UNIVERSITY)
+            .count();
+        assert!(students.len() <= 3 * university);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LectureConfig::default();
+        assert_eq!(generate(&cfg, 1), generate(&cfg, 1));
+        let other = LectureConfig {
+            seed: 99,
+            ..LectureConfig::default()
+        };
+        assert_ne!(generate(&cfg, 1), generate(&other, 1));
+    }
+
+    #[test]
+    fn weekly_cadence_bounds_lecture_count() {
+        let cfg = LectureConfig {
+            teaches: vec![Term::Spring],
+            ..LectureConfig::default()
+        };
+        let lectures = generate(&cfg, 1)
+            .iter()
+            .filter(|a| a.class == CLASS_UNIVERSITY)
+            .count();
+        // Spring is 112 days = 16 weeks at 3/week = 48 lectures.
+        assert!((40..=52).contains(&lectures), "got {lectures} lectures");
+    }
+}

@@ -1,0 +1,91 @@
+//! Workload generators for the temporal-importance reproduction.
+//!
+//! Every evaluation scenario in the paper is driven by a synthetic object
+//! stream; this crate generates them deterministically from explicit seeds:
+//!
+//! * [`ramp`] — §5.1's single-application-class arrivals: hourly volumes
+//!   uniformly distributed up to a cap that ramps 0.5 → 0.7 → 1.0 →
+//!   1.3 GB/hr across quarters.
+//! * [`calendar`] — the academic calendar and the Table 1 lifetime
+//!   parameters (per-term `t_persist`/`t_wane` for university and student
+//!   content).
+//! * [`lecture`] — §5.2's single-instructor lecture capture stream
+//!   (1 Mbps university streams plus up to three 320×240 student streams
+//!   per lecture at 50% importance).
+//! * [`university`] — §5.3's university-wide stream (2,321 courses,
+//!   ≈300 TB/year).
+//! * [`downloads`] — a generative stand-in for Figure 8's observed
+//!   download trace (per-lecture interest decay, exam surges, one
+//!   slashdot spike).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod calendar;
+pub mod downloads;
+pub mod lecture;
+pub mod ramp;
+pub mod sensor;
+pub mod trace;
+pub mod university;
+
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimTime};
+use temporal_importance::{ImportanceCurve, ObjectClass, ObjectIdGen, ObjectSpec};
+
+/// One annotated object arrival: when, how big, what class, and the
+/// lifetime annotation its creator chose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// When the object reaches the store.
+    pub at: SimTime,
+    /// Object size.
+    pub size: ByteSize,
+    /// Creator class tag (e.g. university camera vs. student upload).
+    pub class: ObjectClass,
+    /// The creator's lifetime annotation.
+    pub curve: ImportanceCurve,
+}
+
+impl Arrival {
+    /// Materializes this arrival into an [`ObjectSpec`], drawing a fresh id.
+    pub fn into_spec(self, ids: &mut ObjectIdGen) -> ObjectSpec {
+        ObjectSpec::new(ids.next_id(), self.size, self.curve).with_class(self.class)
+    }
+}
+
+/// Class tag for university-operated camera captures (importance 1.0).
+pub const CLASS_UNIVERSITY: ObjectClass = ObjectClass::new(1);
+
+/// Class tag for student-contributed interpretations (importance 0.5).
+pub const CLASS_STUDENT: ObjectClass = ObjectClass::new(2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_importance::Importance;
+
+    #[test]
+    fn arrival_materializes_with_class_and_curve() {
+        let mut ids = ObjectIdGen::new();
+        let arrival = Arrival {
+            at: SimTime::from_days(3),
+            size: ByteSize::from_mib(500),
+            class: CLASS_STUDENT,
+            curve: ImportanceCurve::Fixed {
+                importance: Importance::new(0.5).unwrap(),
+                expiry: sim_core::SimDuration::from_days(90),
+            },
+        };
+        let spec = arrival.clone().into_spec(&mut ids);
+        assert_eq!(spec.size(), ByteSize::from_mib(500));
+        assert_eq!(spec.class(), CLASS_STUDENT);
+        assert_eq!(spec.curve(), &arrival.curve);
+    }
+
+    #[test]
+    fn class_tags_are_distinct() {
+        assert_ne!(CLASS_UNIVERSITY, CLASS_STUDENT);
+        assert_ne!(CLASS_UNIVERSITY, ObjectClass::GENERIC);
+    }
+}

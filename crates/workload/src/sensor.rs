@@ -1,0 +1,148 @@
+//! The §6 sensor scenario: trigger-driven importance.
+//!
+//! "Storage in sensor scenarios might treat unprocessed data as important
+//! but retain processed data to accommodate for communications failure in
+//! propagating the results... These scenarios might require the ability
+//! to dynamically change the importance values based on triggers such as
+//! the receipt of an acknowledgment."
+//!
+//! This module defines the annotation policy of such a node: raw captures
+//! enter at full importance; once processed, the raw object is demoted to
+//! a *retention buffer* curve, and once the uplink acknowledges a summary,
+//! the summary is demoted to cache-like importance. The event-driven
+//! experiment lives in `experiments::sensor`.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimDuration};
+use temporal_importance::{Importance, ImportanceCurve, ObjectClass};
+
+/// Class tag for unprocessed sensor captures.
+pub const CLASS_RAW: ObjectClass = ObjectClass::new(3);
+
+/// Class tag for processed summaries awaiting acknowledgment.
+pub const CLASS_PROCESSED: ObjectClass = ObjectClass::new(4);
+
+/// Configuration of a sensor node's storage behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Independent sensors feeding this node.
+    pub sensors: usize,
+    /// Size of one raw capture (one per sensor per capture interval).
+    pub raw_size: ByteSize,
+    /// Interval between captures.
+    pub capture_every: SimDuration,
+    /// Processing latency range (uniform), raw → summary.
+    pub process_delay: (SimDuration, SimDuration),
+    /// Summary size (compression of the raw capture).
+    pub summary_size: ByteSize,
+    /// Uplink acknowledgment latency range (uniform).
+    pub ack_delay: (SimDuration, SimDuration),
+    /// Probability an acknowledgment is lost and must be retried.
+    pub ack_loss: f64,
+    /// Retry interval after a lost acknowledgment.
+    pub ack_retry: SimDuration,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            seed: 0,
+            sensors: 4,
+            raw_size: ByteSize::from_mib(64),
+            capture_every: SimDuration::from_hours(1),
+            process_delay: (SimDuration::from_minutes(10), SimDuration::from_minutes(120)),
+            summary_size: ByteSize::from_mib(4),
+            ack_delay: (SimDuration::from_minutes(1), SimDuration::from_minutes(30)),
+            ack_loss: 0.05,
+            ack_retry: SimDuration::from_hours(2),
+        }
+    }
+}
+
+impl SensorConfig {
+    /// The annotation for a fresh raw capture: non-preemptible until
+    /// processing should long since have happened, then a short wane as a
+    /// safety margin. Losing unprocessed data is the failure §6 guards
+    /// against, so the plateau is full importance.
+    pub fn raw_curve(&self) -> ImportanceCurve {
+        let worst_processing = self.process_delay.1;
+        ImportanceCurve::two_step(
+            Importance::FULL,
+            worst_processing.mul(4),
+            worst_processing.mul(8),
+        )
+    }
+
+    /// The annotation a raw object is *demoted to* once its summary
+    /// exists: a modest-importance retention buffer (re-processing is
+    /// possible but cheap to lose).
+    pub fn raw_retired_curve(&self) -> ImportanceCurve {
+        ImportanceCurve::Fixed {
+            importance: Importance::new_clamped(0.2),
+            expiry: SimDuration::from_days(7),
+        }
+    }
+
+    /// The annotation for a summary awaiting acknowledgment: high
+    /// importance with a generous plateau covering communication failures.
+    pub fn summary_curve(&self) -> ImportanceCurve {
+        ImportanceCurve::two_step(
+            Importance::new_clamped(0.9),
+            SimDuration::from_days(30),
+            SimDuration::from_days(30),
+        )
+    }
+
+    /// The annotation a summary is demoted to after the uplink
+    /// acknowledges it: retained opportunistically, freely replaceable
+    /// under pressure.
+    pub fn summary_acked_curve(&self) -> ImportanceCurve {
+        ImportanceCurve::Fixed {
+            importance: Importance::new_clamped(0.05),
+            expiry: SimDuration::from_days(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_curve_is_non_preemptible_through_worst_case_processing() {
+        let cfg = SensorConfig::default();
+        let curve = cfg.raw_curve();
+        let worst = cfg.process_delay.1;
+        assert_eq!(curve.importance_at(worst), Importance::FULL);
+        assert_eq!(curve.importance_at(worst.mul(2)), Importance::FULL);
+    }
+
+    #[test]
+    fn demotion_curves_are_strictly_lower() {
+        let cfg = SensorConfig::default();
+        let at = SimDuration::ZERO;
+        assert!(cfg.raw_retired_curve().importance_at(at) < cfg.raw_curve().importance_at(at));
+        assert!(
+            cfg.summary_acked_curve().importance_at(at)
+                < cfg.summary_curve().importance_at(at)
+        );
+    }
+
+    #[test]
+    fn summary_outlives_expected_ack_by_a_wide_margin() {
+        let cfg = SensorConfig::default();
+        let curve = cfg.summary_curve();
+        // Even several retry cycles in, the summary stays important.
+        let several_retries = cfg.ack_retry.mul(10);
+        assert!(curve.importance_at(several_retries) >= Importance::new_clamped(0.9));
+    }
+
+    #[test]
+    fn class_tags_are_distinct_from_lecture_classes() {
+        assert_ne!(CLASS_RAW, CLASS_PROCESSED);
+        assert_ne!(CLASS_RAW, crate::CLASS_UNIVERSITY);
+        assert_ne!(CLASS_PROCESSED, crate::CLASS_STUDENT);
+    }
+}

@@ -1,0 +1,212 @@
+//! Recording and replaying arrival traces.
+//!
+//! Every generator in this crate is synthetic, but a downstream user of
+//! the library will eventually want to drive the reclamation engine with
+//! their own trace. This module defines a minimal JSON-lines trace format
+//! (one [`Arrival`] per line) with embedded annotations, plus validated
+//! replay.
+
+use std::io::{BufRead, Write};
+
+use crate::Arrival;
+
+/// An error while reading a trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Arrivals were not in non-decreasing time order.
+    OutOfOrder {
+        /// 1-based line number of the offending arrival.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+            TraceError::OutOfOrder { line } => {
+                write!(f, "trace arrivals out of time order at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes arrivals as JSON lines.
+///
+/// # Errors
+///
+/// Returns any underlying I/O or serialization failure.
+///
+/// # Examples
+///
+/// ```
+/// use workload::trace;
+/// use workload::lecture::{generate, LectureConfig};
+///
+/// let arrivals = generate(&LectureConfig::default(), 1);
+/// let mut buffer = Vec::new();
+/// trace::write(&mut buffer, &arrivals)?;
+/// let replayed = trace::read(buffer.as_slice())?;
+/// assert_eq!(arrivals, replayed);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write<W: Write>(mut writer: W, arrivals: &[Arrival]) -> Result<(), TraceError> {
+    for arrival in arrivals {
+        let line = serde_json::to_string(arrival).map_err(|e| TraceError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace, validating time order. Blank lines and
+/// `#`-prefixed comment lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] for malformed lines and
+/// [`TraceError::OutOfOrder`] if arrival times ever decrease.
+pub fn read<R: BufRead>(reader: R) -> Result<Vec<Arrival>, TraceError> {
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let arrival: Arrival =
+            serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
+                line: index + 1,
+                message: e.to_string(),
+            })?;
+        if let Some(prev) = arrivals.last() {
+            if arrival.at < prev.at {
+                return Err(TraceError::OutOfOrder { line: index + 1 });
+            }
+        }
+        arrivals.push(arrival);
+    }
+    Ok(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CLASS_UNIVERSITY;
+    use sim_core::{ByteSize, SimDuration, SimTime};
+    use temporal_importance::{Importance, ImportanceCurve};
+
+    fn arrival(day: u64) -> Arrival {
+        Arrival {
+            at: SimTime::from_days(day),
+            size: ByteSize::from_mib(100),
+            class: CLASS_UNIVERSITY,
+            curve: ImportanceCurve::two_step(
+                Importance::FULL,
+                SimDuration::from_days(10),
+                SimDuration::from_days(10),
+            ),
+        }
+    }
+
+    #[test]
+    fn round_trips_all_curve_shapes() {
+        let arrivals = vec![
+            Arrival {
+                curve: ImportanceCurve::Persistent,
+                ..arrival(0)
+            },
+            Arrival {
+                curve: ImportanceCurve::Ephemeral,
+                ..arrival(1)
+            },
+            arrival(2),
+            Arrival {
+                curve: ImportanceCurve::exp_decay(
+                    Importance::FULL,
+                    SimDuration::from_days(1),
+                    SimDuration::from_days(10),
+                    SimDuration::from_days(2),
+                )
+                .unwrap(),
+                ..arrival(3)
+            },
+        ];
+        let mut buffer = Vec::new();
+        write(&mut buffer, &arrivals).unwrap();
+        let replayed = read(buffer.as_slice()).unwrap();
+        assert_eq!(arrivals, replayed);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let mut buffer = Vec::new();
+        write(&mut buffer, &[arrival(1)]).unwrap();
+        let text = format!(
+            "# a comment\n\n{}\n",
+            String::from_utf8(buffer).unwrap().trim()
+        );
+        let replayed = read(text.as_bytes()).unwrap();
+        assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage_lines_with_line_numbers() {
+        let err = read("not json\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_order_traces() {
+        let mut buffer = Vec::new();
+        write(&mut buffer, &[arrival(5), arrival(3)]).unwrap();
+        let err = read(buffer.as_slice()).unwrap_err();
+        match err {
+            TraceError::OutOfOrder { line } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_importance_in_trace() {
+        // Hand-crafted line with an out-of-range importance: the curve's
+        // serde validation must refuse it.
+        let line = r#"{"at":0,"size":100,"class":1,"curve":{"Fixed":{"importance":1.5,"expiry":10}}}"#;
+        let err = read(line.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { .. }));
+    }
+}

@@ -1,0 +1,62 @@
+//! The §6 user-level file-system prototype: a namespace whose free space
+//! is managed entirely by temporal importance.
+//!
+//! Run with: `cargo run --example filesystem`
+
+use temporal_reclaim::tifs::TiFs;
+use temporal_reclaim::{ByteSize, Importance, ImportanceCurve, SimDuration, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fs = TiFs::new(ByteSize::from_mib(4));
+    let now = SimTime::ZERO;
+
+    fs.mkdir_all("/lectures/os", now)?;
+    fs.mkdir_all("/cache", now)?;
+
+    // Lecture videos get the Table-1-style annotation...
+    let lecture = ImportanceCurve::two_step(
+        Importance::FULL,
+        SimDuration::from_days(120),
+        SimDuration::from_days(730),
+    );
+    fs.create("/lectures/os/l01.mp4", vec![1; 1 << 20], lecture.clone(), now)?;
+    fs.create("/lectures/os/l02.mp4", vec![2; 1 << 20], lecture.clone(), now)?;
+
+    // ...while downloads land in /cache as ephemeral data.
+    fs.create("/cache/page.html", vec![3; 1 << 21], ImportanceCurve::Ephemeral, now)?;
+    println!(
+        "day 0: {} used of {}, density {:.3}",
+        fs.used(),
+        fs.capacity(),
+        fs.density(now)
+    );
+
+    // A third lecture needs room; the cache gives way automatically.
+    fs.create("/lectures/os/l03.mp4", vec![4; 1 << 21], lecture, now)?;
+    println!("day 0: stored l03.mp4 — cache contents were reclaimed for it");
+    println!(
+        "  /cache now lists {} entries",
+        fs.list("/cache", now)?.len()
+    );
+
+    // Two years on, lecture 1 has waned; stat shows it.
+    let later = SimTime::from_days(500);
+    let stat = fs.stat("/lectures/os/l01.mp4", later)?;
+    println!(
+        "day 500: l01.mp4 importance {}, expires at {:?}",
+        stat.importance,
+        stat.expires.map(|t| t.as_days())
+    );
+
+    // The user can still rescue it with a rejuvenation.
+    fs.rejuvenate(
+        "/lectures/os/l01.mp4",
+        ImportanceCurve::fixed_lifetime(SimDuration::from_days(365)),
+        later,
+    )?;
+    println!(
+        "day 500: rejuvenated — importance back to {}",
+        fs.stat("/lectures/os/l01.mp4", later)?.importance
+    );
+    Ok(())
+}

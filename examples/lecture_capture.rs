@@ -1,0 +1,44 @@
+//! The §5.2 scenario: a single instructor's lecture archive on one
+//! desktop disk, with term-aware lifetimes from Table 1 and
+//! half-importance student uploads.
+//!
+//! Run with: `cargo run --release --example lecture_capture`
+
+use temporal_reclaim::experiments::lecture::{self, LectureRunConfig};
+use temporal_reclaim::workload::{CLASS_STUDENT, CLASS_UNIVERSITY};
+
+fn main() {
+    println!("§5.2 lecture capture for a single instructor (5 simulated years)\n");
+    for capacity_gib in [80u64, 120] {
+        let result = lecture::run(LectureRunConfig::paper(11, capacity_gib));
+        let uni = result
+            .mean_lifetime_with_rejections(CLASS_UNIVERSITY)
+            .unwrap_or(0.0);
+        let student = result
+            .mean_lifetime_with_rejections(CLASS_STUDENT)
+            .unwrap_or(0.0);
+        let density = result.density.summary().expect("density sampled");
+        println!("{capacity_gib} GiB local storage:");
+        println!("  university objects: mean lifetime {uni:>6.1} days");
+        println!(
+            "  student objects:    mean lifetime {student:>6.1} days ({} rejected outright)",
+            result.rejections_for(CLASS_STUDENT)
+        );
+        println!(
+            "  importance density: mean {:.3}, peak {:.3}",
+            density.mean, density.max
+        );
+        let uni_imp = result.reclamation_importance_series(CLASS_UNIVERSITY);
+        if let Some(s) = uni_imp.summary() {
+            println!(
+                "  university importance at reclamation: mean {:.2}, max {:.2}",
+                s.mean, s.max
+            );
+        }
+        println!();
+    }
+    println!(
+        "More storage lifts the student (50% importance) class from starvation\n\
+         without touching a single annotation — the paper's scalability claim."
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: annotate objects with temporal importance and watch the
+//! store reclaim space by itself.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use temporal_reclaim::{
+    ByteSize, Importance, ImportanceCurve, ObjectIdGen, ObjectSpec, SimDuration, SimTime,
+    StorageUnit,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10 GiB storage unit using the paper's preemptive policy.
+    let mut unit = StorageUnit::new(ByteSize::from_gib(10));
+    let mut ids = ObjectIdGen::new();
+
+    // The paper's §5.1 two-step annotation: "the object is definitely
+    // important for 15 days, might be important for another 15 days and
+    // probably not after 30 days".
+    let two_step = ImportanceCurve::two_step(
+        Importance::FULL,
+        SimDuration::from_days(15),
+        SimDuration::from_days(15),
+    );
+
+    // Day 0: fill the disk with annotated objects.
+    println!("day 0: storing 10 x 1 GiB objects with two-step lifetimes");
+    for _ in 0..10 {
+        let spec = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step.clone());
+        unit.store(spec, SimTime::ZERO)?;
+    }
+    println!(
+        "  used {} of {}, importance density {:.3}",
+        unit.used(),
+        unit.capacity(),
+        unit.importance_density(SimTime::ZERO)
+    );
+
+    // Day 10: the disk is full of full-importance data — a new object of
+    // equal importance is refused. The error tells the creator exactly
+    // which importance level blocks them.
+    let day10 = SimTime::from_days(10);
+    let refused = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step.clone());
+    match unit.store(refused, day10) {
+        Err(e) => println!("day 10: store refused as expected: {e}"),
+        Ok(_) => unreachable!("the disk is full of full-importance data"),
+    }
+
+    // Day 20: the stored objects are half-way through their wane
+    // (importance ~0.67), so a fresh full-importance object preempts the
+    // least important one automatically.
+    let day20 = SimTime::from_days(20);
+    println!(
+        "day 20: importance density has decayed to {:.3}",
+        unit.importance_density(day20)
+    );
+    let fresh = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step);
+    let outcome = unit.store(fresh, day20)?;
+    println!(
+        "  stored by preempting {} object(s); highest preempted importance {}",
+        outcome.evicted.len(),
+        outcome
+            .highest_preempted
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "none".into())
+    );
+    for victim in &outcome.evicted {
+        println!(
+            "  evicted {} after {} (importance at eviction {})",
+            victim.id,
+            victim.lifetime_achieved(),
+            victim.importance_at_eviction
+        );
+    }
+
+    // The storage importance density is the feedback signal: it tells
+    // creators which importance levels the storage is currently full for.
+    let snapshot = unit.density_snapshot(day20);
+    println!(
+        "  density {:.3}; lowest stored importance {}",
+        snapshot.density,
+        snapshot
+            .min_stored_importance()
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "n/a".into())
+    );
+    Ok(())
+}

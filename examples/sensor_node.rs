@@ -1,0 +1,54 @@
+//! The §6 sensor scenario end to end: raw captures at full importance,
+//! trigger-driven demotion after processing and acknowledgment, and a
+//! three-day uplink outage absorbed without losing a single unprocessed
+//! capture.
+//!
+//! Run with: `cargo run --release --example sensor_node`
+
+use temporal_reclaim::experiments::sensor::{self, SensorRunConfig};
+use temporal_reclaim::{SimDuration, SimTime};
+
+fn main() {
+    println!("§6 sensor node: 4 sensors, 2 GiB storage, 14 simulated days\n");
+
+    for (label, outage) in [
+        ("steady uplink", None),
+        (
+            "3-day uplink outage from day 5",
+            Some((SimTime::from_days(5), SimDuration::from_days(3))),
+        ),
+    ] {
+        let result = sensor::run(SensorRunConfig {
+            outage,
+            ..SensorRunConfig::default()
+        });
+        let peak_pending = result
+            .pending_summaries
+            .values()
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        println!("{label}:");
+        println!(
+            "  captures {}  summaries {}  acked {}",
+            result.captures, result.summaries, result.acked
+        );
+        println!(
+            "  unprocessed captures lost: {}   unacked summaries lost: {}",
+            result.raw_lost_unprocessed, result.summaries_lost_unacked
+        );
+        println!(
+            "  retention buffer (pending summaries): peak {peak_pending:.0}, mean {:.1}",
+            result.pending_summaries.summary().expect("sampled").mean
+        );
+        println!(
+            "  storage importance density: mean {:.3}\n",
+            result.density.summary().expect("sampled").mean
+        );
+    }
+
+    println!(
+        "Demand is ~3x the disk, yet nothing in flight is ever lost: only data\n\
+         whose trigger fired (processed / acknowledged) becomes preemptible."
+    );
+}

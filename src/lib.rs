@@ -1,0 +1,31 @@
+//! Umbrella crate for the temporal-importance storage reclamation
+//! reproduction (Chandra, Gehani, Yu — ICDCS 2007).
+//!
+//! Re-exports the workspace's public API so examples and downstream users
+//! need a single dependency:
+//!
+//! * [`core`](temporal_importance) — importance curves, the preemptive
+//!   reclamation engine, the storage importance density metric.
+//! * [`workload`] — the paper's workload generators.
+//! * [`besteffs`] — the simulated distributed store with §5.3 placement.
+//! * [`analysis`] — CDFs, time series, the Palimpsest time-constant
+//!   estimator.
+//! * [`experiments`] — drivers regenerating every paper table and figure.
+//! * [`sim`](sim_core) — simulated time, byte sizes, event queues.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use besteffs;
+pub use experiments;
+pub use sim_core as sim;
+pub use tifs;
+pub use temporal_importance as core;
+pub use workload;
+
+pub use sim_core::{ByteSize, SimDuration, SimTime};
+pub use temporal_importance::{
+    EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen, ObjectSpec, StorageUnit,
+};

@@ -1,0 +1,187 @@
+//! Integration tests of the Besteffs distributed layer: §5.3 placement at
+//! small scale, versioned directories, and failure injection mid-run.
+
+use temporal_reclaim::besteffs::{
+    Besteffs, Directory, NodeId, ObjectName, PlacementConfig, PlacementError, Version,
+};
+use temporal_reclaim::core::{Importance, ImportanceCurve, ObjectIdGen, ObjectSpec};
+use temporal_reclaim::experiments::university::{self, UniversityRunConfig};
+use temporal_reclaim::sim::rng;
+use temporal_reclaim::{ByteSize, SimDuration, SimTime};
+
+const SEED: u64 = 20070625;
+
+fn two_step_spec(ids: &mut ObjectIdGen, mib: u64, importance: f64) -> ObjectSpec {
+    ObjectSpec::new(
+        ids.next_id(),
+        ByteSize::from_mib(mib),
+        ImportanceCurve::two_step(
+            Importance::new_clamped(importance),
+            SimDuration::from_days(30),
+            SimDuration::from_days(30),
+        ),
+    )
+}
+
+/// §5.3: the cluster keeps accepting high-importance objects long after
+/// low-importance ones start bouncing — the "full" boundary is an
+/// importance level, not a byte count.
+#[test]
+fn cluster_fullness_is_importance_relative() {
+    let mut rand = rng::seeded(SEED);
+    let mut cluster = Besteffs::new(
+        30,
+        ByteSize::from_gib(1),
+        PlacementConfig::default(),
+        &mut rand,
+    );
+    let mut ids = ObjectIdGen::new();
+
+    // Saturate with mid-importance data.
+    let mut mid_rejected = false;
+    for _ in 0..2_000 {
+        match cluster.place(two_step_spec(&mut ids, 200, 0.5), SimTime::ZERO, &mut rand) {
+            Ok(_) => {}
+            Err(PlacementError::ClusterFull { .. }) => {
+                mid_rejected = true;
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(mid_rejected, "cluster never filled for 0.5-importance data");
+
+    // Full-importance objects still get in.
+    let placed = cluster
+        .place(two_step_spec(&mut ids, 200, 1.0), SimTime::ZERO, &mut rand)
+        .expect("high importance must still be storable");
+    assert!(!placed.outcome.evicted.is_empty());
+
+    // Lower importance (0.25 < resident 0.5) stays out.
+    let err = cluster
+        .place(two_step_spec(&mut ids, 200, 0.25), SimTime::ZERO, &mut rand)
+        .unwrap_err();
+    assert!(matches!(err, PlacementError::ClusterFull { .. }));
+}
+
+/// The placement score reported to callers matches what actually happened
+/// on the chosen unit.
+#[test]
+fn placement_score_matches_eviction_outcome() {
+    let mut rand = rng::seeded(SEED + 1);
+    let mut cluster = Besteffs::new(
+        10,
+        ByteSize::from_mib(500),
+        PlacementConfig {
+            candidates_per_try: 5,
+            max_tries: 2,
+            walk_steps: 6,
+        },
+        &mut rand,
+    );
+    let mut ids = ObjectIdGen::new();
+    for _ in 0..60 {
+        let _ = cluster.place(two_step_spec(&mut ids, 100, 0.4), SimTime::ZERO, &mut rand);
+    }
+    for _ in 0..10 {
+        if let Ok(placed) =
+            cluster.place(two_step_spec(&mut ids, 100, 0.9), SimTime::ZERO, &mut rand)
+        {
+            let reported = placed.outcome.placement_score();
+            for victim in &placed.outcome.evicted {
+                assert!(victim.importance_at_eviction <= reported);
+            }
+        }
+    }
+}
+
+/// Failure injection mid-run: losing nodes loses exactly their objects,
+/// the directory drops dangling versions, and placement keeps working.
+#[test]
+fn node_failures_mid_run() {
+    let mut rand = rng::seeded(SEED + 2);
+    let mut cluster = Besteffs::new(
+        20,
+        ByteSize::from_gib(1),
+        PlacementConfig::default(),
+        &mut rand,
+    );
+    let mut ids = ObjectIdGen::new();
+    let mut directory = Directory::new();
+
+    // Publish 40 named objects.
+    for i in 0..40 {
+        let spec = two_step_spec(&mut ids, 50, 1.0);
+        let object = spec.id();
+        let placed = cluster.place(spec, SimTime::ZERO, &mut rand).unwrap();
+        let version = directory.publish(
+            ObjectName::new(format!("lecture-{i}")),
+            object,
+            placed.node,
+        );
+        assert_eq!(version, Version::FIRST);
+    }
+    assert_eq!(directory.len(), 40);
+
+    // Kill a quarter of the cluster.
+    let mut lost_total = 0;
+    for node in 0..5 {
+        lost_total += cluster.fail_node(NodeId::new(node));
+        directory.purge_node(NodeId::new(node));
+    }
+    assert_eq!(cluster.stats().objects_lost, lost_total);
+    assert_eq!(cluster.live_nodes(), 15);
+    assert_eq!(directory.len() as u64, 40 - lost_total);
+
+    // Survivors are still locatable and consistent with the directory.
+    for name in directory.names() {
+        let entry = directory.latest(name).unwrap();
+        assert_eq!(cluster.locate(entry.object), Some(entry.node));
+    }
+
+    // Re-publishing a lost lecture creates version 2 on a live node.
+    let spec = two_step_spec(&mut ids, 50, 1.0);
+    let object = spec.id();
+    let placed = cluster.place(spec, SimTime::from_days(1), &mut rand).unwrap();
+    assert!(cluster.is_alive(placed.node));
+    let name = ObjectName::new("lecture-0");
+    directory.publish(name.clone(), object, placed.node);
+    assert!(directory.version_count(&name) >= 1);
+}
+
+/// A miniature §5.3 run end-to-end through the experiment driver:
+/// pressure, class differentiation, and density all behave.
+#[test]
+fn university_mini_run_end_to_end() {
+    let mut cfg = UniversityRunConfig::paper(SEED, 80, 60);
+    cfg.years = 2;
+    let result = university::run(cfg);
+    assert!(result.pressure() > 1.0, "pressure {:.2}", result.pressure());
+    assert!(result.university.acceptance() > result.student.acceptance());
+    assert!(result.cluster_stats.placed > 0);
+    assert!(result
+        .density
+        .values()
+        .iter()
+        .all(|v| (0.0..=1.0).contains(v)));
+    // Offered = placed + rejected, per class.
+    for class in [&result.university, &result.student] {
+        assert_eq!(class.offered, class.placed + class.rejected);
+    }
+}
+
+/// Determinism: the same seed reproduces the same cluster behaviour.
+#[test]
+fn distributed_runs_are_deterministic() {
+    let run = || {
+        let mut cfg = UniversityRunConfig::paper(SEED, 80, 100);
+        cfg.years = 1;
+        let r = university::run(cfg);
+        (
+            r.university.placed,
+            r.student.placed,
+            r.cluster_stats.rejected,
+        )
+    };
+    assert_eq!(run(), run());
+}

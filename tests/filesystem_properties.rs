@@ -1,0 +1,102 @@
+//! Property tests for the tifs namespace: the directory tree and the
+//! storage unit must agree after any operation sequence, including
+//! reclamation races between files.
+
+use proptest::prelude::*;
+use temporal_reclaim::tifs::{EntryKind, FsError, TiFs};
+use temporal_reclaim::{ByteSize, Importance, ImportanceCurve, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { name: u8, kib: u64, importance: f64 },
+    Remove { name: u8 },
+    Read { name: u8 },
+    Reclaim,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u64..300, 0.0f64..=1.0)
+            .prop_map(|(name, kib, importance)| Op::Create { name, kib, importance }),
+        (0u8..8).prop_map(|name| Op::Remove { name }),
+        (0u8..8).prop_map(|name| Op::Read { name }),
+        Just(Op::Reclaim),
+    ]
+}
+
+fn path_for(name: u8) -> String {
+    format!("/files/f{name}")
+}
+
+proptest! {
+    /// After any operation sequence: every listed file is readable, its
+    /// stat matches its contents, the unit's used bytes equal the sum of
+    /// listed file sizes, and no phantom entries survive reclamation.
+    #[test]
+    fn namespace_and_storage_agree(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut fs = TiFs::new(ByteSize::from_mib(1));
+        fs.mkdir_all("/files", SimTime::ZERO).unwrap();
+        let mut day = 0u64;
+
+        for op in ops {
+            day += 1;
+            let now = SimTime::from_days(day);
+            match op {
+                Op::Create { name, kib, importance } => {
+                    let curve = ImportanceCurve::Fixed {
+                        importance: Importance::new_clamped(importance),
+                        expiry: SimDuration::from_days(30),
+                    };
+                    let result = fs.create(
+                        &path_for(name),
+                        vec![name; (kib * 1024) as usize],
+                        curve,
+                        now,
+                    );
+                    match result {
+                        Ok(_) => {}
+                        Err(FsError::AlreadyExists { .. }) => {}
+                        Err(FsError::Storage(_)) => {}
+                        Err(e) => prop_assert!(false, "unexpected create error {e}"),
+                    }
+                }
+                Op::Remove { name } => {
+                    match fs.remove(&path_for(name), now) {
+                        Ok(()) | Err(FsError::NotFound { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected remove error {e}"),
+                    }
+                }
+                Op::Read { name } => {
+                    match fs.read(&path_for(name), now) {
+                        Ok(data) => prop_assert!(!data.is_empty()),
+                        Err(FsError::NotFound { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected read error {e}"),
+                    }
+                }
+                Op::Reclaim => {
+                    let _ = fs.reclaim_expired(now);
+                }
+            }
+
+            // Invariant: listing agrees with storage accounting.
+            let now = SimTime::from_days(day);
+            let entries = fs.list("/files", now).unwrap();
+            let mut listed_bytes = 0u64;
+            for entry in &entries {
+                prop_assert_eq!(entry.kind, EntryKind::File);
+                let path = format!("/files/{}", entry.name);
+                let stat = fs.stat(&path, now).expect("listed file must stat");
+                let data = fs.read(&path, now).expect("listed file must read");
+                prop_assert_eq!(stat.size.as_bytes(), data.len() as u64);
+                listed_bytes += stat.size.as_bytes();
+            }
+            prop_assert_eq!(
+                fs.used().as_bytes(),
+                listed_bytes,
+                "storage holds bytes the namespace cannot see"
+            );
+        }
+    }
+}

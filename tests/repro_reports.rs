@@ -1,0 +1,166 @@
+//! Smoke tests for every figure/table report: each regenerates at a quick
+//! horizon and must contain the structural elements the paper's artifact
+//! has. The full-horizon output is produced by `cargo run -p bench-harness
+//! --bin repro` and recorded in EXPERIMENTS.md.
+
+use temporal_reclaim::experiments::figures;
+
+const SEED: u64 = 20070625;
+
+#[test]
+fn fig2_report() {
+    let report = figures::fig2(SEED);
+    assert_eq!(report.tables[0].1.len(), 12, "one row per month");
+    assert!(report.to_string().contains("0.5 → 0.7 → 1.0 → 1.3"));
+}
+
+#[test]
+fn fig3_report() {
+    let report = figures::fig3(SEED, 200);
+    assert_eq!(
+        report.tables.len(),
+        4,
+        "80 and 120 GiB panels, each with a trend and a distribution table"
+    );
+    let text = report.to_string();
+    assert!(text.contains("no-importance"));
+    assert!(text.contains("temporal-importance"));
+    assert!(text.contains("palimpsest"));
+}
+
+#[test]
+fn fig4_report() {
+    let report = figures::fig4(SEED, 200);
+    let text = report.to_string();
+    assert!(text.contains("palimpsest=0"), "fifo must show zero rejections");
+}
+
+#[test]
+fn fig5_report() {
+    let report = figures::fig5(SEED, 200);
+    let text = report.to_string();
+    for window in ["hour", "day", "month"] {
+        assert!(text.contains(window), "missing {window} window row");
+    }
+    assert!(text.contains("heteroscedasticity"));
+}
+
+#[test]
+fn fig6_report() {
+    let report = figures::fig6(SEED, 200);
+    assert_eq!(report.tables.len(), 2);
+    assert!(report.to_string().contains("peak density"));
+}
+
+#[test]
+fn fig7_report() {
+    let report = figures::fig7(SEED, 365);
+    let text = report.to_string();
+    assert!(
+        text.contains("snapshot density: 0.8"),
+        "snapshot missing: {text}"
+    );
+    assert!(text.contains("importance 1.0"));
+}
+
+#[test]
+fn table1_report() {
+    let report = figures::table1();
+    let text = report.to_string();
+    for needle in ["spring", "summer", "fall", "8", "150", "248", "730", "365", "850"] {
+        assert!(text.contains(needle), "Table 1 missing {needle}");
+    }
+}
+
+#[test]
+fn fig8_report() {
+    let report = figures::fig8(SEED);
+    assert_eq!(report.tables[0].1.len(), 20, "20 weeks");
+}
+
+#[test]
+fn fig9_report() {
+    let report = figures::fig9(SEED, 2);
+    let text = report.to_string();
+    assert!(text.contains("university"));
+    assert!(text.contains("student"));
+}
+
+#[test]
+fn fig10_report() {
+    let report = figures::fig10(SEED, 2);
+    let text = report.to_string();
+    assert!(text.contains("palimpsest"), "needs the FIFO comparison panel");
+    assert!(text.contains("projected importance"));
+}
+
+#[test]
+fn fig11_report() {
+    let report = figures::fig11(SEED, 2);
+    assert_eq!(report.tables.len(), 2);
+}
+
+#[test]
+fn fig12_report() {
+    let report = figures::fig12(SEED, 2);
+    assert!(report.to_string().contains("density mean"));
+}
+
+#[test]
+fn sec53_report() {
+    let report = figures::sec53(SEED, 1, 100);
+    let text = report.to_string();
+    assert!(text.contains("80 GiB"));
+    assert!(text.contains("120 GiB"));
+    assert!(text.contains("pressure"));
+}
+
+#[test]
+fn ablation_reports() {
+    let decay = figures::ablate_decay(SEED, 200);
+    assert_eq!(decay.tables[0].1.len(), 3, "three wane shapes");
+    let placement = figures::ablate_placement(SEED);
+    assert_eq!(placement.tables[0].1.len(), 6, "six sweep points");
+}
+
+#[test]
+fn sec6_sensor_report() {
+    let report = figures::sec6_sensor(SEED);
+    let text = report.to_string();
+    assert!(text.contains("steady"));
+    assert!(text.contains("outage"));
+    assert!(text.contains("zero unprocessed captures"));
+}
+
+#[test]
+fn fairness_report() {
+    let report = figures::fairness(SEED);
+    assert_eq!(report.tables[0].1.len(), 3, "three user rows");
+    assert!(report.to_string().contains("weighted"));
+}
+
+#[test]
+fn advisor_report() {
+    let report = figures::advisor(SEED, 365);
+    let text = report.to_string();
+    assert!(text.contains("admission threshold"));
+    assert!(text.contains("plateau"));
+}
+
+#[test]
+fn mixed_apps_report() {
+    let report = figures::mixed_apps(SEED, 200);
+    let text = report.to_string();
+    for app in ["archive", "backup", "cache"] {
+        assert!(text.contains(app), "missing {app}");
+    }
+}
+
+#[test]
+fn predictability_report() {
+    let report = figures::predictability(SEED, 365);
+    let text = report.to_string();
+    assert!(text.contains("oversleep"));
+    assert!(text.contains("hour"));
+    assert!(text.contains("month"));
+}
