@@ -56,10 +56,7 @@ impl WeightedCdf {
 
     /// The cumulative fraction of weight at values `<= value`.
     pub fn fraction_at_most(&self, value: f64) -> f64 {
-        match self
-            .steps
-            .binary_search_by(|(v, _)| v.total_cmp(&value))
-        {
+        match self.steps.binary_search_by(|(v, _)| v.total_cmp(&value)) {
             Ok(i) => self.steps[i].1,
             Err(0) => 0.0,
             Err(i) => self.steps[i - 1].1,
@@ -134,8 +131,7 @@ mod tests {
 
     #[test]
     fn quantiles() {
-        let cdf =
-            WeightedCdf::from_pairs(vec![(0.25, 13.0), (0.5, 30.0), (1.0, 57.0)]).unwrap();
+        let cdf = WeightedCdf::from_pairs(vec![(0.25, 13.0), (0.5, 30.0), (1.0, 57.0)]).unwrap();
         assert_eq!(cdf.quantile(0.0), 0.25);
         assert_eq!(cdf.quantile(0.13), 0.25);
         assert_eq!(cdf.quantile(0.43), 0.5);

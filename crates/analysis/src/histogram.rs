@@ -52,8 +52,7 @@ impl Histogram {
         }
         let bins = self.counts.len();
         let fraction = (value - self.lo) / (self.hi - self.lo);
-        let index = ((fraction * bins as f64).floor() as i64)
-            .clamp(0, bins as i64 - 1) as usize;
+        let index = ((fraction * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
         self.counts[index] += 1;
         self.total += 1;
     }

@@ -139,7 +139,11 @@ impl TimeConstantSeries {
         let per = sorted.len() / groups;
         let mut out = Vec::with_capacity(groups);
         for g in 0..groups {
-            let slice = &sorted[g * per..if g == groups - 1 { sorted.len() } else { (g + 1) * per }];
+            let slice = &sorted[g * per..if g == groups - 1 {
+                sorted.len()
+            } else {
+                (g + 1) * per
+            }];
             let rates: Vec<f64> = slice.iter().map(|p| p.rate_bytes_per_day).collect();
             let taus: Vec<f64> = slice.iter().map(|p| p.tau_days).collect();
             let rate_mean = Summary::from_slice(&rates)?.mean;

@@ -181,10 +181,7 @@ mod tests {
         let means = s.bucket_mean(SimDuration::from_days(5));
         assert_eq!(
             means,
-            vec![
-                (SimTime::ZERO, 2.0),
-                (SimTime::from_days(5), 7.0),
-            ]
+            vec![(SimTime::ZERO, 2.0), (SimTime::from_days(5), 7.0),]
         );
         let sums = s.bucket_sum(SimDuration::from_days(5));
         assert_eq!(sums[0].1, 10.0);

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sim_core::{ByteSize, SimTime};
 use temporal_importance::{EvictionPolicy, Importance, StorageUnit};
 
-use bench_harness::{incoming_spec, mixed_unit};
+use bench_harness::{incoming_spec, mixed_unit, mixed_unit_naive};
 
 fn bench_store_free_space(c: &mut Criterion) {
     c.bench_function("store/into_free_space", |b| {
@@ -78,11 +78,114 @@ fn bench_fifo_store(c: &mut Criterion) {
     });
 }
 
+/// Sustained store churn at 10k/100k residents: every store of a
+/// same-sized full-importance object preempts exactly one victim, so the
+/// resident count stays constant and each iteration exercises the whole
+/// admission plan. The `_naive` variants run the scan-everything oracle
+/// for comparison.
+fn bench_store_churn_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/churn");
+    group.measurement_time(std::time::Duration::from_millis(250));
+    // Each measured store consumes one preemptible resident; keep the
+    // iteration cap (sample_size × 100) well inside the 10k fixture pool.
+    group.sample_size(20);
+    for residents in [10_000u64, 100_000] {
+        for naive in [false, true] {
+            let label = format!(
+                "{residents}_residents_{}",
+                if naive { "naive" } else { "indexed" }
+            );
+            group.bench_function(label, |b| {
+                let capacity = ByteSize::from_mib(residents * 10);
+                let mut unit = if naive {
+                    mixed_unit_naive(capacity, residents, 10)
+                } else {
+                    mixed_unit(capacity, residents, 10)
+                };
+                let mut next_id = residents;
+                let mut minute = 0u64;
+                b.iter(|| {
+                    next_id += 1;
+                    minute += 1;
+                    unit.store(incoming_spec(next_id, 10), SimTime::from_minutes(minute))
+                        .unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Admission probes (the §5.3 placement RPC) at 10k/100k residents.
+fn bench_peek_admission_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peek_admission");
+    group.measurement_time(std::time::Duration::from_millis(250));
+    for residents in [10_000u64, 100_000] {
+        for naive in [false, true] {
+            let label = format!(
+                "{residents}_residents_{}",
+                if naive { "naive" } else { "indexed" }
+            );
+            group.bench_function(label, |b| {
+                let capacity = ByteSize::from_mib(residents * 10);
+                let unit = if naive {
+                    mixed_unit_naive(capacity, residents, 10)
+                } else {
+                    mixed_unit(capacity, residents, 10)
+                };
+                b.iter(|| {
+                    unit.peek_admission(
+                        ByteSize::from_mib(30),
+                        Importance::new_clamped(0.9),
+                        SimTime::ZERO,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Repeated density sampling at an advancing clock — the dashboard /
+/// feedback-signal loop. The indexed engine answers from the O(1)
+/// incremental accumulators; the naive engine rescans every resident.
+fn bench_density_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance_density");
+    group.measurement_time(std::time::Duration::from_millis(250));
+    for residents in [10_000u64, 100_000] {
+        for naive in [false, true] {
+            let label = format!(
+                "{residents}_residents_{}",
+                if naive { "naive" } else { "indexed" }
+            );
+            group.bench_function(label, |b| {
+                let capacity = ByteSize::from_mib(residents * 10);
+                let mut unit = if naive {
+                    mixed_unit_naive(capacity, residents, 10)
+                } else {
+                    mixed_unit(capacity, residents, 10)
+                };
+                let mut minute = 0u64;
+                b.iter(|| {
+                    minute += 1;
+                    let now = SimTime::from_minutes(minute);
+                    unit.advance(now);
+                    unit.importance_density(now)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_free_space,
     bench_store_with_preemption,
     bench_peek_admission,
-    bench_fifo_store
+    bench_fifo_store,
+    bench_store_churn_large,
+    bench_peek_admission_large,
+    bench_density_sampling
 );
 criterion_main!(benches);

@@ -30,9 +30,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| figures::fig7(SEED, 365))
     });
     group.bench_function("table1_lecture_lifetimes", |b| b.iter(figures::table1));
-    group.bench_function("fig8_lecture_downloads", |b| {
-        b.iter(|| figures::fig8(SEED))
-    });
+    group.bench_function("fig8_lecture_downloads", |b| b.iter(|| figures::fig8(SEED)));
     group.bench_function("fig9_lecture_lifetimes", |b| {
         b.iter(|| figures::fig9(SEED, 2))
     });

@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sim_core::{rng, ByteSize, SimTime};
 
-use besteffs::{Besteffs, PlacementConfig};
 use bench_harness::incoming_spec;
+use besteffs::{Besteffs, PlacementConfig};
 
 fn loaded_cluster(nodes: usize, config: PlacementConfig) -> Besteffs {
     let mut rand = rng::seeded(42);

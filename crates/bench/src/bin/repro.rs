@@ -25,9 +25,26 @@ struct Options {
 }
 
 const ALL_EXPERIMENTS: [&str; 20] = [
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "sec53", "ablate-decay", "ablate-placement", "sec6-sensor", "fairness", "advisor",
-    "mixed-apps", "predictability",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "sec53",
+    "ablate-decay",
+    "ablate-placement",
+    "sec6-sensor",
+    "fairness",
+    "advisor",
+    "mixed-apps",
+    "predictability",
 ];
 
 fn main() -> ExitCode {

@@ -5,7 +5,7 @@
 
 use sim_core::{ByteSize, SimDuration, SimTime};
 use temporal_importance::{
-    Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
+    EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
 };
 
 /// Builds a unit pre-filled with `count` objects of `mib` MiB whose fixed
@@ -13,6 +13,20 @@ use temporal_importance::{
 /// state for eviction/density benchmarks.
 pub fn mixed_unit(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
     let mut unit = StorageUnit::new(capacity);
+    fill_mixed(&mut unit, count, mib);
+    unit
+}
+
+/// The same fixture on the naive scan-everything engine
+/// ([`StorageUnit::with_policy_naive`]) — the baseline the indexed engine
+/// is benchmarked against.
+pub fn mixed_unit_naive(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
+    let mut unit = StorageUnit::with_policy_naive(capacity, EvictionPolicy::Preemptive);
+    fill_mixed(&mut unit, count, mib);
+    unit
+}
+
+fn fill_mixed(unit: &mut StorageUnit, count: u64, mib: u64) {
     unit.set_recording(false);
     for i in 0..count {
         let importance = Importance::new_clamped(0.05 + (i % 10) as f64 * 0.1);
@@ -26,7 +40,6 @@ pub fn mixed_unit(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
         );
         unit.store(spec, SimTime::ZERO).expect("fixture fits");
     }
-    unit
 }
 
 /// A full-importance two-step spec used as the "incoming" object in

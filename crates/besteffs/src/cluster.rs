@@ -12,6 +12,19 @@ use temporal_importance::{
 
 use crate::overlay::{NodeId, Overlay};
 
+/// Fleets smaller than this are swept/advanced/measured sequentially:
+/// thread spawn overhead would outweigh the per-node work.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// Worker threads for a parallel pass over `nodes` units.
+fn worker_count(nodes: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(nodes.div_ceil(64))
+        .max(1)
+}
+
 /// Parameters of the §5.3 distributed placement algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlacementConfig {
@@ -292,8 +305,11 @@ impl Besteffs {
             );
             for node in candidates {
                 probed += 1;
-                let admission =
-                    self.units[node.index()].peek_admission(spec.size(), incoming, now);
+                let unit = &mut self.units[node.index()];
+                // Bring the probed unit's incremental indexes up to `now`
+                // so the admission preview runs on the indexed fast path.
+                unit.advance(now);
+                let admission = unit.peek_admission(spec.size(), incoming, now);
                 let Some(score) = admission.placement_score() else {
                     continue; // full for this object
                 };
@@ -328,17 +344,84 @@ impl Besteffs {
         })
     }
 
+    /// Brings every live node's incremental engine indexes up to `now`.
+    ///
+    /// Sampling loops that read [`importance_density`] between placements
+    /// should call this first so density reads stay `O(live nodes)`
+    /// instead of re-scanning every stored object. Large fleets advance
+    /// their nodes on worker threads (node state is independent).
+    ///
+    /// [`importance_density`]: Besteffs::importance_density
+    pub fn advance(&mut self, now: SimTime) {
+        if self.units.len() < PARALLEL_THRESHOLD {
+            for (i, unit) in self.units.iter_mut().enumerate() {
+                if self.alive[i] {
+                    unit.advance(now);
+                }
+            }
+            return;
+        }
+        let chunk = self.units.len().div_ceil(worker_count(self.units.len()));
+        let alive = &self.alive;
+        crossbeam::thread::scope(|s| {
+            for (ci, units) in self.units.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                s.spawn(move |_| {
+                    for (j, unit) in units.iter_mut().enumerate() {
+                        if alive[base + j] {
+                            unit.advance(now);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("advance worker panicked");
+    }
+
     /// Sweeps expired objects on all live nodes, returning the records
     /// (empty unless recording is enabled on the node — records returned
     /// here are generated regardless of the recording flag).
+    ///
+    /// Per-node sweeps are independent, so large fleets run them on
+    /// worker threads; records are merged in node order either way, so
+    /// the result does not depend on the execution strategy.
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
-        let mut out = Vec::new();
-        for (i, unit) in self.units.iter_mut().enumerate() {
-            if self.alive[i] {
-                out.extend(unit.sweep_expired(now));
+        if self.units.len() < PARALLEL_THRESHOLD {
+            let mut out = Vec::new();
+            for (i, unit) in self.units.iter_mut().enumerate() {
+                if self.alive[i] {
+                    out.extend(unit.sweep_expired(now));
+                }
             }
+            return out;
         }
-        out
+        let chunk = self.units.len().div_ceil(worker_count(self.units.len()));
+        let alive = &self.alive;
+        let per_chunk: Vec<Vec<EvictionRecord>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .units
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, units)| {
+                    let base = ci * chunk;
+                    s.spawn(move |_| {
+                        let mut records = Vec::new();
+                        for (j, unit) in units.iter_mut().enumerate() {
+                            if alive[base + j] {
+                                records.extend(unit.sweep_expired(now));
+                            }
+                        }
+                        records
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("sweep worker panicked");
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Total bytes stored across live nodes.
@@ -353,15 +436,51 @@ impl Besteffs {
 
     /// The cluster-wide average storage importance density at `now`:
     /// importance-weighted bytes over total live capacity.
+    ///
+    /// Per-node densities of large fleets are computed on worker threads;
+    /// the reduction always runs sequentially in node order, so the result
+    /// is bit-identical to a serial evaluation.
     pub fn importance_density(&self, now: SimTime) -> f64 {
         let capacity = self.capacity().as_bytes() as f64;
         if capacity == 0.0 {
             return 0.0;
         }
-        let weighted: f64 = self
-            .live_units()
-            .map(|(_, u)| u.importance_density(now) * u.capacity().as_bytes() as f64)
-            .sum();
+        let weighted: f64 = if self.units.len() < PARALLEL_THRESHOLD {
+            self.live_units()
+                .map(|(_, u)| u.importance_density(now) * u.capacity().as_bytes() as f64)
+                .sum()
+        } else {
+            let chunk = self.units.len().div_ceil(worker_count(self.units.len()));
+            let alive = &self.alive;
+            let per_chunk: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .units
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, units)| {
+                        let base = ci * chunk;
+                        s.spawn(move |_| {
+                            units
+                                .iter()
+                                .enumerate()
+                                .filter(|&(j, _)| alive[base + j])
+                                .map(|(_, u)| {
+                                    u.importance_density(now) * u.capacity().as_bytes() as f64
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("density worker panicked"))
+                    .collect()
+            })
+            .expect("density worker panicked");
+            // Sequential left-fold in node order: same float additions in
+            // the same order as the serial path.
+            per_chunk.into_iter().flatten().sum()
+        };
         weighted / capacity
     }
 
@@ -414,7 +533,9 @@ mod tests {
     #[test]
     fn places_objects_and_locates_them() {
         let (mut cluster, mut rand) = small_cluster(1);
-        let placed = cluster.place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        let placed = cluster
+            .place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand)
+            .unwrap();
         assert_eq!(cluster.locate(ObjectId::new(1)), Some(placed.node));
         assert_eq!(cluster.stats().placed, 1);
         assert_eq!(cluster.stats().direct_stores, 1);
@@ -492,7 +613,9 @@ mod tests {
     #[test]
     fn node_failure_loses_objects_without_replication() {
         let (mut cluster, mut rand) = small_cluster(5);
-        let placed = cluster.place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        let placed = cluster
+            .place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand)
+            .unwrap();
         let lost = cluster.fail_node(placed.node);
         assert_eq!(lost, 1);
         assert_eq!(cluster.locate(ObjectId::new(1)), None);
@@ -502,7 +625,9 @@ mod tests {
         assert_eq!(cluster.fail_node(placed.node), 0);
         assert_eq!(cluster.stats().failed_nodes, 1);
         // Placement still works around the failure.
-        let again = cluster.place(spec(2, 50, 1.0, 30), SimTime::ZERO, &mut rand).unwrap();
+        let again = cluster
+            .place(spec(2, 50, 1.0, 30), SimTime::ZERO, &mut rand)
+            .unwrap();
         assert!(cluster.is_alive(again.node));
     }
 
@@ -587,10 +712,7 @@ mod churn_tests {
             assert!(cluster.is_alive(node));
         }
         assert_eq!(cluster.len(), 15);
-        assert_eq!(
-            cluster.capacity(),
-            ByteSize::from_mib(10 * 50 + 5 * 200)
-        );
+        assert_eq!(cluster.capacity(), ByteSize::from_mib(10 * 50 + 5 * 200));
         let mut placed = 0;
         for i in 0..20u64 {
             if cluster

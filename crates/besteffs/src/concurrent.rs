@@ -165,10 +165,14 @@ impl SharedCluster {
             );
             for node in sampled {
                 probed += 1;
-                let admission =
-                    self.units[node.index()]
-                        .lock()
-                        .peek_admission(spec.size(), incoming, now);
+                let admission = {
+                    let mut unit = self.units[node.index()].lock();
+                    // Drain due curve-breakpoint events under the lock so
+                    // the probe answers from the eviction-order index
+                    // instead of the stale-index full-scan fallback.
+                    unit.advance(now);
+                    unit.peek_admission(spec.size(), incoming, now)
+                };
                 if let Some(score) = admission.placement_score() {
                     candidates.push((score, node));
                     if score.is_zero() {
@@ -227,7 +231,9 @@ mod tests {
             &mut rand,
         );
         for i in 0..10 {
-            cluster.place(spec(i, 20, 1.0), SimTime::ZERO, &mut rand).unwrap();
+            cluster
+                .place(spec(i, 20, 1.0), SimTime::ZERO, &mut rand)
+                .unwrap();
         }
         assert_eq!(cluster.stats().placed(), 10);
         assert_eq!(cluster.used(), ByteSize::from_mib(200));
@@ -303,8 +309,7 @@ mod tests {
                     let mut rand = rng::stream(7, &format!("rejector-{t}"));
                     for i in 0..20u64 {
                         let id = 1_000 + t as u64 * 100 + i;
-                        let result =
-                            cluster.place(spec(id, 20, 0.5), SimTime::ZERO, &mut rand);
+                        let result = cluster.place(spec(id, 20, 0.5), SimTime::ZERO, &mut rand);
                         assert!(result.is_err(), "equal importance must not preempt");
                     }
                 });

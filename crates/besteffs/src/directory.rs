@@ -43,9 +43,7 @@ impl From<&str> for ObjectName {
 }
 
 /// A monotonically increasing version number, starting at 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Version(u32);
 
@@ -172,8 +170,14 @@ mod tests {
     fn versions_are_monotonic_per_name() {
         let mut dir = Directory::new();
         let name = ObjectName::from("a");
-        assert_eq!(dir.publish(name.clone(), ObjectId::new(1), NodeId::new(0)), Version(1));
-        assert_eq!(dir.publish(name.clone(), ObjectId::new(2), NodeId::new(1)), Version(2));
+        assert_eq!(
+            dir.publish(name.clone(), ObjectId::new(1), NodeId::new(0)),
+            Version(1)
+        );
+        assert_eq!(
+            dir.publish(name.clone(), ObjectId::new(2), NodeId::new(1)),
+            Version(2)
+        );
         assert_eq!(dir.version_count(&name), 2);
         assert_eq!(
             dir.version(&name, Version::FIRST).unwrap().object,

@@ -270,10 +270,7 @@ mod tests {
         // Needs to reach into the 0.7 bytes.
         assert_eq!(advisor.admission_threshold_for(mib(80)), imp(0.7));
         // Larger than the unit: unstorable.
-        assert_eq!(
-            advisor.admission_threshold_for(mib(200)),
-            Importance::FULL
-        );
+        assert_eq!(advisor.admission_threshold_for(mib(200)), Importance::FULL);
     }
 
     #[test]
@@ -384,9 +381,7 @@ mod tests {
         assert!(plateau >= imp(0.85), "plateau {plateau}");
         // Verify the advice: the implied curve really survives 13 days.
         let curve = ImportanceCurve::two_step(plateau, persist, wane);
-        assert!(
-            curve.importance_at(SimDuration::from_days(13) - SimDuration::MINUTE) > imp(0.6)
-        );
+        assert!(curve.importance_at(SimDuration::from_days(13) - SimDuration::MINUTE) > imp(0.6));
     }
 
     #[test]

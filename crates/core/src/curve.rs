@@ -232,6 +232,190 @@ impl ImportanceCurve {
             None => false,
         }
     }
+
+    /// The analytic piece of the curve active at `age`: its closed form and
+    /// the age at which the next piece begins. Segments are half-open
+    /// `[start, next)`; `next` is always strictly greater than `age`.
+    ///
+    /// This is the breakpoint-iteration primitive of the incremental
+    /// reclamation engine: it lets the engine schedule one queue event per
+    /// breakpoint instead of re-evaluating every curve on every query.
+    ///
+    /// The forms agree with [`importance_at`](Self::importance_at) at every
+    /// age within the segment up to floating-point evaluation order; at ages
+    /// where the curve is discontinuous (a hard expiry step) the segment
+    /// holding `age` carries the value `importance_at(age)` returns.
+    pub(crate) fn segment_at(&self, age: SimDuration) -> CurveSegment {
+        match self {
+            ImportanceCurve::Persistent => CurveSegment::constant(1.0, None),
+            ImportanceCurve::Fixed { importance, expiry } => {
+                if importance.is_zero() || age >= *expiry {
+                    CurveSegment::constant(0.0, None)
+                } else {
+                    CurveSegment::constant(importance.value(), Some(*expiry))
+                }
+            }
+            ImportanceCurve::Ephemeral => CurveSegment::constant(0.0, None),
+            ImportanceCurve::TwoStep {
+                importance,
+                persist,
+                wane,
+            } => {
+                if importance.is_zero() {
+                    return CurveSegment::constant(0.0, None);
+                }
+                let expiry = *persist + *wane;
+                if age <= *persist {
+                    // The plateau holds through `persist` inclusive. At
+                    // age == persist with a positive wane the wane segment
+                    // evaluates to the plateau value, so hand over to it
+                    // immediately (keeping `next > age`); with a zero wane
+                    // the curve steps to zero one minute after the plateau.
+                    if age == *persist && !wane.is_zero() {
+                        CurveSegment {
+                            form: SegmentForm::Linear {
+                                a0: *persist,
+                                v0: importance.value(),
+                                a1: expiry,
+                                v1: 0.0,
+                            },
+                            next: Some(expiry),
+                        }
+                    } else {
+                        let next = if wane.is_zero() {
+                            *persist + SimDuration::MINUTE
+                        } else {
+                            *persist
+                        };
+                        CurveSegment::constant(importance.value(), Some(next))
+                    }
+                } else if age < expiry {
+                    CurveSegment {
+                        form: SegmentForm::Linear {
+                            a0: *persist,
+                            v0: importance.value(),
+                            a1: expiry,
+                            v1: 0.0,
+                        },
+                        next: Some(expiry),
+                    }
+                } else {
+                    CurveSegment::constant(0.0, None)
+                }
+            }
+            ImportanceCurve::ExpDecay {
+                importance,
+                persist,
+                wane,
+                half_life,
+            } => {
+                if importance.is_zero() {
+                    return CurveSegment::constant(0.0, None);
+                }
+                let expiry = *persist + *wane;
+                if age <= *persist {
+                    if age == *persist && !wane.is_zero() {
+                        CurveSegment {
+                            form: SegmentForm::Exp {
+                                start: *persist,
+                                peak: importance.value(),
+                                half_life: *half_life,
+                            },
+                            next: Some(expiry),
+                        }
+                    } else {
+                        let next = if wane.is_zero() {
+                            *persist + SimDuration::MINUTE
+                        } else {
+                            *persist
+                        };
+                        CurveSegment::constant(importance.value(), Some(next))
+                    }
+                } else if age < expiry {
+                    CurveSegment {
+                        form: SegmentForm::Exp {
+                            start: *persist,
+                            peak: importance.value(),
+                            half_life: *half_life,
+                        },
+                        next: Some(expiry),
+                    }
+                } else {
+                    CurveSegment::constant(0.0, None)
+                }
+            }
+            ImportanceCurve::Piecewise(curve) => curve.segment_at(age),
+        }
+    }
+}
+
+/// One analytic piece of an [`ImportanceCurve`], as returned by
+/// [`ImportanceCurve::segment_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CurveSegment {
+    /// The closed form over the segment.
+    pub form: SegmentForm,
+    /// First age strictly greater than the queried age at which the form
+    /// changes, or `None` if this form holds forever.
+    pub next: Option<SimDuration>,
+}
+
+impl CurveSegment {
+    fn constant(value: f64, next: Option<SimDuration>) -> Self {
+        CurveSegment {
+            form: SegmentForm::Constant(value),
+            next,
+        }
+    }
+}
+
+/// The closed form of a [`CurveSegment`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SegmentForm {
+    /// `value(age) = c`.
+    Constant(f64),
+    /// Linear between `(a0, v0)` and `(a1, v1)`:
+    /// `value(age) = v0 + (v1 - v0) · (age - a0) / (a1 - a0)`.
+    Linear {
+        /// Segment start age.
+        a0: SimDuration,
+        /// Value at `a0`.
+        v0: f64,
+        /// Segment end age (`a1 > a0`).
+        a1: SimDuration,
+        /// Value at `a1`.
+        v1: f64,
+    },
+    /// Exponential decay: `value(age) = peak · 0.5^((age - start) / half_life)`.
+    Exp {
+        /// Age the decay starts from (value `peak` there).
+        start: SimDuration,
+        /// Value at `start`.
+        peak: f64,
+        /// Decay half-life (non-zero by construction).
+        half_life: SimDuration,
+    },
+}
+
+impl SegmentForm {
+    /// Evaluates the form at an age (which should lie within the segment).
+    pub(crate) fn value_at(&self, age: SimDuration) -> f64 {
+        match *self {
+            SegmentForm::Constant(c) => c,
+            SegmentForm::Linear { a0, v0, a1, v1 } => {
+                let frac = age.saturating_sub(a0).ratio(a1 - a0);
+                v0 + (v1 - v0) * frac
+            }
+            SegmentForm::Exp {
+                start,
+                peak,
+                half_life,
+            } => {
+                let halves = age.saturating_sub(start).ratio(half_life);
+                peak * 0.5_f64.powf(halves)
+            }
+        }
+    }
 }
 
 /// A general monotone non-increasing polyline curve.
@@ -310,6 +494,35 @@ impl PiecewiseCurve {
         Importance::new_clamped(i0.value() + (i1.value() - i0.value()) * frac)
     }
 
+    /// The analytic piece active at `age` (see
+    /// [`ImportanceCurve::segment_at`]).
+    pub(crate) fn segment_at(&self, age: SimDuration) -> CurveSegment {
+        let points = &self.points;
+        let last = points.len() - 1;
+        if age >= points[last].0 {
+            return CurveSegment::constant(points[last].1.value(), None);
+        }
+        let idx = match points.binary_search_by(|(a, _)| a.cmp(&age)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let (a0, i0) = points[idx];
+        let (a1, i1) = points[idx + 1];
+        if i0 == i1 {
+            CurveSegment::constant(i0.value(), Some(a1))
+        } else {
+            CurveSegment {
+                form: SegmentForm::Linear {
+                    a0,
+                    v0: i0.value(),
+                    a1,
+                    v1: i1.value(),
+                },
+                next: Some(a1),
+            }
+        }
+    }
+
     /// The age at which the curve first reaches zero and stays there, or
     /// `None` if its final value is positive (never expires).
     pub fn expiry(&self) -> Option<SimDuration> {
@@ -367,7 +580,10 @@ mod tests {
     #[test]
     fn persistent_never_expires() {
         let c = ImportanceCurve::Persistent;
-        assert_eq!(c.importance_at(SimDuration::from_days(100_000)), Importance::FULL);
+        assert_eq!(
+            c.importance_at(SimDuration::from_days(100_000)),
+            Importance::FULL
+        );
         assert_eq!(c.expiry(), None);
         assert!(!c.is_expired(SimDuration::from_days(100_000)));
     }
@@ -407,7 +623,10 @@ mod tests {
     fn two_step_with_zero_wane_is_a_step() {
         let c = ImportanceCurve::two_step(Importance::FULL, days(5), SimDuration::ZERO);
         assert_eq!(c.importance_at(days(5)), Importance::FULL);
-        assert_eq!(c.importance_at(days(5) + SimDuration::MINUTE), Importance::ZERO);
+        assert_eq!(
+            c.importance_at(days(5) + SimDuration::MINUTE),
+            Importance::ZERO
+        );
         assert_eq!(c.expiry(), Some(days(5)));
     }
 
@@ -463,10 +682,7 @@ mod tests {
             Err(CurveError::NonIncreasingAges { index: 1 })
         );
         assert_eq!(
-            PiecewiseCurve::new(vec![
-                (SimDuration::ZERO, imp(0.5)),
-                (days(1), imp(0.9)),
-            ]),
+            PiecewiseCurve::new(vec![(SimDuration::ZERO, imp(0.5)), (days(1), imp(0.9)),]),
             Err(CurveError::IncreasingImportance { index: 1 })
         );
     }

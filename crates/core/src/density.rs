@@ -88,6 +88,13 @@ impl StorageUnit {
         if self.capacity().is_zero() {
             return 0.0;
         }
+        // O(1) when the incremental accumulators are current for `now`
+        // (see [`advance`](StorageUnit::advance)); clamped because the
+        // extrapolated sum can undershoot zero by a rounding error where
+        // the exact sum is non-negative.
+        if let Some(weighted) = self.weighted_importance_fast(now) {
+            return (weighted / self.capacity().as_bytes() as f64).clamp(0.0, 1.0);
+        }
         let weighted: f64 = self
             .iter()
             .map(|o| o.size().as_bytes() as f64 * o.current_importance(now).value())

@@ -1,0 +1,553 @@
+//! Incrementally maintained indexes over a [`StorageUnit`]'s objects.
+//!
+//! The naive engine re-evaluates every stored object's curve on every
+//! plan/sweep/density query. This module exploits the fact that importance
+//! curves are *monotone, piecewise-analytic* functions of age: each object
+//! changes analytic form only at a handful of breakpoints, so the engine
+//! can keep objects classified by their current form and update that
+//! classification with one queue event per breakpoint.
+//!
+//! The index maintains, keyed off an internal clock that only moves
+//! forward:
+//!
+//! * an **event queue** of curve breakpoints (`events`), so advancing time
+//!   touches only the objects whose analytic form actually changes;
+//! * an **expired set** ordered by `(arrival, id)` — exactly the naive
+//!   engine's eviction order among zero-importance objects;
+//! * **shape groups**: same-curve objects ordered by `(annotated_at,
+//!   arrival, id)`. Because members share a curve, older annotations have
+//!   lower current importance and (for finite-expiry curves) lower
+//!   remaining lifetime, so group order equals the §5.3 eviction order and
+//!   stays valid as time passes *without any updates*;
+//! * a **settled set** of never-expiring objects on their final constant
+//!   segment, ordered by importance bits — their relative order is frozen
+//!   forever;
+//! * **density accumulators**: the weighted importance sum decomposed into
+//!   a linear part (value at a reference time plus aggregate slope) and
+//!   per-half-life exponential parts, giving O(1) density reads.
+//!
+//! Preemption planning k-way merges the expired set, the settled set and
+//! the group cursors, lazily computing each head's exact eviction key, so
+//! it visits `O(victims + groups)` objects instead of all of them.
+//!
+//! [`StorageUnit`]: crate::StorageUnit
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::curve::SegmentForm;
+use crate::{ImportanceCurve, ObjectId, StoredObject};
+
+/// Hashable identity of a curve's shape: two objects with the same
+/// `ShapeKey` have pointwise-identical curves (floats compared by bit
+/// pattern, which is exact for the validated `[0, 1]` importance range).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ShapeKey {
+    Persistent,
+    Fixed {
+        imp: u64,
+        expiry: u64,
+    },
+    Ephemeral,
+    TwoStep {
+        imp: u64,
+        persist: u64,
+        wane: u64,
+    },
+    ExpDecay {
+        imp: u64,
+        persist: u64,
+        wane: u64,
+        half_life: u64,
+    },
+    Piecewise(Vec<(u64, u64)>),
+}
+
+impl ShapeKey {
+    fn of(curve: &ImportanceCurve) -> ShapeKey {
+        match curve {
+            ImportanceCurve::Persistent => ShapeKey::Persistent,
+            ImportanceCurve::Fixed { importance, expiry } => ShapeKey::Fixed {
+                imp: importance.value().to_bits(),
+                expiry: expiry.as_minutes(),
+            },
+            ImportanceCurve::Ephemeral => ShapeKey::Ephemeral,
+            ImportanceCurve::TwoStep {
+                importance,
+                persist,
+                wane,
+            } => ShapeKey::TwoStep {
+                imp: importance.value().to_bits(),
+                persist: persist.as_minutes(),
+                wane: wane.as_minutes(),
+            },
+            ImportanceCurve::ExpDecay {
+                importance,
+                persist,
+                wane,
+                half_life,
+            } => ShapeKey::ExpDecay {
+                imp: importance.value().to_bits(),
+                persist: persist.as_minutes(),
+                wane: wane.as_minutes(),
+                half_life: half_life.as_minutes(),
+            },
+            ImportanceCurve::Piecewise(curve) => ShapeKey::Piecewise(
+                curve
+                    .points()
+                    .iter()
+                    .map(|&(age, imp)| (age.as_minutes(), imp.value().to_bits()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Which ordered candidate structure an object currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    /// Shape group `groups[i]`, keyed by `(annotated_at, arrival, id)`.
+    Group(usize),
+    /// Never-expiring final constant segment, keyed by the value's bits.
+    Settled(u64),
+    /// Expired with importance zero, keyed by `(arrival, id)`.
+    Expired,
+}
+
+/// The object's registration in the density accumulators.
+#[derive(Debug, Clone, PartialEq)]
+enum Registered {
+    /// Identically-zero contribution; nothing registered.
+    None,
+    /// A constant or linear form, folded into the linear accumulator.
+    Linear(SegmentForm),
+    /// An exponential form, folded into the per-half-life accumulator.
+    Exp {
+        start: SimDuration,
+        peak: f64,
+        half_life: SimDuration,
+    },
+}
+
+/// Breakpoint event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// The object's curve moves to its next analytic segment.
+    Segment,
+    /// An expired object still carries positive importance for exactly the
+    /// expiry minute (a zero-wane step curve at `age == expiry`); this
+    /// event retires it into the expired set one minute later. While such
+    /// an event is pending, expired candidates can hide *behind*
+    /// non-preemptible group members, so planning must not early-stop.
+    Finalize,
+}
+
+/// Per-object index entry, capturing the state the object was classified
+/// with so it can be unregistered exactly even after the object mutates.
+#[derive(Debug, Clone)]
+struct Entry {
+    ann: SimTime,
+    arrival: SimTime,
+    size_f: f64,
+    home: Home,
+    reg: Registered,
+    event: Option<SimTime>,
+}
+
+/// Neumaier-compensated running sum: keeps the density accumulators
+/// accurate through millions of incremental add/remove/integrate steps.
+#[derive(Debug, Clone, Copy, Default)]
+struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    fn scale(&mut self, k: f64) {
+        self.sum *= k;
+        self.compensation *= k;
+    }
+
+    fn reset(&mut self) {
+        *self = CompensatedSum::default();
+    }
+}
+
+/// Aggregate of exponential-form contributions sharing one half-life:
+/// their weighted sum decays by the same factor, so one rebase covers all.
+#[derive(Debug, Clone)]
+struct ExpAggregate {
+    at: SimTime,
+    value: CompensatedSum,
+    count: usize,
+}
+
+/// The weighted-importance sum `Σ size·L(age)`, maintained incrementally.
+#[derive(Debug, Clone, Default)]
+struct DensityAccum {
+    /// Reference time the linear part is valued at.
+    at: SimTime,
+    /// `Σ size·value` over constant/linear registrations, valued at `at`.
+    linear_value: CompensatedSum,
+    /// `Σ size·slope` (per minute) over linear registrations.
+    linear_slope: CompensatedSum,
+    linear_count: usize,
+    /// Exponential registrations bucketed by half-life minutes.
+    exp: BTreeMap<u64, ExpAggregate>,
+}
+
+impl DensityAccum {
+    /// Moves the linear reference point forward to `t`.
+    fn integrate_to(&mut self, t: SimTime) {
+        if t > self.at {
+            if self.linear_count > 0 {
+                let minutes = (t - self.at).as_minutes() as f64;
+                self.linear_value.add(self.linear_slope.total() * minutes);
+            }
+            self.at = t;
+        }
+    }
+
+    fn signed_update(&mut self, reg: &Registered, size_f: f64, ann: SimTime, sign: f64) {
+        match reg {
+            Registered::None => {}
+            Registered::Linear(form) => {
+                let age = self.at.saturating_since(ann);
+                self.linear_value.add(sign * size_f * form.value_at(age));
+                if let SegmentForm::Linear { a0, v0, a1, v1 } = *form {
+                    let per_minute = (v1 - v0) / (a1 - a0).as_minutes() as f64;
+                    self.linear_slope.add(sign * size_f * per_minute);
+                }
+                if sign > 0.0 {
+                    self.linear_count += 1;
+                } else {
+                    self.linear_count -= 1;
+                    if self.linear_count == 0 {
+                        // Exact-zero reset: an emptied accumulator reports
+                        // 0.0 with no floating-point residue.
+                        self.linear_value.reset();
+                        self.linear_slope.reset();
+                    }
+                }
+            }
+            Registered::Exp {
+                start,
+                peak,
+                half_life,
+            } => {
+                let at = self.at;
+                let agg = self
+                    .exp
+                    .entry(half_life.as_minutes())
+                    .or_insert_with(|| ExpAggregate {
+                        at,
+                        value: CompensatedSum::default(),
+                        count: 0,
+                    });
+                if at > agg.at {
+                    let halves = at.saturating_since(agg.at).ratio(*half_life);
+                    agg.value.scale(0.5_f64.powf(halves));
+                    agg.at = at;
+                }
+                let into_decay = at.saturating_since(ann).saturating_sub(*start);
+                let halves = into_decay.ratio(*half_life);
+                agg.value.add(sign * size_f * peak * 0.5_f64.powf(halves));
+                if sign > 0.0 {
+                    agg.count += 1;
+                } else {
+                    agg.count -= 1;
+                    if agg.count == 0 {
+                        self.exp.remove(&half_life.as_minutes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The weighted sum extrapolated to `now` (`now >= self.at`).
+    fn value_at(&self, now: SimTime) -> f64 {
+        let minutes = now.saturating_since(self.at).as_minutes() as f64;
+        let mut total = self.linear_value.total() + self.linear_slope.total() * minutes;
+        for (&half_life, agg) in &self.exp {
+            let halves = now.saturating_since(agg.at).as_minutes() as f64 / half_life as f64;
+            total += agg.value.total() * 0.5_f64.powf(halves);
+        }
+        total
+    }
+}
+
+/// The incremental index over a unit's objects. Rebuilt from scratch after
+/// deserialization (every field is `#[serde(skip)]` on the unit).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineIndex {
+    /// The time the index is classified at; only moves forward.
+    clock: SimTime,
+    entries: HashMap<ObjectId, Entry>,
+    /// Pending breakpoints, keyed `(fire time, id)`.
+    events: BTreeMap<(SimTime, ObjectId), EventKind>,
+    /// Expired zero-importance objects in `(arrival, id)` eviction order.
+    expired: BTreeSet<(SimTime, ObjectId)>,
+    /// All objects in `(arrival, id)` order — the FIFO eviction order.
+    fifo: BTreeSet<(SimTime, ObjectId)>,
+    /// Never-expiring final-segment objects by `(value bits, arrival, id)`.
+    settled: BTreeSet<(u64, SimTime, ObjectId)>,
+    /// Same-shape cohorts in `(annotated_at, arrival, id)` order.
+    groups: Vec<BTreeSet<(SimTime, SimTime, ObjectId)>>,
+    group_ids: HashMap<ShapeKey, usize>,
+    density: DensityAccum,
+}
+
+impl EngineIndex {
+    pub(crate) fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when every breakpoint at or before `now` has been processed.
+    pub(crate) fn events_processed_through(&self, now: SimTime) -> bool {
+        self.events
+            .range(..=(now, ObjectId::new(u64::MAX)))
+            .next()
+            .is_none()
+    }
+
+    /// True when a [`EventKind::Finalize`] is pending for the minute after
+    /// `now`, i.e. some expired object still carries positive importance.
+    pub(crate) fn finalize_pending(&self, now: SimTime) -> bool {
+        let at = now + SimDuration::MINUTE;
+        self.events
+            .range((at, ObjectId::new(0))..=(at, ObjectId::new(u64::MAX)))
+            .any(|(_, kind)| *kind == EventKind::Finalize)
+    }
+
+    /// Ids of every expired object (importance zero *or* positive at the
+    /// expiry-minute boundary), in ascending id order — the order the
+    /// naive full-scan sweep evicts in.
+    pub(crate) fn expired_ids(&self, now: SimTime) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.expired.iter().map(|&(_, id)| id).collect();
+        let at = now + SimDuration::MINUTE;
+        ids.extend(
+            self.events
+                .range((at, ObjectId::new(0))..=(at, ObjectId::new(u64::MAX)))
+                .filter(|(_, kind)| **kind == EventKind::Finalize)
+                .map(|(&(_, id), _)| id),
+        );
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Rebuilds the whole index at `now` (post-deserialization path).
+    pub(crate) fn rebuild(&mut self, objects: &BTreeMap<ObjectId, StoredObject>, now: SimTime) {
+        *self = EngineIndex {
+            clock: self.clock.max(now),
+            ..EngineIndex::default()
+        };
+        self.density.at = self.clock;
+        for object in objects.values() {
+            self.insert(object);
+        }
+    }
+
+    /// Processes every breakpoint due at or before `now` and advances the
+    /// clock. `objects` must contain exactly the indexed objects.
+    pub(crate) fn advance(&mut self, objects: &BTreeMap<ObjectId, StoredObject>, now: SimTime) {
+        if now <= self.clock {
+            return;
+        }
+        while let Some((&(t, id), _)) = self.events.range(..=(now, ObjectId::new(u64::MAX))).next()
+        {
+            self.density.integrate_to(t);
+            self.clock = t;
+            self.events.remove(&(t, id));
+            self.entries
+                .get_mut(&id)
+                .expect("event for unindexed object")
+                .event = None;
+            let object = objects.get(&id).expect("event for missing object");
+            self.unregister(id);
+            self.register(object);
+        }
+        self.density.integrate_to(now);
+        self.clock = now;
+    }
+
+    /// Indexes a newly stored object (classified at the current clock).
+    pub(crate) fn insert(&mut self, object: &StoredObject) {
+        self.fifo.insert((object.arrival(), object.id()));
+        self.register(object);
+    }
+
+    /// Drops an object from the index entirely (eviction/removal). A no-op
+    /// if the object was never indexed (pre-rebuild state).
+    pub(crate) fn remove(&mut self, id: ObjectId) {
+        if let Some(entry) = self.entries.get(&id) {
+            let arrival = entry.arrival;
+            self.unregister(id);
+            self.fifo.remove(&(arrival, id));
+        }
+    }
+
+    /// Re-indexes an object after its annotation changed in place.
+    pub(crate) fn reannotate(&mut self, object: &StoredObject) {
+        if self.entries.contains_key(&object.id()) {
+            self.unregister(object.id());
+            self.register(object);
+        }
+    }
+
+    /// Classifies `object` at the current clock and adds it to its home
+    /// structure, the density accumulators and (if needed) the event queue.
+    fn register(&mut self, object: &StoredObject) {
+        let id = object.id();
+        let ann = object.annotated_at();
+        let arrival = object.arrival();
+        let size_f = object.size().as_bytes() as f64;
+        let age = self.clock.saturating_since(ann);
+        let expired = object.is_expired(self.clock);
+        let value = object.current_importance(self.clock).value();
+
+        let (home, reg, event) = if expired && value == 0.0 {
+            (Home::Expired, Registered::None, None)
+        } else {
+            let segment = object.curve().segment_at(age);
+            let reg = registration(&segment.form);
+            if expired {
+                // Positive importance at the expiry minute: a zero-wane
+                // step curve observed at exactly `age == expiry`. It keeps
+                // its group position for this minute and finalizes into
+                // the expired set at the next one.
+                let fire = ann + segment.next.expect("step boundary has a next breakpoint");
+                let group = self.group_of(object.curve());
+                self.groups[group].insert((ann, arrival, id));
+                self.events.insert((fire, id), EventKind::Finalize);
+                (Home::Group(group), reg, Some(fire))
+            } else if segment.next.is_none() && matches!(segment.form, SegmentForm::Constant(_)) {
+                // Final constant segment of a never-expiring curve: its
+                // importance is frozen, so order by the value itself.
+                let bits = value.to_bits();
+                self.settled.insert((bits, arrival, id));
+                (Home::Settled(bits), reg, None)
+            } else {
+                let group = self.group_of(object.curve());
+                self.groups[group].insert((ann, arrival, id));
+                let fire = segment.next.map(|next| ann + next);
+                if let Some(fire) = fire {
+                    self.events.insert((fire, id), EventKind::Segment);
+                }
+                (Home::Group(group), reg, fire)
+            }
+        };
+        if home == Home::Expired {
+            self.expired.insert((arrival, id));
+        }
+        self.density.signed_update(&reg, size_f, ann, 1.0);
+        self.entries.insert(
+            id,
+            Entry {
+                ann,
+                arrival,
+                size_f,
+                home,
+                reg,
+                event,
+            },
+        );
+    }
+
+    /// Removes an object from its home structure, the density accumulators
+    /// and the event queue, using the state captured at registration.
+    fn unregister(&mut self, id: ObjectId) {
+        let entry = self.entries.remove(&id).expect("unregister unindexed id");
+        match entry.home {
+            Home::Group(group) => {
+                self.groups[group].remove(&(entry.ann, entry.arrival, id));
+            }
+            Home::Settled(bits) => {
+                self.settled.remove(&(bits, entry.arrival, id));
+            }
+            Home::Expired => {
+                self.expired.remove(&(entry.arrival, id));
+            }
+        }
+        if let Some(fire) = entry.event {
+            self.events.remove(&(fire, id));
+        }
+        self.density
+            .signed_update(&entry.reg, entry.size_f, entry.ann, -1.0);
+    }
+
+    fn group_of(&mut self, curve: &ImportanceCurve) -> usize {
+        let groups = &mut self.groups;
+        *self
+            .group_ids
+            .entry(ShapeKey::of(curve))
+            .or_insert_with(|| {
+                groups.push(BTreeSet::new());
+                groups.len() - 1
+            })
+    }
+
+    /// The weighted importance sum `Σ size·L(now)` (`now >= clock`).
+    pub(crate) fn weighted_importance(&self, now: SimTime) -> f64 {
+        self.density.value_at(now)
+    }
+
+    /// Candidate streams for preemption planning: the expired set, the
+    /// settled set and every non-empty group, each yielding ids in that
+    /// structure's eviction order.
+    pub(crate) fn candidate_streams(&self) -> Vec<Box<dyn Iterator<Item = ObjectId> + '_>> {
+        let mut streams: Vec<Box<dyn Iterator<Item = ObjectId> + '_>> = Vec::new();
+        if !self.expired.is_empty() {
+            streams.push(Box::new(self.expired.iter().map(|&(_, id)| id)));
+        }
+        if !self.settled.is_empty() {
+            streams.push(Box::new(self.settled.iter().map(|&(_, _, id)| id)));
+        }
+        for group in &self.groups {
+            if !group.is_empty() {
+                streams.push(Box::new(group.iter().map(|&(_, _, id)| id)));
+            }
+        }
+        streams
+    }
+
+    /// The FIFO eviction order, `(arrival, id)` ascending.
+    pub(crate) fn fifo_order(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.fifo.iter().map(|&(_, id)| id)
+    }
+}
+
+/// How a segment form contributes to the density accumulators.
+fn registration(form: &SegmentForm) -> Registered {
+    match form {
+        SegmentForm::Constant(c) if *c == 0.0 => Registered::None,
+        SegmentForm::Constant(_) | SegmentForm::Linear { .. } => Registered::Linear(form.clone()),
+        SegmentForm::Exp {
+            start,
+            peak,
+            half_life,
+        } => Registered::Exp {
+            start: *start,
+            peak: *peak,
+            half_life: *half_life,
+        },
+    }
+}

@@ -64,7 +64,10 @@ impl fmt::Display for CurveError {
                 write!(f, "piecewise curve must start at age zero")
             }
             CurveError::NonIncreasingAges { index } => {
-                write!(f, "piecewise curve ages must strictly increase (point {index})")
+                write!(
+                    f,
+                    "piecewise curve ages must strictly increase (point {index})"
+                )
             }
             CurveError::IncreasingImportance { index } => write!(
                 f,

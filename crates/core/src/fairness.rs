@@ -305,7 +305,9 @@ mod tests {
         let mut store = store_100mib_budget_50();
         let alice = PrincipalId::new(1);
         store.store(alice, spec(0, 40, 1.0), SimTime::ZERO).unwrap();
-        let err = store.store(alice, spec(1, 40, 1.0), SimTime::ZERO).unwrap_err();
+        let err = store
+            .store(alice, spec(1, 40, 1.0), SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, FairStoreError::QuotaExceeded { .. }));
         assert_eq!(store.usage(alice).quota_refusals, 1);
         assert_eq!(store.usage(alice).accepted, 1);
@@ -319,10 +321,7 @@ mod tests {
         store.store(bob, spec(0, 40, 0.5), SimTime::ZERO).unwrap();
         store.store(bob, spec(1, 40, 0.5), SimTime::ZERO).unwrap();
         assert_eq!(store.usage(bob).accepted, 2);
-        assert_eq!(
-            store.usage(bob).charged,
-            ByteSize::from_mib(40).as_bytes()
-        );
+        assert_eq!(store.usage(bob).charged, ByteSize::from_mib(40).as_bytes());
     }
 
     #[test]
@@ -365,10 +364,14 @@ mod tests {
         let mut store = store_100mib_budget_50();
         let alice = PrincipalId::new(1);
         store.store(alice, spec(0, 30, 1.0), SimTime::ZERO).unwrap();
-        store.remove(ObjectId::new(0), SimTime::from_days(1)).unwrap();
+        store
+            .remove(ObjectId::new(0), SimTime::from_days(1))
+            .unwrap();
         assert_eq!(store.usage(alice).charged, 0);
 
-        store.store(alice, spec(1, 30, 1.0), SimTime::from_days(1)).unwrap();
+        store
+            .store(alice, spec(1, 30, 1.0), SimTime::from_days(1))
+            .unwrap();
         let swept = store.sweep_expired(SimTime::from_days(60));
         assert_eq!(swept.len(), 1);
         assert_eq!(store.usage(alice).charged, 0);

@@ -61,9 +61,10 @@
 
 mod advisor;
 mod curve;
-mod fairness;
 mod density;
+mod engine;
 mod error;
+mod fairness;
 mod importance;
 mod object;
 mod policy;
@@ -72,9 +73,9 @@ mod unit;
 
 pub use advisor::{Advisor, Forecast};
 pub use curve::{ImportanceCurve, PiecewiseCurve};
-pub use fairness::{FairStore, FairStoreError, PrincipalId, PrincipalUsage};
 pub use density::DensitySnapshot;
 pub use error::{CurveError, ImportanceError, RejuvenateError, StoreError};
+pub use fairness::{FairStore, FairStoreError, PrincipalId, PrincipalUsage};
 pub use importance::Importance;
 pub use object::{ObjectClass, ObjectId, ObjectIdGen, ObjectSpec, StoredObject};
 pub use policy::EvictionPolicy;

@@ -1,10 +1,12 @@
 //! A single storage unit with the temporal-importance reclamation engine.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use serde::{Deserialize, Serialize};
 use sim_core::{ByteSize, SimTime};
 
+use crate::engine::EngineIndex;
 use crate::error::{RejuvenateError, StoreError};
 use crate::records::{
     Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
@@ -51,6 +53,14 @@ pub struct StorageUnit {
     evictions: Vec<EvictionRecord>,
     rejections: Vec<RejectionRecord>,
     recording: bool,
+    /// Incremental candidate/density indexes; derived state, rebuilt on
+    /// demand after deserialization.
+    #[serde(skip)]
+    index: EngineIndex,
+    /// When set, the unit bypasses the indexes and answers every query by
+    /// scanning all objects — the reference oracle for differential tests.
+    #[serde(skip)]
+    naive: bool,
 }
 
 /// A preemption plan computed by [`StorageUnit::plan`].
@@ -64,7 +74,39 @@ struct Plan {
 #[derive(Debug)]
 enum PlanResult {
     Admit(Plan),
-    Full { blocking: Option<Importance> },
+    Full {
+        blocking: Option<Importance>,
+        /// Victim bytes that *could* be freed for this importance level
+        /// (excluding already-free space), folded into the plan so a full
+        /// store needs no second scan.
+        reclaimable: ByteSize,
+    },
+}
+
+/// The §5.3 eviction order as a total order: ascending current importance,
+/// then remaining lifetime with never-expiring objects last, then arrival,
+/// then id.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EvictionKey {
+    importance: Importance,
+    never_expires: bool,
+    remaining: u64,
+    arrival: SimTime,
+    id: ObjectId,
+}
+
+fn eviction_key(object: &StoredObject, now: SimTime) -> EvictionKey {
+    let (never_expires, remaining) = match object.remaining_lifetime(now) {
+        Some(left) => (false, left.as_minutes()),
+        None => (true, 0),
+    };
+    EvictionKey {
+        importance: object.current_importance(now),
+        never_expires,
+        remaining,
+        arrival: object.arrival(),
+        id: object.id(),
+    }
 }
 
 impl StorageUnit {
@@ -84,7 +126,55 @@ impl StorageUnit {
             evictions: Vec::new(),
             rejections: Vec::new(),
             recording: true,
+            index: EngineIndex::default(),
+            naive: false,
         }
+    }
+
+    /// Creates a unit that answers every query with full scans instead of
+    /// the incremental indexes.
+    ///
+    /// The scan engine is the executable specification of the reclamation
+    /// semantics; differential tests drive it in lockstep with an indexed
+    /// unit and require identical outcomes. It is not meant for production
+    /// use — every operation is `O(n)` or worse.
+    pub fn with_policy_naive(capacity: ByteSize, policy: EvictionPolicy) -> Self {
+        StorageUnit {
+            naive: true,
+            ..StorageUnit::with_policy(capacity, policy)
+        }
+    }
+
+    /// Processes every curve breakpoint at or before `now`, bringing the
+    /// incremental indexes up to date.
+    ///
+    /// Mutating operations do this automatically; read-only queries
+    /// ([`peek_admission`](StorageUnit::peek_admission),
+    /// [`importance_density`](StorageUnit::importance_density)) cannot, so
+    /// they fall back to a full scan whenever breakpoints are pending.
+    /// Long-running simulations that sample densities or probe admissions
+    /// between mutations should call `advance` first to stay on the
+    /// indexed fast path. Time travels forward only: calls with a `now`
+    /// earlier than the latest one seen are no-ops.
+    pub fn advance(&mut self, now: SimTime) {
+        if self.naive {
+            return;
+        }
+        if self.index.len() != self.objects.len() {
+            self.index.rebuild(&self.objects, now);
+        } else {
+            self.index.advance(&self.objects, now);
+        }
+    }
+
+    /// True when the index answers queries at `now` exactly: it covers all
+    /// objects, time has not moved past unprocessed breakpoints, and the
+    /// unit is not in naive-oracle mode.
+    fn index_fresh(&self, now: SimTime) -> bool {
+        !self.naive
+            && self.index.len() == self.objects.len()
+            && now >= self.index.clock()
+            && self.index.events_processed_through(now)
     }
 
     /// The unit's total capacity.
@@ -182,11 +272,15 @@ impl StorageUnit {
         if self.objects.contains_key(&spec.id()) {
             return Err(StoreError::DuplicateId(spec.id()));
         }
+        self.advance(now);
 
         let incoming = spec.curve().initial_importance();
         let plan = match self.plan(spec.size(), incoming, now) {
             PlanResult::Admit(plan) => plan,
-            PlanResult::Full { blocking } => {
+            PlanResult::Full {
+                blocking,
+                reclaimable,
+            } => {
                 self.stats.rejections_full += 1;
                 if self.recording {
                     self.rejections.push(RejectionRecord {
@@ -200,7 +294,7 @@ impl StorageUnit {
                 }
                 return Err(StoreError::Full {
                     required: spec.size(),
-                    reclaimable: self.free() + plan_reclaimable(self, incoming, now),
+                    reclaimable: self.free() + reclaimable,
                     blocking,
                 });
             }
@@ -218,6 +312,9 @@ impl StorageUnit {
         self.stats.stores_accepted += 1;
         self.stats.bytes_accepted += spec.size().as_bytes();
         self.objects.insert(id, StoredObject::from_spec(spec, now));
+        if !self.naive {
+            self.index.insert(&self.objects[&id]);
+        }
 
         Ok(StoreOutcome {
             id,
@@ -247,7 +344,7 @@ impl StorageUnit {
                     victims: plan.victims.len(),
                 },
             },
-            PlanResult::Full { blocking } => Admission::Full { blocking },
+            PlanResult::Full { blocking, .. } => Admission::Full { blocking },
         }
     }
 
@@ -257,6 +354,7 @@ impl StorageUnit {
         if !self.objects.contains_key(&id) {
             return None;
         }
+        self.advance(now);
         self.stats.removals += 1;
         Some(self.evict(id, now, EvictionReason::Removed))
     }
@@ -268,12 +366,16 @@ impl StorageUnit {
     /// [`used`](StorageUnit::used) meaningful for dashboards and mirrors
     /// the delete-optimized grouping of Douglis et al. that §2 discusses.
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
-        let expired: Vec<ObjectId> = self
-            .objects
-            .values()
-            .filter(|o| o.is_expired(now))
-            .map(|o| o.id())
-            .collect();
+        self.advance(now);
+        let expired: Vec<ObjectId> = if self.index_fresh(now) {
+            self.index.expired_ids(now)
+        } else {
+            self.objects
+                .values()
+                .filter(|o| o.is_expired(now))
+                .map(|o| o.id())
+                .collect()
+        };
         expired
             .into_iter()
             .map(|id| self.evict(id, now, EvictionReason::Expired))
@@ -295,6 +397,7 @@ impl StorageUnit {
         curve: ImportanceCurve,
         now: SimTime,
     ) -> Result<(), RejuvenateError> {
+        self.advance(now);
         let object = self
             .objects
             .get_mut(&id)
@@ -305,6 +408,9 @@ impl StorageUnit {
             return Err(RejuvenateError::WouldLowerImportance { current, proposed });
         }
         object.rejuvenate(curve, now);
+        if !self.naive {
+            self.index.reannotate(&self.objects[&id]);
+        }
         Ok(())
     }
 
@@ -321,11 +427,15 @@ impl StorageUnit {
         curve: ImportanceCurve,
         now: SimTime,
     ) -> Result<(), RejuvenateError> {
+        self.advance(now);
         let object = self
             .objects
             .get_mut(&id)
             .ok_or(RejuvenateError::NotFound(id))?;
         object.rejuvenate(curve, now);
+        if !self.naive {
+            self.index.reannotate(&self.objects[&id]);
+        }
         Ok(())
     }
 
@@ -334,6 +444,9 @@ impl StorageUnit {
             .objects
             .remove(&id)
             .expect("evict called with resident id");
+        if !self.naive {
+            self.index.remove(id);
+        }
         self.used -= object.size();
         match reason {
             EvictionReason::Preempted => self.stats.evictions_preempted += 1,
@@ -367,7 +480,126 @@ impl StorageUnit {
                 highest: None,
             });
         }
+        if self.index_fresh(now) {
+            match self.policy {
+                EvictionPolicy::Preemptive => self.plan_indexed(size, incoming, now),
+                EvictionPolicy::Fifo => self.plan_indexed_fifo(size, incoming, now),
+            }
+        } else {
+            self.plan_naive(size, incoming, now)
+        }
+    }
 
+    /// Preemption planning over the incremental indexes: a k-way merge of
+    /// the expired set, the settled set and the shape-group cursors, each
+    /// already in eviction order, stopping as soon as enough bytes are
+    /// freed. Visits `O(victims + streams)` objects instead of all of
+    /// them.
+    fn plan_indexed(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+        let mut streams = self.index.candidate_streams();
+        let mut heap: BinaryHeap<Reverse<(EvictionKey, usize)>> =
+            BinaryHeap::with_capacity(streams.len());
+        for (i, stream) in streams.iter_mut().enumerate() {
+            if let Some(id) = stream.next() {
+                heap.push(Reverse((eviction_key(&self.objects[&id], now), i)));
+            }
+        }
+
+        // While a step curve sits on its expiry minute, an expired (hence
+        // preemptible) object with *positive* importance can follow a
+        // non-preemptible head in key order, so the merge must keep
+        // scanning past blockers for that one minute.
+        let scan_past_blockers = self.index.finalize_pending(now);
+
+        let free = self.free();
+        let mut victims = Vec::new();
+        let mut freed = ByteSize::ZERO;
+        let mut highest: Option<Importance> = None;
+        let mut blocking: Option<Importance> = None;
+        while free + freed < size {
+            let Some(Reverse((key, i))) = heap.pop() else {
+                // Every candidate consumed and still not enough room.
+                return PlanResult::Full {
+                    blocking,
+                    reclaimable: freed,
+                };
+            };
+            if let Some(next) = streams[i].next() {
+                heap.push(Reverse((eviction_key(&self.objects[&next], now), i)));
+            }
+            let object = &self.objects[&key.id];
+            if key.importance < incoming || object.is_expired(now) {
+                victims.push(key.id);
+                freed += object.size();
+                highest = Some(match highest {
+                    Some(h) => h.max(key.importance),
+                    None => key.importance,
+                });
+            } else {
+                // First blocker carries the minimum non-preemptible
+                // importance; everything still enqueued sorts after it.
+                if blocking.is_none() {
+                    blocking = Some(key.importance);
+                }
+                if !scan_past_blockers {
+                    return PlanResult::Full {
+                        blocking,
+                        reclaimable: freed,
+                    };
+                }
+            }
+        }
+        PlanResult::Admit(Plan {
+            victims,
+            freed,
+            highest,
+        })
+    }
+
+    /// FIFO planning over the always-maintained `(arrival, id)` index.
+    fn plan_indexed_fifo(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+        let free = self.free();
+        let mut victims = Vec::new();
+        let mut freed = ByteSize::ZERO;
+        let mut highest: Option<Importance> = None;
+        for id in self.index.fifo_order() {
+            if free + freed >= size {
+                break;
+            }
+            let object = &self.objects[&id];
+            victims.push(id);
+            freed += object.size();
+            let imp = object.current_importance(now);
+            highest = Some(match highest {
+                Some(h) => h.max(imp),
+                None => imp,
+            });
+        }
+        if free + freed >= size {
+            PlanResult::Admit(Plan {
+                victims,
+                freed,
+                highest,
+            })
+        } else {
+            // Unreachable through the public API (anything at most the
+            // capacity always fits under FIFO), but kept equivalent to the
+            // scan engine for completeness.
+            let blocking = self
+                .objects
+                .values()
+                .filter(|o| !(o.current_importance(now) < incoming || o.is_expired(now)))
+                .map(|o| o.current_importance(now))
+                .min();
+            PlanResult::Full {
+                blocking,
+                reclaimable: freed,
+            }
+        }
+    }
+
+    /// The full-scan reference implementation of planning.
+    fn plan_naive(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
         // Candidate victims in eviction order.
         let mut candidates: Vec<(&StoredObject, Importance)> = self
             .objects
@@ -413,7 +645,9 @@ impl StorageUnit {
             }
             EvictionPolicy::Fifo => {
                 candidates.sort_by(|(a, _), (b, _)| {
-                    a.arrival().cmp(&b.arrival()).then_with(|| a.id().cmp(&b.id()))
+                    a.arrival()
+                        .cmp(&b.arrival())
+                        .then_with(|| a.id().cmp(&b.id()))
                 });
             }
         }
@@ -442,28 +676,31 @@ impl StorageUnit {
         } else {
             // Not enough even after preempting everything eligible: the
             // unit is full for this importance level. Report the lowest
-            // importance among the objects that block admission.
+            // importance among the objects that block admission, and the
+            // total candidate bytes as the reclaimable estimate.
             let blocking = self
                 .objects
                 .values()
-                .filter(|o| {
-                    !(o.current_importance(now) < incoming || o.is_expired(now))
-                })
+                .filter(|o| !(o.current_importance(now) < incoming || o.is_expired(now)))
                 .map(|o| o.current_importance(now))
                 .min();
-            PlanResult::Full { blocking }
+            let reclaimable = candidates.iter().map(|(o, _)| o.size()).sum();
+            PlanResult::Full {
+                blocking,
+                reclaimable,
+            }
         }
     }
-}
 
-/// Bytes that could be reclaimed for an object of the given importance
-/// (victim bytes only, excluding already-free space).
-fn plan_reclaimable(unit: &StorageUnit, incoming: Importance, now: SimTime) -> ByteSize {
-    unit.objects
-        .values()
-        .filter(|o| o.current_importance(now) < incoming || o.is_expired(now))
-        .map(|o| o.size())
-        .sum()
+    /// Fast-path weighted importance sum when the index is current for
+    /// `now`; `None` sends the caller to the full scan.
+    pub(crate) fn weighted_importance_fast(&self, now: SimTime) -> Option<f64> {
+        if self.index_fresh(now) {
+            Some(self.index.weighted_importance(now))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -497,7 +734,9 @@ mod tests {
     #[test]
     fn stores_into_free_space_without_eviction() {
         let mut unit = StorageUnit::new(mib(100));
-        let out = unit.store(fixed_spec(1, mib(40), 1.0, 30), SimTime::ZERO).unwrap();
+        let out = unit
+            .store(fixed_spec(1, mib(40), 1.0, 30), SimTime::ZERO)
+            .unwrap();
         assert!(out.evicted.is_empty());
         assert_eq!(out.highest_preempted, None);
         assert_eq!(unit.used(), mib(40));
@@ -517,7 +756,8 @@ mod tests {
             unit.store(fixed_spec(1, mib(200), 1.0, 1), SimTime::ZERO),
             Err(StoreError::TooLarge { .. })
         ));
-        unit.store(fixed_spec(1, mib(10), 1.0, 1), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(10), 1.0, 1), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
             unit.store(fixed_spec(1, mib(10), 1.0, 1), SimTime::ZERO),
             Err(StoreError::DuplicateId(_))
@@ -528,8 +768,10 @@ mod tests {
     #[test]
     fn preempts_strictly_lower_importance_only() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(60), 0.5, 365), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(40), 0.9, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(60), 0.5, 365), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(40), 0.9, 365), SimTime::ZERO)
+            .unwrap();
 
         // Equal importance (0.5) cannot preempt the 0.5 object.
         let err = unit
@@ -556,7 +798,8 @@ mod tests {
     #[test]
     fn full_importance_objects_are_never_preempted() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(100), 1.0, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(100), 1.0, 365), SimTime::ZERO)
+            .unwrap();
         let err = unit
             .store(fixed_spec(2, mib(1), 1.0, 365), SimTime::ZERO)
             .unwrap_err();
@@ -567,7 +810,8 @@ mod tests {
     #[test]
     fn expired_objects_are_preemptible_by_anything() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(100), 1.0, 10), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(100), 1.0, 10), SimTime::ZERO)
+            .unwrap();
         // After expiry, even an ephemeral (importance-0) object can displace it.
         let later = SimTime::from_days(11);
         let spec = ObjectSpec::new(ObjectId::new(2), mib(50), ImportanceCurve::Ephemeral);
@@ -582,9 +826,12 @@ mod tests {
     #[test]
     fn victims_are_taken_in_increasing_importance_order() {
         let mut unit = StorageUnit::new(mib(90));
-        unit.store(fixed_spec(1, mib(30), 0.2, 365), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(30), 0.6, 365), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(3, mib(30), 0.4, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(30), 0.2, 365), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(30), 0.6, 365), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(3, mib(30), 0.4, 365), SimTime::ZERO)
+            .unwrap();
 
         // Needs 60 MiB: should take 0.2 then 0.4, leaving 0.6 resident.
         let out = unit
@@ -600,8 +847,10 @@ mod tests {
     fn equal_importance_ties_break_by_remaining_lifetime() {
         let mut unit = StorageUnit::new(mib(60));
         // Same importance, different expiries.
-        unit.store(fixed_spec(1, mib(30), 0.5, 100), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(30), 0.5, 10), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(30), 0.5, 100), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(30), 0.5, 10), SimTime::ZERO)
+            .unwrap();
         let out = unit
             .store(fixed_spec(3, mib(30), 0.8, 365), SimTime::ZERO)
             .unwrap();
@@ -623,10 +872,7 @@ mod tests {
         );
         unit.store(persistent_low, SimTime::ZERO).unwrap();
         // A piecewise curve with positive tail never expires.
-        let tail = crate::PiecewiseCurve::new(vec![
-            (SimDuration::ZERO, imp(0.5)),
-        ])
-        .unwrap();
+        let tail = crate::PiecewiseCurve::new(vec![(SimDuration::ZERO, imp(0.5))]).unwrap();
         unit.store(
             ObjectSpec::new(ObjectId::new(2), mib(30), tail.into()),
             SimTime::ZERO,
@@ -643,11 +889,8 @@ mod tests {
     fn fifo_policy_never_rejects_and_evicts_oldest() {
         let mut unit = StorageUnit::with_policy(mib(100), EvictionPolicy::Fifo);
         for (i, t) in [(1u64, 0u64), (2, 5), (3, 10)] {
-            unit.store(
-                fixed_spec(i, mib(30), 1.0, 365),
-                SimTime::from_days(t),
-            )
-            .unwrap();
+            unit.store(fixed_spec(i, mib(30), 1.0, 365), SimTime::from_days(t))
+                .unwrap();
         }
         // Even a zero-importance object displaces the oldest full-importance
         // one: 10 MiB free + 30 MiB from the oldest victim covers 40 MiB.
@@ -667,7 +910,8 @@ mod tests {
     #[test]
     fn eviction_records_capture_lifetime_achieved() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(100), 0.5, 30), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(100), 0.5, 30), SimTime::ZERO)
+            .unwrap();
         let at = SimTime::from_days(12);
         let out = unit.store(fixed_spec(2, mib(50), 0.9, 30), at).unwrap();
         let rec = &out.evicted[0];
@@ -685,8 +929,10 @@ mod tests {
     #[test]
     fn rejection_records_capture_blocking_importance() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(80), 0.6, 365), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(20), 0.3, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(80), 0.6, 365), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(20), 0.3, 365), SimTime::ZERO)
+            .unwrap();
         let _ = unit.store(fixed_spec(3, mib(50), 0.4, 365), SimTime::ZERO);
         let rejections = unit.take_rejections();
         assert_eq!(rejections.len(), 1);
@@ -697,14 +943,20 @@ mod tests {
     #[test]
     fn peek_admission_matches_store_and_does_not_mutate() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(60), 0.3, 365), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(40), 0.8, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(60), 0.3, 365), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(40), 0.8, 365), SimTime::ZERO)
+            .unwrap();
 
         let before = unit.used();
         let peek = unit.peek_admission(mib(50), imp(0.5), SimTime::ZERO);
         assert_eq!(unit.used(), before);
         match peek {
-            Admission::Preempting { highest, victims, freed } => {
+            Admission::Preempting {
+                highest,
+                victims,
+                freed,
+            } => {
                 assert_eq!(highest, imp(0.3));
                 assert_eq!(victims, 1);
                 assert_eq!(freed, mib(60));
@@ -732,15 +984,19 @@ mod tests {
         ));
 
         // Store agrees with peek.
-        let out = unit.store(fixed_spec(3, mib(50), 0.5, 365), SimTime::ZERO).unwrap();
+        let out = unit
+            .store(fixed_spec(3, mib(50), 0.5, 365), SimTime::ZERO)
+            .unwrap();
         assert_eq!(out.highest_preempted, Some(imp(0.3)));
     }
 
     #[test]
     fn sweep_expired_reclaims_only_expired() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO).unwrap();
-        unit.store(fixed_spec(2, mib(30), 1.0, 100), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO)
+            .unwrap();
+        unit.store(fixed_spec(2, mib(30), 1.0, 100), SimTime::ZERO)
+            .unwrap();
         let swept = unit.sweep_expired(SimTime::from_days(50));
         assert_eq!(swept.len(), 1);
         assert_eq!(swept[0].id, ObjectId::new(1));
@@ -753,11 +1009,16 @@ mod tests {
     #[test]
     fn remove_returns_record() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO).unwrap();
-        let rec = unit.remove(ObjectId::new(1), SimTime::from_days(3)).unwrap();
+        unit.store(fixed_spec(1, mib(30), 1.0, 10), SimTime::ZERO)
+            .unwrap();
+        let rec = unit
+            .remove(ObjectId::new(1), SimTime::from_days(3))
+            .unwrap();
         assert_eq!(rec.reason, EvictionReason::Removed);
         assert_eq!(rec.lifetime_achieved(), days(3));
-        assert!(unit.remove(ObjectId::new(1), SimTime::from_days(3)).is_none());
+        assert!(unit
+            .remove(ObjectId::new(1), SimTime::from_days(3))
+            .is_none());
         assert_eq!(unit.stats().removals, 1);
         assert!(unit.is_empty());
     }
@@ -801,11 +1062,14 @@ mod tests {
     #[test]
     fn reannotate_allows_demotion() {
         let mut unit = StorageUnit::new(mib(100));
-        unit.store(fixed_spec(1, mib(10), 1.0, 365), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(10), 1.0, 365), SimTime::ZERO)
+            .unwrap();
         unit.reannotate(ObjectId::new(1), ImportanceCurve::Ephemeral, SimTime::ZERO)
             .unwrap();
         assert_eq!(
-            unit.get(ObjectId::new(1)).unwrap().current_importance(SimTime::ZERO),
+            unit.get(ObjectId::new(1))
+                .unwrap()
+                .current_importance(SimTime::ZERO),
             Importance::ZERO
         );
     }
@@ -814,7 +1078,8 @@ mod tests {
     fn recording_can_be_disabled() {
         let mut unit = StorageUnit::new(mib(10));
         unit.set_recording(false);
-        unit.store(fixed_spec(1, mib(10), 0.5, 10), SimTime::ZERO).unwrap();
+        unit.store(fixed_spec(1, mib(10), 0.5, 10), SimTime::ZERO)
+            .unwrap();
         let _ = unit.store(fixed_spec(2, mib(10), 0.9, 10), SimTime::ZERO);
         let _ = unit.store(fixed_spec(3, mib(10), 0.1, 10), SimTime::ZERO);
         assert!(unit.take_evictions().is_empty());

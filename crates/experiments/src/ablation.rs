@@ -31,7 +31,11 @@ pub enum DecayShape {
 
 impl DecayShape {
     /// All shapes in presentation order.
-    pub const ALL: [DecayShape; 3] = [DecayShape::Linear, DecayShape::Exponential, DecayShape::Step];
+    pub const ALL: [DecayShape; 3] = [
+        DecayShape::Linear,
+        DecayShape::Exponential,
+        DecayShape::Step,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -55,11 +59,9 @@ impl DecayShape {
                 SimDuration::from_days(4),
             )
             .expect("positive half-life"),
-            DecayShape::Step => ImportanceCurve::two_step(
-                Importance::FULL,
-                persist + wane,
-                SimDuration::ZERO,
-            ),
+            DecayShape::Step => {
+                ImportanceCurve::two_step(Importance::FULL, persist + wane, SimDuration::ZERO)
+            }
         }
     }
 }
@@ -90,8 +92,7 @@ pub struct DecayAblationRow {
 /// only.
 pub fn decay_ablation(seed: u64, capacity: ByteSize, days: u64) -> Vec<DecayAblationRow> {
     const SHAPED: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(20);
-    const COMPETITOR: temporal_importance::ObjectClass =
-        temporal_importance::ObjectClass::new(21);
+    const COMPETITOR: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(21);
 
     DecayShape::ALL
         .into_iter()
@@ -119,8 +120,7 @@ pub fn decay_ablation(seed: u64, capacity: ByteSize, days: u64) -> Vec<DecayAbla
                 if shaped {
                     shaped_offered += 1;
                 }
-                let spec =
-                    ObjectSpec::new(ids.next_id(), arrival.size, curve).with_class(class);
+                let spec = ObjectSpec::new(ids.next_id(), arrival.size, curve).with_class(class);
                 match unit.store(spec, arrival.at) {
                     Ok(_) => {}
                     Err(StoreError::Full { .. }) => {
@@ -135,9 +135,7 @@ pub fn decay_ablation(seed: u64, capacity: ByteSize, days: u64) -> Vec<DecayAbla
             let evictions = unit.take_evictions();
             let preempted: Vec<f64> = evictions
                 .iter()
-                .filter(|e| {
-                    e.class == SHAPED && e.reason == EvictionReason::Preempted
-                })
+                .filter(|e| e.class == SHAPED && e.reason == EvictionReason::Preempted)
                 .map(|e| e.lifetime_achieved().as_days_f64())
                 .collect();
             let mean = if preempted.is_empty() {

@@ -118,15 +118,19 @@ pub fn fig2(seed: u64) -> FigureReport {
         tables: vec![("storage requirement".into(), table)],
         notes: vec![
             format!("year-one demand: {year_total:.0} GiB — far beyond an 80/120 GiB disk"),
-            "quarterly rate ramp 0.5 → 0.7 → 1.0 → 1.3 GB/hr is visible as increasing slope"
-                .into(),
+            "quarterly rate ramp 0.5 → 0.7 → 1.0 → 1.3 GB/hr is visible as increasing slope".into(),
         ],
     }
 }
 
 /// Runs the three §5.1 policy simulations in parallel (they are
 /// independent) and extracts one series from each.
-fn policy_columns<F>(seed: u64, days: u64, capacity_gib: u64, extract: F) -> Vec<(String, Vec<(SimTime, f64)>)>
+fn policy_columns<F>(
+    seed: u64,
+    days: u64,
+    capacity_gib: u64,
+    extract: F,
+) -> Vec<(String, Vec<(SimTime, f64)>)>
 where
     F: Fn(&single_class::SingleClassResult) -> Vec<(SimTime, f64)> + Sync,
 {
@@ -185,9 +189,7 @@ pub fn fig3(seed: u64, days: u64) -> FigureReport {
             lifetime_histogram_table(seed, days, capacity),
         ));
     }
-    notes.push(
-        "series start once the disk first fills (~day 40), as in the paper".into(),
-    );
+    notes.push("series start once the disk first fills (~day 40), as in the paper".into());
     FigureReport {
         id: "fig3",
         title: "Lifetime achieved (measured at eviction)".into(),
@@ -282,8 +284,8 @@ fn time_constant_table(
         ("day", SimDuration::DAY),
         ("month", MONTH),
     ] {
-        let series = TimeConstantEstimator::new(capacity, window)
-            .estimate(arrivals.iter().copied());
+        let series =
+            TimeConstantEstimator::new(capacity, window).estimate(arrivals.iter().copied());
         let summary = series.summary();
         let cv = series.coefficient_of_variation().unwrap_or(f64::NAN);
         cvs.insert(label, cv);
@@ -319,8 +321,7 @@ pub fn fig5(seed: u64, days: u64) -> FigureReport {
     cfg.days = days;
     let result = single_class::run(cfg);
     for capacity in CAPACITIES_GIB {
-        let (table, mut n) =
-            time_constant_table(&result.arrivals, ByteSize::from_gib(capacity));
+        let (table, mut n) = time_constant_table(&result.arrivals, ByteSize::from_gib(capacity));
         notes.append(&mut n);
         tables.push((format!("{capacity} GiB — time constant estimates"), table));
     }
@@ -344,12 +345,7 @@ pub fn fig6(seed: u64, days: u64) -> FigureReport {
         cfg.days = days;
         let result = single_class::run(cfg);
         let column = result.density.bucket_mean(MONTH);
-        let peak = result
-            .density
-            .values()
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
+        let peak = result.density.values().iter().copied().fold(0.0, f64::max);
         notes.push(format!("{capacity} GiB: peak density {peak:.4}"));
         tables.push((
             format!("{capacity} GiB — monthly mean importance density"),
@@ -429,9 +425,7 @@ pub fn table1() -> FigureReport {
         id: "table1",
         title: "Lifetimes for lecture capture system".into(),
         tables: vec![("Table 1".into(), table)],
-        notes: vec![
-            "student objects: 50% importance, same persist, 14-day wane (§5.2.1)".into(),
-        ],
+        notes: vec!["student objects: 50% importance, same persist, 14-day wane (§5.2.1)".into()],
     }
 }
 
@@ -503,7 +497,10 @@ pub fn fig9(seed: u64, years: u64) -> FigureReport {
             let (start, end) = uni_hist.bin_range(bin);
             hist_table.row(vec![
                 format!("{start:.0}-{end:.0}"),
-                fmt_f64(uni_hist.counts()[bin] as f64 / uni_hist.total().max(1) as f64, 3),
+                fmt_f64(
+                    uni_hist.counts()[bin] as f64 / uni_hist.total().max(1) as f64,
+                    3,
+                ),
                 fmt_f64(
                     student_hist.counts()[bin] as f64 / student_hist.total().max(1) as f64,
                     3,
@@ -578,8 +575,7 @@ pub fn fig11(seed: u64, years: u64) -> FigureReport {
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
-        let (table, mut n) =
-            time_constant_table(&result.arrivals, ByteSize::from_gib(capacity));
+        let (table, mut n) = time_constant_table(&result.arrivals, ByteSize::from_gib(capacity));
         notes.append(&mut n);
         tables.push((format!("{capacity} GiB — time constant estimates"), table));
     }
@@ -640,8 +636,8 @@ pub fn sec53(seed: u64, years: u64, scale: usize) -> FigureReport {
         cfg.years = years;
         let result = university::run(cfg);
         let final_density = result.density.values().last().copied().unwrap_or(0.0);
-        let direct = result.cluster_stats.direct_stores as f64
-            / result.cluster_stats.placed.max(1) as f64;
+        let direct =
+            result.cluster_stats.direct_stores as f64 / result.cluster_stats.placed.max(1) as f64;
         table.row(vec![
             format!("{capacity} GiB"),
             result.config.nodes.to_string(),
@@ -663,7 +659,8 @@ pub fn sec53(seed: u64, years: u64, scale: usize) -> FigureReport {
         }
     }
     notes.push(
-        "same annotations, more storage → better student persistence (no parameter change needed)".into(),
+        "same annotations, more storage → better student persistence (no parameter change needed)"
+            .into(),
     );
     if scale > 1 {
         notes.push(format!(
@@ -735,9 +732,7 @@ pub fn ablate_placement(seed: u64) -> FigureReport {
         id: "ablate-placement",
         title: "Ablation: placement sampling width (x candidates, m tries)".into(),
         tables: vec![("60-node cluster, mixed-importance fill".into(), table)],
-        notes: vec![
-            "wider sampling finds less important victims to preempt".into(),
-        ],
+        notes: vec!["wider sampling finds less important victims to preempt".into()],
     }
 }
 
@@ -811,8 +806,8 @@ pub fn sec6_sensor(seed: u64) -> FigureReport {
 /// §1 extension: per-principal fairness budgets over importance-weighted
 /// bytes.
 pub fn fairness(seed: u64) -> FigureReport {
-    use sim_core::rng;
     use rand::Rng;
+    use sim_core::rng;
     use temporal_importance::{
         FairStore, FairStoreError, Importance, ImportanceCurve, ObjectIdGen, ObjectSpec,
         PrincipalId, StorageUnit,
@@ -947,16 +942,19 @@ pub fn advisor(seed: u64, days: u64) -> FigureReport {
         title: "Extension: annotation advisor on the Figure 7 snapshot (§5.1.2)".into(),
         tables: vec![
             (
-                format!("admission threshold by size, density {:.4}", snapshot.density),
+                format!(
+                    "admission threshold by size, density {:.4}",
+                    snapshot.density
+                ),
                 thresholds,
             ),
             ("8 GiB batch forecast by plateau".into(), forecasts),
         ],
         notes: vec![
             match suggestion {
-                Some(p) => format!(
-                    "to keep an 8 GiB batch for 20 days, request a plateau of at least {p}"
-                ),
+                Some(p) => {
+                    format!("to keep an 8 GiB batch for 20 days, request a plateau of at least {p}")
+                }
                 None => "no plateau can keep an 8 GiB batch for 20 days right now".into(),
             },
             "\"the difference between the storage density and the object importance gives some \
@@ -1113,11 +1111,7 @@ mod tests {
     fn merged_table_aligns_sparse_columns() {
         let a = vec![(SimTime::from_days(0), 1.0), (SimTime::from_days(30), 2.0)];
         let b = vec![(SimTime::from_days(30), 5.0)];
-        let table = merged_table(
-            "day",
-            vec![("a".into(), a), ("b".into(), b)],
-            1,
-        );
+        let table = merged_table("day", vec![("a".into(), a), ("b".into(), b)], 1);
         let text = table.render();
         let lines: Vec<&str> = text.lines().collect();
         // Header + rule + two data rows.

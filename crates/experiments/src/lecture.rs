@@ -129,6 +129,7 @@ pub fn run(config: LectureRunConfig) -> LectureRunResult {
 
     for arrival in arrivals {
         while next_sample <= arrival.at {
+            unit.advance(next_sample);
             density.push(next_sample, unit.importance_density(next_sample));
             next_sample += config.sample_every;
         }
@@ -202,7 +203,9 @@ mod tests {
     #[test]
     fn university_objects_outlive_student_objects_under_pressure() {
         let result = quick(80, false);
-        let uni = result.mean_lifetime_with_rejections(CLASS_UNIVERSITY).unwrap();
+        let uni = result
+            .mean_lifetime_with_rejections(CLASS_UNIVERSITY)
+            .unwrap();
         let student = result.mean_lifetime_with_rejections(CLASS_STUDENT).unwrap();
         assert!(
             uni > 2.0 * student,

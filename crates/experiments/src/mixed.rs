@@ -18,8 +18,8 @@
 use serde::{Deserialize, Serialize};
 use sim_core::{ByteSize, SimDuration, SimTime};
 use temporal_importance::{
-    EvictionReason, Importance, ImportanceCurve, ObjectClass, ObjectIdGen, ObjectSpec,
-    StorageUnit, StoreError,
+    EvictionReason, Importance, ImportanceCurve, ObjectClass, ObjectIdGen, ObjectSpec, StorageUnit,
+    StoreError,
 };
 
 use analysis::TimeSeries;
@@ -161,7 +161,8 @@ pub fn run(config: MixedRunConfig) -> MixedRunResult {
     let mut ids = ObjectIdGen::new();
 
     let mut density = TimeSeries::new();
-    let mut residency: Vec<TimeSeries> = config.profiles.iter().map(|_| TimeSeries::new()).collect();
+    let mut residency: Vec<TimeSeries> =
+        config.profiles.iter().map(|_| TimeSeries::new()).collect();
     let mut offered = vec![0u64; config.profiles.len()];
     let mut accepted = vec![0u64; config.profiles.len()];
     let mut rejected = vec![0u64; config.profiles.len()];
@@ -169,6 +170,7 @@ pub fn run(config: MixedRunConfig) -> MixedRunResult {
     for day in 0..config.days {
         let midnight = SimTime::from_days(day);
         // Sample state at each midnight.
+        unit.advance(midnight);
         density.push(midnight, unit.importance_density(midnight));
         for (i, profile) in config.profiles.iter().enumerate() {
             let bytes: ByteSize = unit
@@ -214,7 +216,8 @@ pub fn run(config: MixedRunConfig) -> MixedRunResult {
                 .iter()
                 .filter(|e| e.class == profile.class && e.reason == EvictionReason::Preempted)
                 .collect();
-            let mean_lifetime_days = mean(evicted.iter().map(|e| e.lifetime_achieved().as_days_f64()));
+            let mean_lifetime_days =
+                mean(evicted.iter().map(|e| e.lifetime_achieved().as_days_f64()));
             let mean_eviction_importance =
                 mean(evicted.iter().map(|e| e.importance_at_eviction.value()));
             AppOutcome {
@@ -271,8 +274,16 @@ mod tests {
         let cache = result.app("cache").unwrap();
         // Archive and backup keep near-full acceptance; the cache absorbs
         // the rejections (its ephemeral objects can't preempt anything).
-        assert!(archive.acceptance() > 0.95, "archive {:.2}", archive.acceptance());
-        assert!(backup.acceptance() > 0.95, "backup {:.2}", backup.acceptance());
+        assert!(
+            archive.acceptance() > 0.95,
+            "archive {:.2}",
+            archive.acceptance()
+        );
+        assert!(
+            backup.acceptance() > 0.95,
+            "backup {:.2}",
+            backup.acceptance()
+        );
         assert!(
             cache.acceptance() < archive.acceptance(),
             "cache {:.2} not below archive {:.2}",

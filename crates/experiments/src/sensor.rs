@@ -134,10 +134,7 @@ pub fn run(config: SensorRunConfig) -> SensorRunResult {
                     }
                     Err(e) => panic!("unexpected store error: {e}"),
                 }
-                sim.schedule(
-                    now + config.sensor.capture_every,
-                    Event::Capture { sensor },
-                );
+                sim.schedule(now + config.sensor.capture_every, Event::Capture { sensor });
             }
             Event::Processed { raw } => {
                 // The raw object may already have been lost.
@@ -179,10 +176,7 @@ pub fn run(config: SensorRunConfig) -> SensorRunResult {
                         // Summary could not be stored: keep the raw data
                         // hot and retry processing later.
                         unprocessed.insert(raw);
-                        sim.schedule(
-                            now + config.sensor.ack_retry,
-                            Event::Processed { raw },
-                        );
+                        sim.schedule(now + config.sensor.ack_retry, Event::Processed { raw });
                     }
                     Err(e) => panic!("unexpected store error: {e}"),
                 }
@@ -203,10 +197,9 @@ pub fn run(config: SensorRunConfig) -> SensorRunResult {
                 }
             }
             Event::Sample => {
+                unit.advance(now);
                 result.density.push(now, unit.importance_density(now));
-                result
-                    .pending_summaries
-                    .push(now, unacked.len() as f64);
+                result.pending_summaries.push(now, unacked.len() as f64);
                 if now + SimDuration::DAY <= horizon {
                     sim.schedule(now + SimDuration::DAY, Event::Sample);
                 }
@@ -243,10 +236,7 @@ mod tests {
         // every capture alive through processing.
         let result = run(SensorRunConfig::default());
         assert!(result.captures > 1000, "captures {}", result.captures);
-        assert_eq!(
-            result.raw_lost_unprocessed, 0,
-            "unprocessed data was lost"
-        );
+        assert_eq!(result.raw_lost_unprocessed, 0, "unprocessed data was lost");
         assert_eq!(result.summaries_lost_unacked, 0);
         assert!(result.acked > 0);
     }

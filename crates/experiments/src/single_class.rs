@@ -168,8 +168,7 @@ impl SingleClassResult {
 /// Runs the §5.1 experiment.
 pub fn run(config: SingleClassConfig) -> SingleClassResult {
     let horizon = SimTime::from_days(config.days);
-    let mut unit =
-        StorageUnit::with_policy(config.capacity, config.policy.eviction_policy());
+    let mut unit = StorageUnit::with_policy(config.capacity, config.policy.eviction_policy());
     let mut ids = ObjectIdGen::new();
     let curve = config.policy.curve();
 
@@ -186,6 +185,7 @@ pub fn run(config: SingleClassConfig) -> SingleClassResult {
         }
         // Sample state up to the arrival instant.
         while next_sample <= arrival.at {
+            unit.advance(next_sample);
             density.push(next_sample, unit.importance_density(next_sample));
             used_fraction.push(next_sample, unit.used().ratio(unit.capacity()));
             next_sample += config.sample_every;
@@ -256,7 +256,10 @@ mod tests {
                 e.lifetime_achieved()
             );
         }
-        assert!(result.stats.rejections_full > 0, "should reject under pressure");
+        assert!(
+            result.stats.rejections_full > 0,
+            "should reject under pressure"
+        );
     }
 
     #[test]
@@ -274,11 +277,7 @@ mod tests {
         // And the cost (Figure 3): some objects lose part of their waning
         // 15 days — lifetimes below 30 days appear.
         let lifetimes = temporal.lifetime_series();
-        let min = lifetimes
-            .values()
-            .iter()
-            .copied()
-            .fold(f64::MAX, f64::min);
+        let min = lifetimes.values().iter().copied().fold(f64::MAX, f64::min);
         assert!(min < 30.0, "no lifetime was shortened (min {min})");
         // But never below the guaranteed 15-day plateau.
         assert!(min >= 15.0, "plateau violated (min {min})");
@@ -333,10 +332,7 @@ mod tests {
     #[test]
     fn series_helpers_are_consistent() {
         let result = quick(PolicyChoice::TemporalImportance, 80);
-        assert_eq!(
-            result.rejection_series().len(),
-            result.rejections.len()
-        );
+        assert_eq!(result.rejection_series().len(), result.rejections.len());
         let cumulative = result.cumulative_volume();
         let vals = cumulative.values();
         assert!(vals.windows(2).all(|w| w[1] >= w[0]));

@@ -133,6 +133,7 @@ pub fn run(config: UniversityRunConfig) -> UniversityRunResult {
 
     for arrival in UniversityCapture::new(workload_cfg, config.years) {
         while next_sample <= arrival.at {
+            cluster.advance(next_sample);
             density.push(next_sample, cluster.importance_density(next_sample));
             next_sample += config.sample_every;
         }
@@ -230,21 +231,20 @@ mod tests {
     #[test]
     fn density_saturates_under_pressure() {
         let result = quick(80);
-        let peak = result
+        let peak = result.density.values().iter().copied().fold(0.0, f64::max);
+        assert!(peak > 0.6, "cluster density peak {peak}");
+        assert!(result
             .density
             .values()
             .iter()
-            .copied()
-            .fold(0.0, f64::max);
-        assert!(peak > 0.6, "cluster density peak {peak}");
-        assert!(result.density.values().iter().all(|v| (0.0..=1.0).contains(v)));
+            .all(|v| (0.0..=1.0).contains(v)));
     }
 
     #[test]
     fn placement_probes_are_bounded_by_config() {
         let result = quick(80);
-        let max = (result.config.placement.candidates_per_try
-            * result.config.placement.max_tries) as f64;
+        let max =
+            (result.config.placement.candidates_per_try * result.config.placement.max_tries) as f64;
         assert!(result.mean_probes <= max);
         assert!(result.mean_probes >= 1.0);
     }

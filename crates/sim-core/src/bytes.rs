@@ -187,7 +187,10 @@ mod tests {
             ByteSize::from_mib(1).saturating_sub(ByteSize::from_mib(2)),
             ByteSize::ZERO
         );
-        assert_eq!(ByteSize::from_mib(1).checked_sub(ByteSize::from_mib(2)), None);
+        assert_eq!(
+            ByteSize::from_mib(1).checked_sub(ByteSize::from_mib(2)),
+            None
+        );
     }
 
     #[test]

@@ -381,19 +381,11 @@ mod tests {
 
     #[test]
     fn ordering_is_chronological() {
-        let mut times = vec![
-            SimTime::from_days(3),
-            SimTime::ZERO,
-            SimTime::from_hours(5),
-        ];
+        let mut times = vec![SimTime::from_days(3), SimTime::ZERO, SimTime::from_hours(5)];
         times.sort();
         assert_eq!(
             times,
-            vec![
-                SimTime::ZERO,
-                SimTime::from_hours(5),
-                SimTime::from_days(3)
-            ]
+            vec![SimTime::ZERO, SimTime::from_hours(5), SimTime::from_days(3)]
         );
     }
 }

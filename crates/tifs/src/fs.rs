@@ -180,8 +180,8 @@ impl TiFs {
             self.prune_object(victim);
         }
 
-        let dir = resolve_dir_mut(&mut self.root, &parent, path)
-            .expect("parent verified before store");
+        let dir =
+            resolve_dir_mut(&mut self.root, &parent, path).expect("parent verified before store");
         dir.insert(name, Node::File(id));
         self.contents.insert(id, data);
         self.locations.insert(id, segments);
@@ -216,10 +216,7 @@ impl TiFs {
             size: object.size(),
             importance: object.current_importance(now),
             created: object.arrival(),
-            expires: object
-                .curve()
-                .expiry()
-                .map(|e| object.annotated_at() + e),
+            expires: object.curve().expiry().map(|e| object.annotated_at() + e),
         })
     }
 
@@ -440,7 +437,12 @@ mod tests {
         let mut fs = fs_mib(1);
         fs.mkdir("/docs").unwrap();
         let id = fs
-            .create("/docs/a.txt", b"hello".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .create(
+                "/docs/a.txt",
+                b"hello".to_vec(),
+                fixed(1.0, 30),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(fs.read("/docs/a.txt", SimTime::ZERO).unwrap(), b"hello");
         let stat = fs.stat("/docs/a.txt", SimTime::ZERO).unwrap();
@@ -454,14 +456,16 @@ mod tests {
     #[test]
     fn files_are_write_once() {
         let mut fs = fs_mib(1);
-        fs.create("/a", b"1".to_vec(), fixed(1.0, 30), SimTime::ZERO).unwrap();
+        fs.create("/a", b"1".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
             fs.create("/a", b"2".to_vec(), fixed(1.0, 30), SimTime::ZERO),
             Err(FsError::AlreadyExists { .. })
         ));
         // Remove-then-create replaces.
         fs.remove("/a", SimTime::ZERO).unwrap();
-        fs.create("/a", b"2".to_vec(), fixed(1.0, 30), SimTime::ZERO).unwrap();
+        fs.create("/a", b"2".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .unwrap();
         assert_eq!(fs.read("/a", SimTime::ZERO).unwrap(), b"2");
     }
 
@@ -478,7 +482,8 @@ mod tests {
     #[test]
     fn path_errors() {
         let mut fs = fs_mib(1);
-        fs.create("/file", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO).unwrap();
+        fs.create("/file", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
             fs.create("/file/child", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO),
             Err(FsError::NotADirectory { .. })
@@ -512,22 +517,28 @@ mod tests {
         fs.mkdir("/cache").unwrap();
         fs.mkdir("/docs").unwrap();
         // 600 KiB of low-importance cache data.
-        fs.create("/cache/blob", kb(600), fixed(0.2, 365), SimTime::ZERO).unwrap();
+        fs.create("/cache/blob", kb(600), fixed(0.2, 365), SimTime::ZERO)
+            .unwrap();
         // An important 700 KiB document forces reclamation of the blob.
-        fs.create("/docs/thesis", kb(700), fixed(1.0, 365), SimTime::ZERO).unwrap();
+        fs.create("/docs/thesis", kb(700), fixed(1.0, 365), SimTime::ZERO)
+            .unwrap();
 
         assert!(matches!(
             fs.read("/cache/blob", SimTime::ZERO),
             Err(FsError::NotFound { .. })
         ));
         assert!(fs.list("/cache", SimTime::ZERO).unwrap().is_empty());
-        assert_eq!(fs.read("/docs/thesis", SimTime::ZERO).unwrap().len(), 700 * 1024);
+        assert_eq!(
+            fs.read("/docs/thesis", SimTime::ZERO).unwrap().len(),
+            700 * 1024
+        );
     }
 
     #[test]
     fn full_for_this_importance_level() {
         let mut fs = fs_mib(1);
-        fs.create("/important", kb(900), fixed(1.0, 365), SimTime::ZERO).unwrap();
+        fs.create("/important", kb(900), fixed(1.0, 365), SimTime::ZERO)
+            .unwrap();
         // Equal importance cannot displace it.
         let err = fs
             .create("/another", kb(600), fixed(1.0, 365), SimTime::ZERO)
@@ -543,7 +554,8 @@ mod tests {
     #[test]
     fn expired_files_remain_readable_until_reclaimed() {
         let mut fs = fs_mib(1);
-        fs.create("/tmp-report", kb(100), fixed(1.0, 10), SimTime::ZERO).unwrap();
+        fs.create("/tmp-report", kb(100), fixed(1.0, 10), SimTime::ZERO)
+            .unwrap();
         let later = SimTime::from_days(30);
         // Expired but still resident: §3 "objects need not be deleted at
         // the end of t_expire".
@@ -563,12 +575,15 @@ mod tests {
     #[test]
     fn rejuvenate_and_demote() {
         let mut fs = fs_mib(1);
-        fs.create("/video", kb(100), fixed(1.0, 10), SimTime::ZERO).unwrap();
+        fs.create("/video", kb(100), fixed(1.0, 10), SimTime::ZERO)
+            .unwrap();
         let later = SimTime::from_days(5);
         // Raise: extend the lifetime.
         fs.rejuvenate("/video", fixed(1.0, 30), later).unwrap();
         assert_eq!(
-            fs.stat("/video", SimTime::from_days(20)).unwrap().importance,
+            fs.stat("/video", SimTime::from_days(20))
+                .unwrap()
+                .importance,
             Importance::FULL
         );
         // Lowering via rejuvenate is refused...
@@ -578,17 +593,15 @@ mod tests {
         ));
         // ...but demote (the backup-completed trigger) succeeds.
         fs.demote("/video", fixed(0.1, 30), later).unwrap();
-        assert_eq!(
-            fs.stat("/video", later).unwrap().importance.value(),
-            0.1
-        );
+        assert_eq!(fs.stat("/video", later).unwrap().importance.value(), 0.1);
     }
 
     #[test]
     fn rmdir_only_removes_empty_directories() {
         let mut fs = fs_mib(1);
         fs.mkdir_all("/a/b", SimTime::ZERO).unwrap();
-        fs.create("/a/b/f", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO).unwrap();
+        fs.create("/a/b/f", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(
             fs.rmdir("/a/b", SimTime::ZERO),
             Err(FsError::NotEmpty { .. })
@@ -606,8 +619,10 @@ mod tests {
     fn rmdir_succeeds_after_contents_are_reclaimed() {
         let mut fs = fs_mib(1);
         fs.mkdir("/cache").unwrap();
-        fs.create("/cache/junk", kb(600), fixed(0.1, 365), SimTime::ZERO).unwrap();
-        fs.create("/big", kb(700), fixed(1.0, 365), SimTime::ZERO).unwrap();
+        fs.create("/cache/junk", kb(600), fixed(0.1, 365), SimTime::ZERO)
+            .unwrap();
+        fs.create("/big", kb(700), fixed(1.0, 365), SimTime::ZERO)
+            .unwrap();
         // junk was preempted; rmdir sees the pruned directory.
         fs.rmdir("/cache", SimTime::ZERO).unwrap();
     }
@@ -615,7 +630,8 @@ mod tests {
     #[test]
     fn density_reflects_file_annotations() {
         let mut fs = fs_mib(1);
-        fs.create("/half", kb(512), fixed(0.5, 365), SimTime::ZERO).unwrap();
+        fs.create("/half", kb(512), fixed(0.5, 365), SimTime::ZERO)
+            .unwrap();
         let d = fs.density(SimTime::ZERO);
         assert!((d - 0.25).abs() < 0.01, "density {d}");
         assert_eq!(fs.capacity(), ByteSize::from_mib(1));
@@ -625,7 +641,8 @@ mod tests {
     fn listing_is_sorted_and_typed() {
         let mut fs = fs_mib(1);
         fs.mkdir("/z-dir").unwrap();
-        fs.create("/a-file", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO).unwrap();
+        fs.create("/a-file", b"x".to_vec(), fixed(1.0, 30), SimTime::ZERO)
+            .unwrap();
         let entries = fs.list("/", SimTime::ZERO).unwrap();
         assert_eq!(
             entries,

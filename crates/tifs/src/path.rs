@@ -92,8 +92,7 @@ mod tests {
 
     #[test]
     fn split_parent_extracts_name() {
-        let (parent, name) =
-            split_parent("/a/b/c", normalize("/a/b/c").unwrap()).unwrap();
+        let (parent, name) = split_parent("/a/b/c", normalize("/a/b/c").unwrap()).unwrap();
         assert_eq!(parent, vec!["a", "b"]);
         assert_eq!(name, "c");
         assert!(split_parent("/", normalize("/").unwrap()).is_err());

@@ -202,24 +202,12 @@ mod tests {
     fn persist_is_end_day_minus_today() {
         let cal = AcademicCalendar::paper();
         // Table 1: Spring t_persist = 120 − today.
-        assert_eq!(
-            cal.persist_for(day(8)),
-            Some(SimDuration::from_days(112))
-        );
-        assert_eq!(
-            cal.persist_for(day(100)),
-            Some(SimDuration::from_days(20))
-        );
+        assert_eq!(cal.persist_for(day(8)), Some(SimDuration::from_days(112)));
+        assert_eq!(cal.persist_for(day(100)), Some(SimDuration::from_days(20)));
         // Summer: 210 − today.
-        assert_eq!(
-            cal.persist_for(day(160)),
-            Some(SimDuration::from_days(50))
-        );
+        assert_eq!(cal.persist_for(day(160)), Some(SimDuration::from_days(50)));
         // Fall: 360 − today.
-        assert_eq!(
-            cal.persist_for(day(300)),
-            Some(SimDuration::from_days(60))
-        );
+        assert_eq!(cal.persist_for(day(300)), Some(SimDuration::from_days(60)));
         assert_eq!(cal.persist_for(day(130)), None);
     }
 

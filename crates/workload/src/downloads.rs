@@ -125,7 +125,10 @@ mod tests {
         assert!(in_term > 0);
         // ...decays after it ends.
         let after: u64 = trace[125..].iter().sum();
-        assert!(after < in_term / 10, "after-term {after} vs in-term {in_term}");
+        assert!(
+            after < in_term / 10,
+            "after-term {after} vs in-term {in_term}"
+        );
     }
 
     #[test]
@@ -176,8 +179,10 @@ mod tests {
             (0..n).map(|_| poisson(&mut rand, 3.0) as f64).sum::<f64>() / n as f64;
         assert!((2.7..3.3).contains(&mean_small), "mean {mean_small}");
         // Large-λ mean (normal approximation).
-        let mean_large: f64 =
-            (0..n).map(|_| poisson(&mut rand, 100.0) as f64).sum::<f64>() / n as f64;
+        let mean_large: f64 = (0..n)
+            .map(|_| poisson(&mut rand, 100.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((97.0..103.0).contains(&mean_large), "mean {mean_large}");
     }
 }

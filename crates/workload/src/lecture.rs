@@ -82,9 +82,8 @@ pub fn generate(config: &LectureConfig, years: u64) -> Vec<Arrival> {
         }
 
         // University capture at a mid-morning slot.
-        let start = at_day
-            + SimDuration::from_hours(10)
-            + SimDuration::from_minutes(rand.gen_range(0..30));
+        let start =
+            at_day + SimDuration::from_hours(10) + SimDuration::from_minutes(rand.gen_range(0..30));
         let minutes = rand.gen_range(config.lecture_minutes.0..=config.lecture_minutes.1);
         let curve = calendar
             .lifetime_for(start, Creator::University)
@@ -181,7 +180,9 @@ mod tests {
         assert!(!students.is_empty(), "expected some student uploads");
         for s in &students {
             match &s.curve {
-                ImportanceCurve::TwoStep { importance, wane, .. } => {
+                ImportanceCurve::TwoStep {
+                    importance, wane, ..
+                } => {
                     assert_eq!(importance.value(), 0.5);
                     assert_eq!(*wane, SimDuration::from_days(14));
                 }

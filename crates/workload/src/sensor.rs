@@ -52,7 +52,10 @@ impl Default for SensorConfig {
             sensors: 4,
             raw_size: ByteSize::from_mib(64),
             capture_every: SimDuration::from_hours(1),
-            process_delay: (SimDuration::from_minutes(10), SimDuration::from_minutes(120)),
+            process_delay: (
+                SimDuration::from_minutes(10),
+                SimDuration::from_minutes(120),
+            ),
             summary_size: ByteSize::from_mib(4),
             ack_delay: (SimDuration::from_minutes(1), SimDuration::from_minutes(30)),
             ack_loss: 0.05,
@@ -125,8 +128,7 @@ mod tests {
         let at = SimDuration::ZERO;
         assert!(cfg.raw_retired_curve().importance_at(at) < cfg.raw_curve().importance_at(at));
         assert!(
-            cfg.summary_acked_curve().importance_at(at)
-                < cfg.summary_curve().importance_at(at)
+            cfg.summary_acked_curve().importance_at(at) < cfg.summary_curve().importance_at(at)
         );
     }
 

@@ -105,11 +105,10 @@ pub fn read<R: BufRead>(reader: R) -> Result<Vec<Arrival>, TraceError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let arrival: Arrival =
-            serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
-                line: index + 1,
-                message: e.to_string(),
-            })?;
+        let arrival: Arrival = serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
+            line: index + 1,
+            message: e.to_string(),
+        })?;
         if let Some(prev) = arrivals.last() {
             if arrival.at < prev.at {
                 return Err(TraceError::OutOfOrder { line: index + 1 });
@@ -205,7 +204,8 @@ mod tests {
     fn rejects_invalid_importance_in_trace() {
         // Hand-crafted line with an out-of-range importance: the curve's
         // serde validation must refuse it.
-        let line = r#"{"at":0,"size":100,"class":1,"curve":{"Fixed":{"importance":1.5,"expiry":10}}}"#;
+        let line =
+            r#"{"at":0,"size":100,"class":1,"curve":{"Fixed":{"importance":1.5,"expiry":10}}}"#;
         let err = read(line.as_bytes()).unwrap_err();
         assert!(matches!(err, TraceError::Parse { .. }));
     }

@@ -218,7 +218,9 @@ mod tests {
         // ≈300 TB/yr total demand.
         let cfg = UniversityConfig::default().scaled_down(100);
         let scale = 2321.0 / cfg.courses_per_semester as f64;
-        let total: u64 = UniversityCapture::new(cfg, 1).map(|a| a.size.as_bytes()).sum();
+        let total: u64 = UniversityCapture::new(cfg, 1)
+            .map(|a| a.size.as_bytes())
+            .sum();
         let full_tb = total as f64 * scale / 1e12;
         assert!(
             (150.0..400.0).contains(&full_tb),

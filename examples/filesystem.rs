@@ -19,11 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimDuration::from_days(120),
         SimDuration::from_days(730),
     );
-    fs.create("/lectures/os/l01.mp4", vec![1; 1 << 20], lecture.clone(), now)?;
-    fs.create("/lectures/os/l02.mp4", vec![2; 1 << 20], lecture.clone(), now)?;
+    fs.create(
+        "/lectures/os/l01.mp4",
+        vec![1; 1 << 20],
+        lecture.clone(),
+        now,
+    )?;
+    fs.create(
+        "/lectures/os/l02.mp4",
+        vec![2; 1 << 20],
+        lecture.clone(),
+        now,
+    )?;
 
     // ...while downloads land in /cache as ephemeral data.
-    fs.create("/cache/page.html", vec![3; 1 << 21], ImportanceCurve::Ephemeral, now)?;
+    fs.create(
+        "/cache/page.html",
+        vec![3; 1 << 21],
+        ImportanceCurve::Ephemeral,
+        now,
+    )?;
     println!(
         "day 0: {} used of {}, density {:.3}",
         fs.used(),

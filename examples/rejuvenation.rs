@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example rejuvenation`
 
 use temporal_reclaim::{
-    ByteSize, Importance, ImportanceCurve, ObjectId, ObjectSpec, SimDuration, SimTime,
-    StorageUnit,
+    ByteSize, Importance, ImportanceCurve, ObjectId, ObjectSpec, SimDuration, SimTime, StorageUnit,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Day 20: the trip ran long — the user extends the annotation. The
     // raise-only `rejuvenate` API restarts the curve.
     let day20 = SimTime::from_days(20);
-    unit.rejuvenate(video, ImportanceCurve::fixed_lifetime(SimDuration::from_days(30)), day20)?;
+    unit.rejuvenate(
+        video,
+        ImportanceCurve::fixed_lifetime(SimDuration::from_days(30)),
+        day20,
+    )?;
     println!(
         "day 20: rejuvenated; now expires {} days later than originally",
         20

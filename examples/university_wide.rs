@@ -9,9 +9,7 @@ use temporal_reclaim::experiments::university::{self, UniversityRunConfig};
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let scale = if full { 1 } else { 20 };
-    println!(
-        "§5.3 university-wide capture on Besteffs (scale 1/{scale}, 2 simulated years)\n"
-    );
+    println!("§5.3 university-wide capture on Besteffs (scale 1/{scale}, 2 simulated years)\n");
     for capacity_gib in [80u64, 120] {
         let cfg = UniversityRunConfig::paper(13, capacity_gib, scale);
         let result = university::run(cfg);

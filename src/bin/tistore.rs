@@ -128,7 +128,9 @@ impl Session {
                 println!("advanced to {} (day {})", self.now, self.now.as_days());
             }
             ("mkdir", [path]) => {
-                self.fs.mkdir_all(path, self.now).map_err(|e| e.to_string())?;
+                self.fs
+                    .mkdir_all(path, self.now)
+                    .map_err(|e| e.to_string())?;
             }
             ("create", [path, size, curve]) => {
                 let size = parse_size(size)?;
@@ -192,8 +194,7 @@ impl Session {
             }
             ("advise", [size]) => {
                 let size = parse_size(size)?;
-                let advisor =
-                    Advisor::from_snapshot(self.fs.unit().density_snapshot(self.now));
+                let advisor = Advisor::from_snapshot(self.fs.unit().density_snapshot(self.now));
                 let threshold = advisor.admission_threshold_for(size);
                 println!("a {size} file needs importance > {threshold}");
                 let probe = ImportanceCurve::two_step(
@@ -342,8 +343,14 @@ mod tests {
 
     #[test]
     fn parses_curves() {
-        assert_eq!(parse_curve("persistent").unwrap(), ImportanceCurve::Persistent);
-        assert_eq!(parse_curve("ephemeral").unwrap(), ImportanceCurve::Ephemeral);
+        assert_eq!(
+            parse_curve("persistent").unwrap(),
+            ImportanceCurve::Persistent
+        );
+        assert_eq!(
+            parse_curve("ephemeral").unwrap(),
+            ImportanceCurve::Ephemeral
+        );
         match parse_curve("twostep:0.5:15d:15d").unwrap() {
             ImportanceCurve::TwoStep {
                 importance,

@@ -21,8 +21,8 @@ pub use analysis;
 pub use besteffs;
 pub use experiments;
 pub use sim_core as sim;
-pub use tifs;
 pub use temporal_importance as core;
+pub use tifs;
 pub use workload;
 
 pub use sim_core::{ByteSize, SimDuration, SimTime};

@@ -114,11 +114,8 @@ fn node_failures_mid_run() {
         let spec = two_step_spec(&mut ids, 50, 1.0);
         let object = spec.id();
         let placed = cluster.place(spec, SimTime::ZERO, &mut rand).unwrap();
-        let version = directory.publish(
-            ObjectName::new(format!("lecture-{i}")),
-            object,
-            placed.node,
-        );
+        let version =
+            directory.publish(ObjectName::new(format!("lecture-{i}")), object, placed.node);
         assert_eq!(version, Version::FIRST);
     }
     assert_eq!(directory.len(), 40);
@@ -142,7 +139,9 @@ fn node_failures_mid_run() {
     // Re-publishing a lost lecture creates version 2 on a live node.
     let spec = two_step_spec(&mut ids, 50, 1.0);
     let object = spec.id();
-    let placed = cluster.place(spec, SimTime::from_days(1), &mut rand).unwrap();
+    let placed = cluster
+        .place(spec, SimTime::from_days(1), &mut rand)
+        .unwrap();
     assert!(cluster.is_alive(placed.node));
     let name = ObjectName::new("lecture-0");
     directory.publish(name.clone(), object, placed.node);

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use temporal_reclaim::core::{
-    EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, PiecewiseCurve,
-    StorageUnit, StoreError,
+    EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, PiecewiseCurve, StorageUnit,
+    StoreError,
 };
 use temporal_reclaim::{ByteSize, SimDuration, SimTime};
 
@@ -22,13 +22,16 @@ fn curve_strategy() -> impl Strategy<Value = ImportanceCurve> {
         Just(ImportanceCurve::Ephemeral),
         (importance_strategy(), duration_strategy())
             .prop_map(|(importance, expiry)| ImportanceCurve::Fixed { importance, expiry }),
-        (importance_strategy(), duration_strategy(), duration_strategy()).prop_map(
-            |(importance, persist, wane)| ImportanceCurve::TwoStep {
+        (
+            importance_strategy(),
+            duration_strategy(),
+            duration_strategy()
+        )
+            .prop_map(|(importance, persist, wane)| ImportanceCurve::TwoStep {
                 importance,
                 persist,
                 wane,
-            }
-        ),
+            }),
         (
             importance_strategy(),
             duration_strategy(),

@@ -16,8 +16,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..8, 1u64..300, 0.0f64..=1.0)
-            .prop_map(|(name, kib, importance)| Op::Create { name, kib, importance }),
+        (0u8..8, 1u64..300, 0.0f64..=1.0).prop_map(|(name, kib, importance)| Op::Create {
+            name,
+            kib,
+            importance
+        }),
         (0u8..8).prop_map(|name| Op::Remove { name }),
         (0u8..8).prop_map(|name| Op::Read { name }),
         Just(Op::Reclaim),

@@ -10,7 +10,11 @@ use temporal_reclaim::{ByteSize, SimDuration};
 
 const SEED: u64 = 20070625;
 
-fn single_class(policy: PolicyChoice, capacity_gib: u64, days: u64) -> single_class::SingleClassResult {
+fn single_class(
+    policy: PolicyChoice,
+    capacity_gib: u64,
+    days: u64,
+) -> single_class::SingleClassResult {
     let mut cfg = SingleClassConfig::paper(SEED, capacity_gib, policy);
     cfg.days = days;
     single_class::run(cfg)
@@ -153,7 +157,11 @@ fn figure_7_snapshot_structure() {
     );
     // Paper: "Objects with importance less than 0.25 cannot be stored" —
     // the minimum stored importance is strictly positive.
-    assert!(cdf.min_value() > 0.05, "min importance {:.3}", cdf.min_value());
+    assert!(
+        cdf.min_value() > 0.05,
+        "min importance {:.3}",
+        cdf.min_value()
+    );
     // Density ≈ the number the snapshot was taken at.
     assert!((snap.density - 0.8369).abs() < 0.01);
     // And the density is consistent with the CDF's mean importance
@@ -164,8 +172,8 @@ fn figure_7_snapshot_structure() {
         .map(|&(imp, bytes)| imp.value() * bytes.as_bytes() as f64)
         .sum::<f64>()
         / snap.used.as_bytes() as f64;
-    let reconstructed = mean_importance * snap.used.as_bytes() as f64
-        / snap.capacity.as_bytes() as f64;
+    let reconstructed =
+        mean_importance * snap.used.as_bytes() as f64 / snap.capacity.as_bytes() as f64;
     assert!((reconstructed - snap.density).abs() < 1e-9);
 }
 
@@ -186,12 +194,22 @@ fn figure_9_class_differentiation() {
     let t_student = temporal
         .mean_lifetime_with_rejections(CLASS_STUDENT)
         .unwrap();
-    assert!(t_uni > 2.0 * t_student, "uni {t_uni:.0} vs student {t_student:.0}");
+    assert!(
+        t_uni > 2.0 * t_student,
+        "uni {t_uni:.0} vs student {t_student:.0}"
+    );
 
-    let f_uni = fifo.lifetime_series(CLASS_UNIVERSITY).summary().unwrap().mean;
+    let f_uni = fifo
+        .lifetime_series(CLASS_UNIVERSITY)
+        .summary()
+        .unwrap()
+        .mean;
     let f_student = fifo.lifetime_series(CLASS_STUDENT).summary().unwrap().mean;
     let spread = (f_uni - f_student).abs() / f_uni.max(f_student);
-    assert!(spread < 0.5, "palimpsest differentiated: {f_uni:.0} vs {f_student:.0}");
+    assert!(
+        spread < 0.5,
+        "palimpsest differentiated: {f_uni:.0} vs {f_student:.0}"
+    );
 }
 
 /// §5.2.2 / Figure 10: under tremendous pressure (80 GB) university

@@ -32,7 +32,10 @@ fn fig3_report() {
 fn fig4_report() {
     let report = figures::fig4(SEED, 200);
     let text = report.to_string();
-    assert!(text.contains("palimpsest=0"), "fifo must show zero rejections");
+    assert!(
+        text.contains("palimpsest=0"),
+        "fifo must show zero rejections"
+    );
 }
 
 #[test]
@@ -67,7 +70,9 @@ fn fig7_report() {
 fn table1_report() {
     let report = figures::table1();
     let text = report.to_string();
-    for needle in ["spring", "summer", "fall", "8", "150", "248", "730", "365", "850"] {
+    for needle in [
+        "spring", "summer", "fall", "8", "150", "248", "730", "365", "850",
+    ] {
         assert!(text.contains(needle), "Table 1 missing {needle}");
     }
 }
@@ -90,7 +95,10 @@ fn fig9_report() {
 fn fig10_report() {
     let report = figures::fig10(SEED, 2);
     let text = report.to_string();
-    assert!(text.contains("palimpsest"), "needs the FIFO comparison panel");
+    assert!(
+        text.contains("palimpsest"),
+        "needs the FIFO comparison panel"
+    );
     assert!(text.contains("projected importance"));
 }
 

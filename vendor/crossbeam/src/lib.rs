@@ -1,0 +1,153 @@
+//! Offline shim exposing the `crossbeam::thread::scope` API surface
+//! this workspace uses. Mirrors crossbeam-utils' design: spawned
+//! closures have their `'env` lifetime erased, and soundness comes from
+//! `scope()` joining every spawned thread before it returns, so no
+//! borrow of the environment can outlive the scope call.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::marker::PhantomData;
+    use std::sync::{Arc, Mutex};
+    use std::thread::JoinHandle;
+
+    type SharedHandle = Arc<Mutex<Option<JoinHandle<()>>>>;
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'env> {
+        /// Handles of spawned threads not yet claimed via
+        /// [`ScopedJoinHandle::join`]; drained (joined) at scope end.
+        handles: Mutex<Vec<SharedHandle>>,
+        /// Invariant over `'env`, like crossbeam's scope.
+        _env: PhantomData<&'env mut &'env ()>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: SharedHandle,
+        result: Arc<Mutex<Option<T>>>,
+        _scope: PhantomData<&'scope ()>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            let handle = self
+                .handle
+                .lock()
+                .unwrap()
+                .take()
+                .expect("scoped thread already joined");
+            handle.join().map(|()| {
+                self.result
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("scoped thread finished without storing a result")
+            })
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// reference so it can spawn siblings (all call sites in this
+        /// workspace ignore it with `|_|`).
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let thread_result = Arc::clone(&result);
+            // The scope is guaranteed to outlive the thread (joined
+            // before `scope()` returns), so a raw pointer is sound and
+            // sidesteps the borrow being shorter than 'env.
+            let scope_ptr = self as *const Scope<'env> as usize;
+            let closure = move || {
+                let scope: &Scope<'env> = unsafe { &*(scope_ptr as *const Scope<'env>) };
+                let value = f(scope);
+                *thread_result.lock().unwrap() = Some(value);
+            };
+            let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(closure);
+            // SAFETY: the closure only borrows data alive for 'env, and
+            // scope() joins this thread before returning to the caller,
+            // i.e. strictly inside 'env.
+            let closure: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(closure) };
+            let handle = std::thread::spawn(closure);
+            let shared: SharedHandle = Arc::new(Mutex::new(Some(handle)));
+            self.handles.lock().unwrap().push(Arc::clone(&shared));
+            ScopedJoinHandle {
+                handle: shared,
+                result,
+                _scope: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Every spawned
+    /// thread is joined before this returns. Returns `Err` with the
+    /// collected payloads if any *unclaimed* thread panicked; a panic in
+    /// the closure itself is resumed after all threads are joined.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            handles: Mutex::new(Vec::new()),
+            _env: PhantomData,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+        let handles: Vec<SharedHandle> = std::mem::take(&mut *scope.handles.lock().unwrap());
+        for shared in handles {
+            let handle = shared.lock().unwrap().take();
+            if let Some(handle) = handle {
+                if let Err(payload) = handle.join() {
+                    panics.push(payload);
+                }
+            }
+        }
+        match result {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(value) => {
+                if panics.is_empty() {
+                    Ok(value)
+                } else {
+                    Err(Box::new(panics))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unclaimed_threads_are_joined_at_scope_end() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        crate::thread::scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

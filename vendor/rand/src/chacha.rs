@@ -1,0 +1,75 @@
+//! ChaCha block function (RFC 7539 core, 64-bit counter variant as used
+//! by rand_chacha 0.3).
+
+/// "expand 32-byte k"
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha core with a 64-bit block counter in words 12..14 and a
+/// 64-bit stream id in words 14..16.
+#[derive(Clone, Debug)]
+pub struct ChaChaCore {
+    /// Key words (LE from the 32-byte seed).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// 64-bit stream id (always 0 for `StdRng::from_seed`).
+    stream: u64,
+    /// Double rounds (6 for ChaCha12).
+    double_rounds: u32,
+}
+
+impl ChaChaCore {
+    pub fn new(seed: [u8; 32], double_rounds: u32) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaCore {
+            key,
+            counter: 0,
+            stream: 0,
+            double_rounds,
+        }
+    }
+
+    /// Generates the next 16-word block and advances the counter.
+    pub fn generate(&mut self, out: &mut [u32; 16]) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..self.double_rounds {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = working[i].wrapping_add(state[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+    }
+}

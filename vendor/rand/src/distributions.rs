@@ -1,0 +1,274 @@
+//! The `Standard` distribution and uniform range sampling, matching
+//! rand 0.8.5 draw-for-draw.
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard (full-width / unit-interval) distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! standard_signed {
+    ($($ty:ty => $unsigned:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                let unsigned: $unsigned = Distribution::<$unsigned>::sample(self, rng);
+                unsigned as $ty
+            }
+        }
+    )*};
+}
+
+standard_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based [0, 1): 53 high bits of a u64.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (the `gen_range` machinery).
+
+    use crate::{Rng, RngCore};
+    use core::ops::{Range, RangeInclusive};
+
+    /// Helper trait: types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    /// Widening multiply returning `(high, low)` halves.
+    trait WideningMultiply: Sized {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMultiply for u32 {
+        #[inline]
+        fn wmul(self, other: Self) -> (Self, Self) {
+            let tmp = (self as u64) * (other as u64);
+            ((tmp >> 32) as u32, tmp as u32)
+        }
+    }
+
+    impl WideningMultiply for u64 {
+        #[inline]
+        fn wmul(self, other: Self) -> (Self, Self) {
+            let tmp = (self as u128) * (other as u128);
+            ((tmp >> 64) as u64, tmp as u64)
+        }
+    }
+
+    // rand 0.8.5 `uniform_int_impl!`: $ty sampled through $unsigned
+    // (same-width cast) drawing $u_large words. u8/u16 reject with an
+    // exact modulus zone; wider types use the leading-zeros
+    // approximation. The `range == 0` branch of the inclusive sampler
+    // returns a full-width draw.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                    let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // The full integer range: every value is valid.
+                        return rng.gen();
+                    }
+                    let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl! { u8, u8, u32 }
+    uniform_int_impl! { u16, u16, u32 }
+    uniform_int_impl! { u32, u32, u32 }
+    uniform_int_impl! { u64, u64, u64 }
+    uniform_int_impl! { usize, usize, usize }
+    uniform_int_impl! { i8, u8, u32 }
+    uniform_int_impl! { i16, u16, u32 }
+    uniform_int_impl! { i32, u32, u32 }
+    uniform_int_impl! { i64, u64, u64 }
+    uniform_int_impl! { isize, usize, usize }
+
+    impl WideningMultiply for usize {
+        #[inline]
+        fn wmul(self, other: Self) -> (Self, Self) {
+            let (hi, lo) = (self as u64).wmul(other as u64);
+            (hi as usize, lo as usize)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let scale = high - low;
+            loop {
+                // A value in [1, 2) from the 52 mantissa bits, shifted
+                // down to [0, 1) — rand 0.8.5's UniformFloat.
+                let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            // rand 0.8.5 routes inclusive float ranges through the
+            // distribution sampler: scale chosen so max mantissa hits
+            // `high`, with downward adjustment if it overshoots.
+            let max_rand = 1.0 - f64::EPSILON / 2.0;
+            let mut scale = (high - low) / max_rand;
+            while scale * max_rand + low > high {
+                scale = f64::from_bits(scale.to_bits() - 1);
+            }
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            scale * value0_1 + low
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let scale = high - low;
+            loop {
+                let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            let max_rand = 1.0 - f32::EPSILON / 2.0;
+            let mut scale = (high - low) / max_rand;
+            while scale * max_rand + low > high {
+                scale = f32::from_bits(scale.to_bits() - 1);
+            }
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let value0_1 = value1_2 - 1.0;
+            scale * value0_1 + low
+        }
+    }
+}

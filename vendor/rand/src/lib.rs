@@ -1,0 +1,126 @@
+//! Offline reimplementation of the subset of the `rand` 0.8 API this
+//! workspace uses, with bit-identical output streams.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the handful of external crates the workspace depends on are vendored
+//! under `vendor/`. For `rand` that vendoring must be *exact*: every
+//! committed artifact under `results/` was produced by seeded `StdRng`
+//! streams, and the regeneration check (`repro --json`) diffs bit-for-bit.
+//!
+//! What is reproduced faithfully from rand 0.8.5 + rand_chacha 0.3:
+//!
+//! * `StdRng` = ChaCha with 12 rounds, 64-bit block counter, zero stream.
+//! * `SeedableRng::seed_from_u64` = PCG32 seed expansion.
+//! * `BlockRng` word-stream semantics: `next_u32` consumes one 32-bit
+//!   word, `next_u64` consumes two (low word first), including across
+//!   block boundaries.
+//! * `gen_range` = Lemire widening-multiply rejection (modulus rejection
+//!   for `u8`/`u16`), `sample_single_inclusive` with the `range == 0`
+//!   full-width shortcut.
+//! * Float sampling: `Standard` uses the high 53 bits of a `u64`;
+//!   ranged floats use the 1..2 mantissa trick.
+//! * `SliceRandom::choose` draws a `u32`-ranged index when the slice
+//!   length fits in `u32`.
+
+mod chacha;
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+pub use distributions::Standard;
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32 and instantiates the
+    /// generator (identical to rand_core 0.6).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&Standard, self)
+    }
+
+    /// Samples a value uniformly from the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        // rand 0.8: Bernoulli via 64-bit fixed-point threshold.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u64 << 63) as f64 * 2.0) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills a slice with values from the `Standard` distribution.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types a generator can fill in place.
+pub trait Fill {
+    /// Fills `self` from `rng`.
+    fn try_fill<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Prelude-style re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

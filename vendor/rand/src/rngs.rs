@@ -1,0 +1,104 @@
+//! The standard generator.
+
+use crate::chacha::ChaChaCore;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG, matching rand 0.8's `StdRng` (ChaCha12).
+///
+/// Word-stream semantics are those of rand_core's `BlockRng`: the key
+/// stream is a flat sequence of little-endian `u32` words; `next_u32`
+/// consumes one word and `next_u64` consumes the next two words as
+/// `low | high << 32`, including across block boundaries. (rand_chacha
+/// buffers four blocks at a time, but the flattened word stream is
+/// identical, so a 16-word buffer reproduces it exactly.)
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: ChaChaCore,
+    buf: [u32; 16],
+    /// Next unconsumed word; 16 means the buffer is exhausted.
+    index: usize,
+}
+
+impl StdRng {
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.core.generate(&mut self.buf);
+            self.index = 0;
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng {
+            core: ChaChaCore::new(seed, 6),
+            buf: [0u32; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let low = self.next_word() as u64;
+        let high = self.next_word() as u64;
+        (high << 32) | low
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_word().to_le_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let word = self.next_word().to_le_bytes();
+            tail.copy_from_slice(&word[..tail.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn u64_is_two_words_low_first() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let low = a.next_u32() as u64;
+        let high = a.next_u32() as u64;
+        assert_eq!(b.next_u64(), (high << 32) | low);
+    }
+
+    #[test]
+    fn standard_f64_uses_high_53_bits() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let raw = a.next_u64();
+        let f: f64 = b.gen();
+        assert_eq!(f, (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+    }
+}

@@ -1,0 +1,547 @@
+//! Offline reimplementation of the subset of `serde` this workspace uses.
+//!
+//! Rather than serde's visitor-based zero-copy data model, this vendored
+//! stand-in routes everything through an owned [`Content`] tree; the
+//! matching vendored `serde_json` renders and parses that tree. The
+//! visible behavior (externally tagged enums, transparent newtypes,
+//! `try_from`/`into` container attributes, missing-`Option` = `None`,
+//! unknown fields ignored) matches what real serde produces for the
+//! types in this repository, and is exercised end to end by the
+//! `workload::trace` round-trip tests.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A parsed/parseable value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// A serialization or deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error(message.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a content tree.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let raw = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid type: expected {}, got {}",
+                            stringify!($ty),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let raw: i64 = match content {
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        Error::custom(format!("integer out of range for {}", stringify!($ty)))
+                    })?,
+                    Content::I64(v) => *v,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid type: expected {}, got {}",
+                            stringify!($ty),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::custom(format!("integer out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(Error::custom(format!(
+                "invalid type: expected f64, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected null, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(Error::custom(format!(
+                "invalid type: expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) => Ok(v.clone()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(v) if v.chars().count() == 1 => Ok(v.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected char, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(content)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected a tuple of {} elements, got {}",
+                                expected,
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "invalid type: expected array, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Renders a map key as a string (JSON object keys are strings).
+fn key_to_string(content: &Content) -> Result<String, Error> {
+    match content {
+        Content::Str(s) => Ok(s.clone()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::I64(v) => Ok(v.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be a string or integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Parses a map key back into content (integer-looking keys become
+/// numbers, so integer-keyed maps round-trip).
+fn key_from_string(key: &str) -> Content {
+    if let Ok(v) = key.parse::<u64>() {
+        Content::U64(v)
+    } else if let Ok(v) = key.parse::<i64>() {
+        Content::I64(v)
+    } else {
+        Content::Str(key.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(&k.to_content()).expect("unsupported map key"),
+                        v.to_content(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(&key_from_string(k))?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(&k.to_content()).expect("unsupported map key"),
+                        v.to_content(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(&key_from_string(k))?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Content {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Support functions for the derive macro. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, Deserialize, Error};
+
+    pub fn expect_map<'a>(
+        content: &'a Content,
+        ty: &str,
+    ) -> Result<&'a [(String, Content)], Error> {
+        match content {
+            Content::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!(
+                "invalid type for {ty}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_seq<'a>(
+        content: &'a Content,
+        ty: &str,
+        len: usize,
+    ) -> Result<&'a [Content], Error> {
+        match content {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(Error::custom(format!(
+                "invalid length for {ty}: expected {len}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "invalid type for {ty}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up a struct field; a missing key deserializes from `Null`
+    /// so `Option` fields default to `None` and everything else reports
+    /// a missing-field error.
+    pub fn struct_field<T: Deserialize>(
+        map: &[(String, Content)],
+        ty: &str,
+        field: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == field) {
+            Some((_, value)) => {
+                T::deserialize(value).map_err(|e| Error::custom(format!("{ty}.{field}: {e}")))
+            }
+            None => T::deserialize(&Content::Null)
+                .map_err(|_| Error::custom(format!("missing field `{field}` in {ty}"))),
+        }
+    }
+
+    /// Splits an externally tagged enum into `(variant, data)`.
+    pub fn expect_enum<'a>(
+        content: &'a Content,
+        ty: &str,
+    ) -> Result<(&'a str, Option<&'a Content>), Error> {
+        match content {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "invalid type for enum {ty}: expected string or single-key object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_unit(data: Option<&Content>, variant: &str) -> Result<(), Error> {
+        match data {
+            None | Some(Content::Null) => Ok(()),
+            Some(_) => Err(Error::custom(format!(
+                "unexpected data for unit variant {variant}"
+            ))),
+        }
+    }
+
+    pub fn expect_data<'a>(data: Option<&'a Content>, variant: &str) -> Result<&'a Content, Error> {
+        data.ok_or_else(|| Error::custom(format!("missing data for variant {variant}")))
+    }
+}

@@ -1,0 +1,605 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in. Parses the item token stream by hand (no syn/quote) and
+//! emits impls of the content-tree traits. Supports the container
+//! attributes this workspace uses (`transparent`, `try_from`, `into`)
+//! plus field-level `skip`/`default`; generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Debug, Clone)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+    default: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    attrs: Attrs,
+    /// `None` for tuple fields.
+    name: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    /// Tuple struct / tuple variant fields.
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        attrs: Attrs,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        attrs: Attrs,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts the serde-relevant info from a `#[...]` attribute group's
+/// inner tokens, merging into `attrs`.
+fn merge_serde_attr(tokens: TokenStream, attrs: &mut Attrs) {
+    let mut iter = tokens.into_iter();
+    let Some(TokenTree::Ident(head)) = iter.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return;
+    };
+    // Split the serde(...) arguments on top-level commas.
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    for tt in args.stream() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    for part in parts {
+        let Some(TokenTree::Ident(key)) = part.first() else {
+            continue;
+        };
+        let key = key.to_string();
+        let value = part.iter().find_map(|tt| match tt {
+            TokenTree::Literal(lit) => {
+                let s = lit.to_string();
+                Some(s.trim_matches('"').to_string())
+            }
+            _ => None,
+        });
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "try_from" => attrs.try_from = value,
+            "into" => attrs.into = value,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes from the iterator position,
+/// returning parsed serde attrs and the first non-attribute token.
+fn take_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    merge_serde_attr(g.stream(), &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking angle-bracket
+/// depth so generic arguments stay together. `<` / `>` arrive as
+/// individual `Punct` tokens (a `>>` is two of them); parenthesized and
+/// bracketed groups are single `Group` tokens and need no tracking.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses the fields of a brace-delimited (named) body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut iter = part.into_iter().peekable();
+            let attrs = take_attrs(&mut iter);
+            skip_visibility(&mut iter);
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            };
+            // Consume the ':' and the type tokens after it.
+            iter.next();
+            iter.for_each(drop);
+            Field {
+                attrs,
+                name: Some(name),
+            }
+        })
+        .collect()
+}
+
+/// Parses the fields of a parenthesized (tuple) body.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut iter = part.into_iter().peekable();
+            let attrs = take_attrs(&mut iter);
+            skip_visibility(&mut iter);
+            iter.for_each(drop);
+            Field { attrs, name: None }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut iter = part.into_iter().peekable();
+            let _attrs = take_attrs(&mut iter);
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let shape = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                // `= discriminant` or nothing: a unit variant.
+                _ => Shape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let attrs = take_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, attrs, shape }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                attrs,
+                variants,
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn active_fields(fields: &[Field]) -> Vec<(usize, &Field)> {
+    fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.attrs.skip)
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, attrs, shape } => {
+            let body = if let Some(into_ty) = &attrs.into {
+                format!(
+                    "let converted: {into_ty} = \
+                     ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_content(&converted)"
+                )
+            } else {
+                match shape {
+                    Shape::Unit => "::serde::Content::Null".to_string(),
+                    Shape::Tuple(fields) => {
+                        let active = active_fields(fields);
+                        if active.len() == 1 {
+                            // Newtype structs serialize as their inner
+                            // value, matching serde_json.
+                            let (idx, _) = active[0];
+                            format!("::serde::Serialize::to_content(&self.{idx})")
+                        } else {
+                            let items: Vec<String> = active
+                                .iter()
+                                .map(|(idx, _)| {
+                                    format!("::serde::Serialize::to_content(&self.{idx})")
+                                })
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let active = active_fields(fields);
+                        if attrs.transparent && active.len() == 1 {
+                            let field = active[0].1.name.as_ref().unwrap();
+                            format!("::serde::Serialize::to_content(&self.{field})")
+                        } else {
+                            let entries: Vec<String> = active
+                                .iter()
+                                .map(|(_, f)| {
+                                    let fname = f.name.as_ref().unwrap();
+                                    format!(
+                                        "(::std::string::String::from(\"{fname}\"), \
+                                         ::serde::Serialize::to_content(&self.{fname}))"
+                                    )
+                                })
+                                .collect();
+                            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+                        }
+                    }
+                }
+            };
+            (name, body)
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let body = if let Some(into_ty) = &attrs.into {
+                format!(
+                    "let converted: {into_ty} = \
+                     ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_content(&converted)"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            arms.push_str(&format!(
+                                "{name}::{vname} => ::serde::Content::Str(\
+                                 ::std::string::String::from(\"{vname}\")),\n"
+                            ));
+                        }
+                        Shape::Tuple(fields) => {
+                            let binders: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let pattern = binders.join(", ");
+                            let data = if fields.len() == 1 {
+                                "::serde::Serialize::to_content(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vname}({pattern}) => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {data})]),\n"
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let names: Vec<&String> =
+                                fields.iter().map(|f| f.name.as_ref().unwrap()).collect();
+                            let pattern = names
+                                .iter()
+                                .map(|n| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_content({n}))"
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {pattern} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),\n",
+                                entries.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            };
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression building one struct-like set of fields from a map
+/// expression `map_expr` (named) or seq (tuple), as `Ctor { .. }`.
+fn build_named(ctor: &str, ty_label: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_ref().unwrap();
+            if f.attrs.skip {
+                format!("{fname}: ::std::default::Default::default()")
+            } else {
+                format!(
+                    "{fname}: ::serde::__private::struct_field(map, \"{ty_label}\", \
+                     \"{fname}\")?"
+                )
+            }
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, attrs, shape } => {
+            let body = if let Some(from_ty) = &attrs.try_from {
+                format!(
+                    "let inner: {from_ty} = ::serde::Deserialize::deserialize(content)?;\n\
+                     ::std::convert::TryFrom::try_from(inner).map_err(|e| \
+                     ::serde::Error::custom(::std::format!(\"{{}}\", e)))"
+                )
+            } else {
+                match shape {
+                    Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                    Shape::Tuple(fields) => {
+                        let active = active_fields(fields);
+                        if active.len() == 1 && fields.len() == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}(\
+                                 ::serde::Deserialize::deserialize(content)?))"
+                            )
+                        } else {
+                            let len = active.len();
+                            let mut inits = vec![String::new(); fields.len()];
+                            let mut next = 0usize;
+                            for (idx, f) in fields.iter().enumerate() {
+                                if f.attrs.skip {
+                                    inits[idx] = "::std::default::Default::default()".to_string();
+                                } else {
+                                    inits[idx] = format!(
+                                        "::serde::Deserialize::deserialize(&items[{next}])?"
+                                    );
+                                    next += 1;
+                                }
+                            }
+                            format!(
+                                "let items = ::serde::__private::expect_seq(\
+                                 content, \"{name}\", {len})?;\n\
+                                 ::std::result::Result::Ok({name}({}))",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let active = active_fields(fields);
+                        if attrs.transparent && active.len() == 1 {
+                            let field = active[0].1.name.as_ref().unwrap();
+                            let others: Vec<String> = fields
+                                .iter()
+                                .filter(|f| f.attrs.skip)
+                                .map(|f| {
+                                    format!(
+                                        "{}: ::std::default::Default::default()",
+                                        f.name.as_ref().unwrap()
+                                    )
+                                })
+                                .collect();
+                            let rest = if others.is_empty() {
+                                String::new()
+                            } else {
+                                format!(", {}", others.join(", "))
+                            };
+                            format!(
+                                "::std::result::Result::Ok({name} {{ {field}: \
+                                 ::serde::Deserialize::deserialize(content)?{rest} }})"
+                            )
+                        } else {
+                            format!(
+                                "let map = ::serde::__private::expect_map(content, \
+                                 \"{name}\")?;\n::std::result::Result::Ok({})",
+                                build_named(name, name, fields)
+                            )
+                        }
+                    }
+                }
+            };
+            (name, body)
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let body = if let Some(from_ty) = &attrs.try_from {
+                format!(
+                    "let inner: {from_ty} = ::serde::Deserialize::deserialize(content)?;\n\
+                     ::std::convert::TryFrom::try_from(inner).map_err(|e| \
+                     ::serde::Error::custom(::std::format!(\"{{}}\", e)))"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let label = format!("{name}::{vname}");
+                    match &v.shape {
+                        Shape::Unit => {
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 ::serde::__private::expect_unit(data, \"{label}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname})\n}}\n"
+                            ));
+                        }
+                        Shape::Tuple(fields) => {
+                            if fields.len() == 1 {
+                                arms.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                     let data = ::serde::__private::expect_data(\
+                                     data, \"{label}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::deserialize(data)?))\n}}\n"
+                                ));
+                            } else {
+                                let len = fields.len();
+                                let items: Vec<String> = (0..len)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::deserialize(&items[{i}])?")
+                                    })
+                                    .collect();
+                                arms.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                     let data = ::serde::__private::expect_data(\
+                                     data, \"{label}\")?;\n\
+                                     let items = ::serde::__private::expect_seq(\
+                                     data, \"{label}\", {len})?;\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                                    items.join(", ")
+                                ));
+                            }
+                        }
+                        Shape::Named(fields) => {
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let data = ::serde::__private::expect_data(\
+                                 data, \"{label}\")?;\n\
+                                 let map = ::serde::__private::expect_map(\
+                                 data, \"{label}\")?;\n\
+                                 ::std::result::Result::Ok({})\n}}\n",
+                                build_named(&format!("{name}::{vname}"), &label, fields)
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "let (tag, data) = ::serde::__private::expect_enum(content, \
+                     \"{name}\")?;\nmatch tag {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{}}` for {name}\", other))),\n}}"
+                )
+            };
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derived Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derived Deserialize impl failed to parse")
+}
