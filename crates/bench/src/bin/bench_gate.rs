@@ -1,0 +1,118 @@
+//! `bench_gate` — fails CI when the indexed engine regresses.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline BENCH_engine.json --fresh fresh.json \
+//!            [--tolerance 0.25] [--min-delta-ns 100]
+//! ```
+//!
+//! Exits 0 when every case of the fresh report is within `tolerance`
+//! (default 25%) of the baseline's `indexed_ns_per_op`, 1 when any case
+//! regressed (or disappeared), and 2 on usage or parse errors. Slowdowns
+//! whose absolute delta is below `--min-delta-ns` (default 100) are
+//! treated as shared-runner noise.
+
+use std::process::ExitCode;
+
+use bench_harness::gate::{compare, parse_report};
+
+struct Options {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+    min_delta_ns: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        baseline: "BENCH_engine.json".to_string(),
+        fresh: String::new(),
+        tolerance: 0.25,
+        min_delta_ns: 100.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--baseline" => options.baseline = value("--baseline")?,
+            "--fresh" => options.fresh = value("--fresh")?,
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                options.tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance '{raw}'"))?;
+            }
+            "--min-delta-ns" => {
+                let raw = value("--min-delta-ns")?;
+                options.min_delta_ns = raw
+                    .parse()
+                    .map_err(|_| format!("invalid min delta '{raw}'"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate --baseline BASE.json --fresh FRESH.json \
+                     [--tolerance 0.25] [--min-delta-ns 100]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if options.fresh.is_empty() {
+        return Err("--fresh is required (path to the freshly measured report)".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<_, String> {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_report(&raw).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, fresh) = match (load(&options.baseline), load(&options.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for case in &fresh {
+        let versus = baseline
+            .iter()
+            .find(|b| b.key() == case.key())
+            .map(|b| format!("{:.1}", b.indexed_ns_per_op))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<18} {:>7} residents: {:>10.1} ns/op (baseline {versus})",
+            case.case, case.residents, case.indexed_ns_per_op
+        );
+    }
+
+    let regressions = compare(&baseline, &fresh, options.tolerance, options.min_delta_ns);
+    if regressions.is_empty() {
+        println!(
+            "bench gate: OK ({} cases within {:.0}% of baseline)",
+            fresh.len(),
+            options.tolerance * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "bench gate: {} regression(s) beyond {:.0}% tolerance:",
+        regressions.len(),
+        options.tolerance * 100.0
+    );
+    for regression in &regressions {
+        eprintln!("  {regression}");
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,242 @@
+//! The bench regression gate: compares a fresh `BENCH_engine.json` against
+//! the committed baseline and flags slowdowns of the indexed engine.
+//!
+//! The report format is the fixed shape `bench_engine` emits, so parsing
+//! is plain string extraction (the vendored `serde_json` is typed-only).
+//! Only `indexed_ns_per_op` gates: the naive oracle column documents the
+//! speedup but is not a performance promise.
+
+use std::fmt;
+
+/// One measured case from a `BENCH_engine.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Case name (`store_churn`, `peek_admission`, `density_sampling`).
+    pub case: String,
+    /// Resident-object count of the fixture.
+    pub residents: u64,
+    /// Nanoseconds per operation on the indexed engine.
+    pub indexed_ns_per_op: f64,
+    /// Nanoseconds per operation on the naive oracle.
+    pub naive_ns_per_op: f64,
+}
+
+impl BenchCase {
+    /// The `(case, residents)` identity used to match baseline to fresh.
+    pub fn key(&self) -> (&str, u64) {
+        (&self.case, self.residents)
+    }
+}
+
+/// A detected slowdown of one case beyond the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The offending case.
+    pub case: String,
+    /// Its fixture size.
+    pub residents: u64,
+    /// Baseline ns/op.
+    pub baseline_ns: f64,
+    /// Fresh ns/op.
+    pub fresh_ns: f64,
+    /// `fresh / baseline` (> 1 means slower).
+    pub ratio: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} residents: {:.1} ns/op -> {:.1} ns/op ({:.0}% slower)",
+            self.case,
+            self.residents,
+            self.baseline_ns,
+            self.fresh_ns,
+            (self.ratio - 1.0) * 100.0
+        )
+    }
+}
+
+fn extract_str<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+fn extract_num(line: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every case line of a `BENCH_engine.json` report.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line if any `"case"` line is
+/// missing a field, or if the report contains no cases at all.
+pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
+    let mut cases = Vec::new();
+    for line in json.lines() {
+        if !line.contains("\"case\":") {
+            continue;
+        }
+        let parsed = (|| {
+            Some(BenchCase {
+                case: extract_str(line, "case")?.to_string(),
+                residents: extract_num(line, "residents")? as u64,
+                indexed_ns_per_op: extract_num(line, "indexed_ns_per_op")?,
+                naive_ns_per_op: extract_num(line, "naive_ns_per_op")?,
+            })
+        })();
+        match parsed {
+            Some(case) => cases.push(case),
+            None => return Err(format!("malformed bench case line: {line}")),
+        }
+    }
+    if cases.is_empty() {
+        return Err("no bench cases found in report".to_string());
+    }
+    Ok(cases)
+}
+
+/// Compares fresh measurements against the baseline.
+///
+/// A case regresses when `fresh > baseline * (1 + tolerance)` **and** the
+/// absolute slowdown exceeds `min_delta_ns` (sub-100ns cases on shared CI
+/// runners jitter by more than 25% from noise alone). Baseline cases
+/// missing from the fresh report count as regressions — the gate must not
+/// pass because a case silently disappeared.
+pub fn compare(
+    baseline: &[BenchCase],
+    fresh: &[BenchCase],
+    tolerance: f64,
+    min_delta_ns: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let Some(new) = fresh.iter().find(|c| c.key() == base.key()) else {
+            regressions.push(Regression {
+                case: base.case.clone(),
+                residents: base.residents,
+                baseline_ns: base.indexed_ns_per_op,
+                fresh_ns: f64::INFINITY,
+                ratio: f64::INFINITY,
+            });
+            continue;
+        };
+        let ratio = new.indexed_ns_per_op / base.indexed_ns_per_op;
+        let delta = new.indexed_ns_per_op - base.indexed_ns_per_op;
+        if ratio > 1.0 + tolerance && delta > min_delta_ns {
+            regressions.push(Regression {
+                case: base.case.clone(),
+                residents: base.residents,
+                baseline_ns: base.indexed_ns_per_op,
+                fresh_ns: new.indexed_ns_per_op,
+                ratio,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "benchmark": "indexed engine vs naive scan oracle",
+  "command": "cargo run --release -p bench-harness --bin bench_engine",
+  "unit": "ns per operation",
+  "cases": [
+    { "case": "store_churn", "residents": 10000, "indexed_ns_per_op": 2000.0, "naive_ns_per_op": 900000.0, "speedup": 450.0 },
+    { "case": "peek_admission", "residents": 10000, "indexed_ns_per_op": 800.0, "naive_ns_per_op": 800000.0, "speedup": 1000.0 },
+    { "case": "density_sampling", "residents": 100000, "indexed_ns_per_op": 40.0, "naive_ns_per_op": 1400000.0, "speedup": 35000.0 }
+  ]
+}
+"#;
+
+    fn doctored(factor: f64) -> Vec<BenchCase> {
+        parse_report(REPORT)
+            .unwrap()
+            .into_iter()
+            .map(|mut c| {
+                c.indexed_ns_per_op *= factor;
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_the_report_shape_bench_engine_emits() {
+        let cases = parse_report(REPORT).unwrap();
+        assert_eq!(cases.len(), 3);
+        assert_eq!(cases[0].case, "store_churn");
+        assert_eq!(cases[0].residents, 10_000);
+        assert_eq!(cases[0].indexed_ns_per_op, 2000.0);
+        assert_eq!(cases[0].naive_ns_per_op, 900_000.0);
+        assert_eq!(cases[2].key(), ("density_sampling", 100_000));
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        // The gate must keep understanding the real committed artifact.
+        let committed = include_str!("../../../BENCH_engine.json");
+        let cases = parse_report(committed).unwrap();
+        assert_eq!(cases.len(), 6, "committed baseline has 6 cases");
+        assert!(cases.iter().all(|c| c.indexed_ns_per_op > 0.0));
+    }
+
+    #[test]
+    fn rejects_malformed_and_empty_reports() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{ \"case\": \"store_churn\" }").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = parse_report(REPORT).unwrap();
+        let fresh = doctored(1.20);
+        assert!(compare(&baseline, &fresh, 0.25, 50.0).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_against_a_doctored_slow_run() {
+        let baseline = parse_report(REPORT).unwrap();
+        let fresh = doctored(2.0);
+        let regressions = compare(&baseline, &fresh, 0.25, 50.0);
+        // density_sampling's 40 → 80 ns delta sits under the noise floor;
+        // the two macro cases must both trip the gate.
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions.iter().any(|r| r.case == "store_churn"));
+        assert!(regressions.iter().any(|r| r.case == "peek_admission"));
+        assert!(regressions[0].ratio > 1.9 && regressions[0].ratio < 2.1);
+        assert!(regressions[0].to_string().contains("slower"));
+    }
+
+    #[test]
+    fn missing_cases_are_regressions() {
+        let baseline = parse_report(REPORT).unwrap();
+        let fresh = vec![baseline[0].clone()];
+        let regressions = compare(&baseline, &fresh, 0.25, 50.0);
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions.iter().all(|r| r.ratio.is_infinite()));
+    }
+
+    #[test]
+    fn noise_floor_ignores_tiny_absolute_deltas() {
+        let baseline = parse_report(REPORT).unwrap();
+        let mut fresh = baseline.clone();
+        // 40 → 70 ns is +75% but only 30 ns — noise on a shared runner.
+        fresh[2].indexed_ns_per_op = 70.0;
+        assert!(compare(&baseline, &fresh, 0.25, 50.0).is_empty());
+        // The same ratio past the floor trips.
+        fresh[2].indexed_ns_per_op = 120.0;
+        assert_eq!(compare(&baseline, &fresh, 0.25, 50.0).len(), 1);
+    }
+}

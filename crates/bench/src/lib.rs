@@ -56,6 +56,8 @@ pub fn incoming_spec(id: u64, mib: u64) -> ObjectSpec {
     )
 }
 
+pub mod gate;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,7 @@ use temporal_importance::{
     EvictionRecord, Importance, ObjectId, ObjectSpec, StorageUnit, StoreOutcome,
 };
 
+use crate::directory::Directory;
 use crate::overlay::{NodeId, Overlay};
 
 /// Fleets smaller than this are swept/advanced/measured sequentially:
@@ -106,6 +107,26 @@ pub struct ClusterStats {
     pub objects_lost: u64,
     /// Bytes lost to node failures.
     pub bytes_lost: u64,
+    /// Failed nodes that have rejoined (empty, with a fresh incarnation).
+    pub rejoined_nodes: u64,
+    /// Directory version entries purged by failure handling.
+    pub directory_entries_purged: u64,
+}
+
+/// Loss accounting for one node-failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct FailureEpoch {
+    /// When the failure was injected.
+    pub at: SimTime,
+    /// The node that failed.
+    pub node: NodeId,
+    /// The incarnation that died (rejoins come back one higher).
+    pub incarnation: u64,
+    /// Objects lost with the node (Besteffs does not replicate).
+    pub objects_lost: u64,
+    /// Bytes lost with the node.
+    pub bytes_lost: u64,
 }
 
 /// A simulated Besteffs deployment: `n` storage units joined by a p2p
@@ -137,9 +158,13 @@ pub struct ClusterStats {
 pub struct Besteffs {
     units: Vec<StorageUnit>,
     alive: Vec<bool>,
+    /// Per-node generation counter, bumped on every rejoin so object ids
+    /// placed before a failure can never resolve against the reborn node.
+    incarnations: Vec<u64>,
     overlay: Overlay,
     config: PlacementConfig,
     stats: ClusterStats,
+    failure_epochs: Vec<FailureEpoch>,
 }
 
 impl Besteffs {
@@ -165,9 +190,11 @@ impl Besteffs {
         Besteffs {
             units,
             alive: vec![true; nodes],
+            incarnations: vec![0; nodes],
             overlay,
             config,
             stats: ClusterStats::default(),
+            failure_epochs: Vec::new(),
         }
     }
 
@@ -243,12 +270,20 @@ impl Besteffs {
         unit.set_recording(false);
         self.units.push(unit);
         self.alive.push(true);
+        self.incarnations.push(0);
         id
     }
 
-    /// Fails a node: its objects are lost (Besteffs does not replicate).
-    /// Returns the number of objects lost. Failing a dead node is a no-op.
-    pub fn fail_node(&mut self, node: NodeId) -> u64 {
+    /// Fails a node at `now`: its objects are lost (Besteffs does not
+    /// replicate) and a [`FailureEpoch`] is recorded. Returns the number
+    /// of objects lost. Failing a dead node is a no-op.
+    ///
+    /// This low-level path leaves the [`Directory`] untouched — callers
+    /// that track one should use [`fail_node_purging`] so stale entries
+    /// cannot keep resolving to the dead node.
+    ///
+    /// [`fail_node_purging`]: Besteffs::fail_node_purging
+    pub fn fail_node(&mut self, node: NodeId, now: SimTime) -> u64 {
         let i = node.index();
         if !self.alive[i] {
             return 0;
@@ -259,9 +294,74 @@ impl Besteffs {
         self.stats.failed_nodes += 1;
         self.stats.objects_lost += lost_objects;
         self.stats.bytes_lost += lost_bytes;
+        self.failure_epochs.push(FailureEpoch {
+            at: now,
+            node,
+            incarnation: self.incarnations[i],
+            objects_lost: lost_objects,
+            bytes_lost: lost_bytes,
+        });
         self.units[i] = StorageUnit::new(self.units[i].capacity());
         self.units[i].set_recording(false);
         lost_objects
+    }
+
+    /// Fails a node and drops every directory entry that still resolves
+    /// to it, so lookups cannot return objects that died with the node.
+    /// Returns the objects lost (failing a dead node is a no-op and
+    /// purges nothing).
+    pub fn fail_node_purging(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        directory: &mut Directory,
+    ) -> u64 {
+        let i = node.index();
+        if !self.alive[i] {
+            return 0;
+        }
+        let lost = self.fail_node(node, now);
+        self.stats.directory_entries_purged += directory.purge_node(node) as u64;
+        lost
+    }
+
+    /// Rejoins a failed node: it comes back *empty*, under a fresh
+    /// incarnation, and immediately re-enters the live-walk candidate set
+    /// (its overlay edges survive the outage — a rebooted desktop keeps
+    /// its neighbors). Returns false (a no-op) if the node is already
+    /// alive.
+    pub fn rejoin_node(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        if self.alive[i] {
+            return false;
+        }
+        debug_assert_eq!(self.units[i].len(), 0, "failed node must be empty");
+        self.alive[i] = true;
+        self.incarnations[i] += 1;
+        self.stats.rejoined_nodes += 1;
+        true
+    }
+
+    /// The node's current incarnation: 0 until its first rejoin, then one
+    /// higher per recovery. Placements record it so pre-failure object
+    /// ids cannot resurrect on the reborn node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn incarnation(&self, node: NodeId) -> u64 {
+        self.incarnations[node.index()]
+    }
+
+    /// True if `entry` still resolves: its node is alive *and* running
+    /// the same incarnation the entry was published under.
+    pub fn entry_is_current(&self, entry: crate::directory::VersionEntry) -> bool {
+        self.alive[entry.node.index()] && self.incarnations[entry.node.index()] == entry.incarnation
+    }
+
+    /// Every recorded node-failure event, in injection order.
+    pub fn failure_epochs(&self) -> &[FailureEpoch] {
+        &self.failure_epochs
     }
 
     /// Places an object with the §5.3 algorithm.
@@ -616,14 +716,16 @@ mod tests {
         let placed = cluster
             .place(spec(1, 50, 1.0, 30), SimTime::ZERO, &mut rand)
             .unwrap();
-        let lost = cluster.fail_node(placed.node);
+        let lost = cluster.fail_node(placed.node, SimTime::ZERO);
         assert_eq!(lost, 1);
         assert_eq!(cluster.locate(ObjectId::new(1)), None);
         assert_eq!(cluster.stats().objects_lost, 1);
         assert_eq!(cluster.live_nodes(), 19);
         // Idempotent.
-        assert_eq!(cluster.fail_node(placed.node), 0);
+        assert_eq!(cluster.fail_node(placed.node, SimTime::ZERO), 0);
         assert_eq!(cluster.stats().failed_nodes, 1);
+        assert_eq!(cluster.failure_epochs().len(), 1);
+        assert_eq!(cluster.failure_epochs()[0].objects_lost, 1);
         // Placement still works around the failure.
         let again = cluster
             .place(spec(2, 50, 1.0, 30), SimTime::ZERO, &mut rand)
@@ -635,7 +737,7 @@ mod tests {
     fn all_nodes_failed_yields_no_live_nodes() {
         let (mut cluster, mut rand) = small_cluster(6);
         for i in 0..20 {
-            cluster.fail_node(NodeId::new(i));
+            cluster.fail_node(NodeId::new(i), SimTime::ZERO);
         }
         let err = cluster
             .place(spec(1, 10, 1.0, 30), SimTime::ZERO, &mut rand)
@@ -723,6 +825,131 @@ mod churn_tests {
             }
         }
         assert!(placed > 10, "only {placed} placements landed on new nodes");
+    }
+
+    /// Regression: `fail_node` alone used to leave `Directory` entries
+    /// resolvable to the dead node; the cluster-level failure path must
+    /// purge them.
+    #[test]
+    fn fail_node_purging_drops_stale_directory_entries() {
+        let mut rand = rng::seeded(23);
+        let mut cluster = Besteffs::new(
+            10,
+            ByteSize::from_mib(100),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        let mut dir = crate::directory::Directory::new();
+        let placed = cluster
+            .place(spec(1, 10), SimTime::ZERO, &mut rand)
+            .unwrap();
+        let name = crate::directory::ObjectName::from("doomed");
+        dir.publish_on(
+            name.clone(),
+            ObjectId::new(1),
+            placed.node,
+            cluster.incarnation(placed.node),
+        );
+        assert!(cluster.entry_is_current(dir.latest(&name).unwrap()));
+
+        let lost = cluster.fail_node_purging(placed.node, SimTime::from_days(1), &mut dir);
+        assert_eq!(lost, 1);
+        assert_eq!(dir.latest(&name), None, "stale entry must be purged");
+        assert_eq!(cluster.stats().directory_entries_purged, 1);
+        // Failing the same dead node again purges nothing more.
+        assert_eq!(
+            cluster.fail_node_purging(placed.node, SimTime::from_days(2), &mut dir),
+            0
+        );
+        assert_eq!(cluster.stats().directory_entries_purged, 1);
+    }
+
+    /// A rejoined node comes back empty under a fresh incarnation, so an
+    /// entry published before the failure can never resurrect even if the
+    /// purge was skipped.
+    #[test]
+    fn rejoin_bumps_incarnation_and_blocks_resurrection() {
+        let mut rand = rng::seeded(24);
+        let mut cluster = Besteffs::new(
+            10,
+            ByteSize::from_mib(100),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        let mut dir = crate::directory::Directory::new();
+        let placed = cluster
+            .place(spec(7, 10), SimTime::ZERO, &mut rand)
+            .unwrap();
+        let name = crate::directory::ObjectName::from("zombie");
+        dir.publish_on(
+            name.clone(),
+            ObjectId::new(7),
+            placed.node,
+            cluster.incarnation(placed.node),
+        );
+
+        // Fail WITHOUT purging — the stale entry survives in the directory.
+        cluster.fail_node(placed.node, SimTime::from_days(1));
+        assert!(!cluster.rejoin_node(NodeId::new((placed.node.index() + 1) % cluster.len())));
+        assert!(cluster.rejoin_node(placed.node));
+        assert_eq!(cluster.incarnation(placed.node), 1);
+        assert_eq!(cluster.stats().rejoined_nodes, 1);
+        assert!(cluster.is_alive(placed.node));
+        assert_eq!(
+            cluster.node(placed.node).len(),
+            0,
+            "rejoins come back empty"
+        );
+
+        // The pre-failure entry points at a live node but a dead
+        // incarnation: it must not resolve.
+        let stale = dir.latest(&name).unwrap();
+        assert!(!cluster.entry_is_current(stale));
+
+        // A fresh placement on the reborn node resolves fine.
+        let again = cluster
+            .place(spec(8, 10), SimTime::from_days(2), &mut rand)
+            .unwrap();
+        dir.publish_on(
+            name.clone(),
+            ObjectId::new(8),
+            again.node,
+            cluster.incarnation(again.node),
+        );
+        assert!(cluster.entry_is_current(dir.latest(&name).unwrap()));
+    }
+
+    /// Placement, advance, sweep and density all work across a rejoin:
+    /// the reborn node re-enters the live-walk candidate set.
+    #[test]
+    fn rejoined_nodes_reenter_the_candidate_set() {
+        let mut rand = rng::seeded(25);
+        let mut cluster = Besteffs::new(
+            10,
+            ByteSize::from_mib(50),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        for i in 0..10 {
+            cluster.fail_node(NodeId::new(i), SimTime::ZERO);
+        }
+        assert_eq!(cluster.live_nodes(), 0);
+        for i in 0..10 {
+            cluster.rejoin_node(NodeId::new(i));
+        }
+        assert_eq!(cluster.live_nodes(), 10);
+        let mut landed = 0;
+        for i in 0..20u64 {
+            if cluster
+                .place(spec(100 + i, 10), SimTime::from_days(1), &mut rand)
+                .is_ok()
+            {
+                landed += 1;
+            }
+        }
+        assert!(landed > 10, "rejoined fleet only accepted {landed}");
+        cluster.advance(SimTime::from_days(2));
+        assert!(cluster.importance_density(SimTime::from_days(2)) > 0.0);
     }
 
     #[test]

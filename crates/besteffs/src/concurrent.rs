@@ -12,7 +12,7 @@
 use parking_lot::Mutex;
 use rand::Rng;
 use sim_core::{ByteSize, SimTime};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use temporal_importance::{Importance, ObjectSpec, StorageUnit};
 
 use crate::cluster::{PlacementConfig, PlacementError};
@@ -24,6 +24,9 @@ pub struct SharedStats {
     placed: AtomicU64,
     rejected: AtomicU64,
     races_lost: AtomicU64,
+    failed_nodes: AtomicU64,
+    rejoined_nodes: AtomicU64,
+    objects_lost: AtomicU64,
 }
 
 impl SharedStats {
@@ -41,6 +44,21 @@ impl SharedStats {
     /// between the probe and the store, forcing a fallback.
     pub fn races_lost(&self) -> u64 {
         self.races_lost.load(Ordering::Relaxed)
+    }
+
+    /// Nodes failed via [`SharedCluster::fail_node`].
+    pub fn failed_nodes(&self) -> u64 {
+        self.failed_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Failed nodes brought back via [`SharedCluster::rejoin_node`].
+    pub fn rejoined_nodes(&self) -> u64 {
+        self.rejoined_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Objects lost to node failures (no replication).
+    pub fn objects_lost(&self) -> u64 {
+        self.objects_lost.load(Ordering::Relaxed)
     }
 }
 
@@ -69,6 +87,9 @@ impl SharedStats {
 #[derive(Debug)]
 pub struct SharedCluster {
     units: Vec<Mutex<StorageUnit>>,
+    /// Membership mask: placements from other threads observe a failure
+    /// or rejoin at the next walk they take, without any global lock.
+    alive: Vec<AtomicBool>,
     overlay: Overlay,
     config: PlacementConfig,
     stats: SharedStats,
@@ -96,6 +117,7 @@ impl SharedCluster {
             })
             .collect();
         SharedCluster {
+            alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
             units,
             overlay,
             config,
@@ -129,6 +151,57 @@ impl SharedCluster {
         f(&mut self.units[node.index()].lock())
     }
 
+    /// True if `node` is currently in the membership set.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()].load(Ordering::Acquire)
+    }
+
+    /// Number of live nodes (momentary snapshot).
+    pub fn live_nodes(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Fails a node from any thread: it leaves the membership set (walks
+    /// stop visiting it) and its objects are dropped under the node lock.
+    /// Returns the number of objects lost; failing a dead node is a no-op.
+    ///
+    /// A placement that already probed this node can still try to store on
+    /// it — the store lands on the emptied unit exactly as it would on a
+    /// real node that crashed and rebooted between probe and store, and
+    /// the directory layer's incarnation check keeps such windows from
+    /// resurrecting pre-failure entries.
+    pub fn fail_node(&self, node: NodeId) -> u64 {
+        let i = node.index();
+        if !self.alive[i].swap(false, Ordering::AcqRel) {
+            return 0;
+        }
+        let lost = {
+            let mut unit = self.units[i].lock();
+            let lost = unit.len() as u64;
+            let mut fresh = StorageUnit::new(unit.capacity());
+            fresh.set_recording(false);
+            *unit = fresh;
+            lost
+        };
+        self.stats.failed_nodes.fetch_add(1, Ordering::Relaxed);
+        self.stats.objects_lost.fetch_add(lost, Ordering::Relaxed);
+        lost
+    }
+
+    /// Rejoins a failed node (empty), re-admitting it to the membership
+    /// set. Returns false (a no-op) if the node is already alive.
+    pub fn rejoin_node(&self, node: NodeId) -> bool {
+        let i = node.index();
+        if self.alive[i].swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        self.stats.rejoined_nodes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Places an object with the §5.3 algorithm, taking `&self` so many
     /// threads can place simultaneously. Each candidate is probed and (if
     /// chosen) stored under that node's lock only — concurrent placements
@@ -142,7 +215,8 @@ impl SharedCluster {
     /// # Errors
     ///
     /// Returns [`PlacementError::ClusterFull`] if every probed candidate
-    /// is (or has become) full for this object.
+    /// is (or has become) full for this object, and
+    /// [`PlacementError::NoLiveNodes`] if no live start node can be found.
     pub fn place<R: Rng>(
         &self,
         spec: ObjectSpec,
@@ -150,7 +224,12 @@ impl SharedCluster {
         rng: &mut R,
     ) -> Result<NodeId, PlacementError> {
         let incoming = spec.curve().initial_importance();
-        let start = NodeId::new(rng.gen_range(0..self.units.len()));
+        // Bounded rejection sampling for a live start: one draw when the
+        // fleet is healthy, graceful failure when it is gone.
+        let start = (0..self.units.len() * 8 + 8)
+            .map(|_| NodeId::new(rng.gen_range(0..self.units.len())))
+            .find(|&n| self.is_alive(n))
+            .ok_or(PlacementError::NoLiveNodes)?;
 
         // Collect scored candidates across up to `m` tries.
         let mut candidates: Vec<(Importance, NodeId)> = Vec::new();
@@ -161,7 +240,7 @@ impl SharedCluster {
                 self.config.candidates_per_try,
                 self.config.walk_steps,
                 rng,
-                |_| true,
+                |n| self.is_alive(n),
             );
             for node in sampled {
                 probed += 1;
@@ -318,5 +397,91 @@ mod tests {
         .unwrap();
         assert_eq!(cluster.stats().rejected(), 80);
         assert_eq!(cluster.stats().placed(), 0);
+    }
+
+    #[test]
+    fn fail_and_rejoin_are_idempotent_and_accounted() {
+        let mut rand = rng::seeded(4);
+        let cluster = SharedCluster::new(
+            10,
+            ByteSize::from_mib(100),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        let node = cluster
+            .place(spec(1, 10, 1.0), SimTime::ZERO, &mut rand)
+            .unwrap();
+        assert_eq!(cluster.fail_node(node), 1);
+        assert_eq!(cluster.fail_node(node), 0, "double-fail is a no-op");
+        assert!(!cluster.is_alive(node));
+        assert_eq!(cluster.live_nodes(), 9);
+        assert_eq!(cluster.stats().failed_nodes(), 1);
+        assert_eq!(cluster.stats().objects_lost(), 1);
+        assert_eq!(cluster.with_node(node, |u| u.len()), 0);
+
+        assert!(cluster.rejoin_node(node));
+        assert!(!cluster.rejoin_node(node), "double-rejoin is a no-op");
+        assert_eq!(cluster.live_nodes(), 10);
+        assert_eq!(cluster.stats().rejoined_nodes(), 1);
+    }
+
+    #[test]
+    fn placements_survive_concurrent_churn() {
+        let mut rand = rng::seeded(5);
+        let cluster = SharedCluster::new(
+            30,
+            ByteSize::from_mib(100),
+            PlacementConfig::default(),
+            &mut rand,
+        );
+        let threads = 4;
+        let per_thread = 40u64;
+
+        crossbeam::thread::scope(|scope| {
+            // One chaos thread flaps membership while placers run.
+            let chaos = &cluster;
+            scope.spawn(move |_| {
+                let mut rand = rng::stream(77, "chaos");
+                for _ in 0..200 {
+                    let node = NodeId::new(rand.gen_range(0..30));
+                    if chaos.is_alive(node) {
+                        chaos.fail_node(node);
+                    } else {
+                        chaos.rejoin_node(node);
+                    }
+                    std::thread::yield_now();
+                }
+                // Leave everything alive for the final invariants.
+                for i in 0..30 {
+                    chaos.rejoin_node(NodeId::new(i));
+                }
+            });
+            for t in 0..threads {
+                let cluster = &cluster;
+                scope.spawn(move |_| {
+                    let mut rand = rng::stream(78, &format!("churn-placer-{t}"));
+                    for i in 0..per_thread {
+                        let id = t as u64 * 10_000 + i;
+                        let _ = cluster.place(spec(id, 5, 0.8), SimTime::ZERO, &mut rand);
+                    }
+                });
+            }
+        })
+        .expect("no churn thread panicked");
+
+        let stats = cluster.stats();
+        // Every request resolved one way or another (NoLiveNodes counts as
+        // neither placed nor rejected, but with 30 nodes and one chaos
+        // thread the fleet never empties).
+        assert!(stats.placed() + stats.rejected() <= threads as u64 * per_thread);
+        assert!(stats.placed() > 0, "churn starved every placement");
+        assert_eq!(cluster.live_nodes(), 30);
+        // Residency only counts survivors of the chaos: never more bytes
+        // than placements, and the books balance against losses.
+        assert!(cluster.used() <= ByteSize::from_mib(stats.placed() * 5));
+        assert_eq!(
+            cluster.used(),
+            ByteSize::from_mib((stats.placed() - stats.objects_lost()) * 5)
+        );
     }
 }

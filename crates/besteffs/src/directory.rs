@@ -76,6 +76,11 @@ pub struct VersionEntry {
     pub object: ObjectId,
     /// Which node it was placed on.
     pub node: NodeId,
+    /// The node incarnation the object was placed under. A node that
+    /// fails and rejoins comes back one incarnation higher, so entries
+    /// published before the failure can never resolve against the reborn
+    /// (empty) node — even if purging was skipped or raced.
+    pub incarnation: u64,
 }
 
 /// A name → version-history directory.
@@ -109,10 +114,30 @@ impl Directory {
         Directory::default()
     }
 
-    /// Publishes a new version of `name`, returning its version number.
+    /// Publishes a new version of `name` under node incarnation 0,
+    /// returning its version number. Churn-aware callers should use
+    /// [`publish_on`] with the node's current incarnation instead.
+    ///
+    /// [`publish_on`]: Directory::publish_on
     pub fn publish(&mut self, name: ObjectName, object: ObjectId, node: NodeId) -> Version {
+        self.publish_on(name, object, node, 0)
+    }
+
+    /// Publishes a new version of `name` placed on `node` while it was
+    /// running `incarnation`, returning the version number.
+    pub fn publish_on(
+        &mut self,
+        name: ObjectName,
+        object: ObjectId,
+        node: NodeId,
+        incarnation: u64,
+    ) -> Version {
         let history = self.entries.entry(name).or_default();
-        history.push(VersionEntry { object, node });
+        history.push(VersionEntry {
+            object,
+            node,
+            incarnation,
+        });
         Version(history.len() as u32)
     }
 

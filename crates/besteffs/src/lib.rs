@@ -17,18 +17,26 @@
 //!   importance is zero, otherwise take up to `m` tries and pick the unit
 //!   with the lowest highest-preempted importance (unweighted by size).
 //! * [`directory`] — write-once named objects with versioned updates.
-//! * Node failure injection — objects on a failed node are simply lost
-//!   (no replication), as the paper specifies.
+//! * [`churn`] — deterministic fault injection: seeded availability
+//!   schedules (always-on, diurnal desktop uptime, Weibull sessions,
+//!   trace replay) drive node failure and rejoin through the sim-core
+//!   event loop. Objects on a failed node are simply lost (no
+//!   replication), as the paper specifies; a rejoined node returns empty
+//!   under a fresh incarnation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod churn;
 pub mod cluster;
 pub mod concurrent;
 pub mod directory;
 pub mod overlay;
 
-pub use cluster::{Besteffs, ClusterStats, PlacementConfig, PlacementError, PlacementOutcome};
+pub use churn::{AvailabilitySchedule, ChurnDriver, ChurnEvent, ChurnEventKind, ChurnSchedule};
+pub use cluster::{
+    Besteffs, ClusterStats, FailureEpoch, PlacementConfig, PlacementError, PlacementOutcome,
+};
 pub use concurrent::SharedCluster;
-pub use directory::{Directory, ObjectName, Version};
+pub use directory::{Directory, ObjectName, Version, VersionEntry};
 pub use overlay::{NodeId, Overlay};

@@ -118,10 +118,43 @@ impl Overlay {
         at
     }
 
-    /// Samples up to `count` *distinct* nodes by repeated random walks
-    /// from `start`, skipping nodes for which `alive` returns false.
-    /// Gives up after a bounded number of attempts, so the result may be
-    /// shorter than `count` on small or heavily-failed overlays.
+    /// Performs a `steps`-hop random walk that only ever hops onto nodes
+    /// for which `alive` returns true — a failed desktop cannot forward a
+    /// walk. Returns `None` if the walk gets stuck (no live neighbor) or
+    /// ends on a dead node (only possible for `steps == 0` from a dead
+    /// start).
+    ///
+    /// When every node is alive this consumes the RNG identically to
+    /// [`random_walk`] (one uniform draw over the full neighbor list per
+    /// hop), so churn-free simulations are bit-for-bit unchanged.
+    pub fn random_walk_live<R, F>(
+        &self,
+        start: NodeId,
+        steps: usize,
+        rng: &mut R,
+        alive: F,
+    ) -> Option<NodeId>
+    where
+        R: Rng,
+        F: Fn(NodeId) -> bool,
+    {
+        let mut at = start;
+        let mut live: Vec<NodeId> = Vec::new();
+        for _ in 0..steps {
+            live.clear();
+            live.extend(self.neighbors[at.0].iter().copied().filter(|&n| alive(n)));
+            at = *live.choose(rng)?;
+        }
+        alive(at).then_some(at)
+    }
+
+    /// Samples up to `count` *distinct* live nodes by repeated live-aware
+    /// random walks from `start` (see [`random_walk_live`]: dead nodes
+    /// neither forward nor terminate a walk). Gives up after a bounded
+    /// number of attempts, so the result may be shorter than `count` on
+    /// small or heavily-failed overlays.
+    ///
+    /// [`random_walk_live`]: Overlay::random_walk_live
     pub fn sample_walks<R, F>(
         &self,
         start: NodeId,
@@ -140,8 +173,10 @@ impl Overlay {
             if out.len() >= count {
                 break;
             }
-            let node = self.random_walk(start, steps, rng);
-            if alive(node) && !out.contains(&node) {
+            let Some(node) = self.random_walk_live(start, steps, rng, &alive) else {
+                continue;
+            };
+            if !out.contains(&node) {
                 out.push(node);
             }
         }

@@ -1,0 +1,254 @@
+//! Availability under churn: the §5.3 deployment on flaky desktops.
+//!
+//! The paper evaluates the university-wide capture on an always-up fleet,
+//! but its target hardware is ~2,000 *desktops*. This experiment replays
+//! the same workload while a seeded [`AvailabilitySchedule`] fails and
+//! rejoins nodes through the sim-core event loop, measuring what churn
+//! actually costs: delivered importance density, object loss rate, and
+//! placement retry inflation (walks that must route around dead nodes).
+//!
+//! Everything is deterministic — the same seed yields byte-identical
+//! results, churn schedules included.
+
+use besteffs::churn::{AvailabilitySchedule, ChurnDriver, ChurnSchedule};
+use besteffs::{Besteffs, ClusterStats, Directory, ObjectName, PlacementError};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use sim_core::{rng, SimDuration, SimTime};
+use workload::university::{UniversityCapture, UniversityConfig};
+
+use analysis::TimeSeries;
+
+use crate::university::{ClassOutcome, UniversityRunConfig};
+
+/// Configuration of one churn run: the §5.3 deployment plus an
+/// availability model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityRunConfig {
+    /// The underlying §5.3 deployment (nodes, capacity, placement, seed).
+    pub base: UniversityRunConfig,
+    /// The availability model driving fail/rejoin events.
+    pub schedule: AvailabilitySchedule,
+}
+
+impl AvailabilityRunConfig {
+    /// The paper's deployment under a memoryless `daily_rate` churn
+    /// (each node fails with that probability per simulated day and stays
+    /// down for half a day on average). Rate 0 reproduces the always-up
+    /// baseline.
+    pub fn daily_churn(seed: u64, capacity_gib: u64, scale: usize, daily_rate: f64) -> Self {
+        AvailabilityRunConfig {
+            base: UniversityRunConfig::paper(seed, capacity_gib, scale),
+            schedule: AvailabilitySchedule::daily_churn(daily_rate, SimDuration::from_hours(12)),
+        }
+    }
+}
+
+/// Results of a churn run.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRunResult {
+    /// The configuration that produced this result.
+    pub config: AvailabilityRunConfig,
+    /// University-camera placement accounting.
+    pub university: ClassOutcome,
+    /// Student-camera placement accounting.
+    pub student: ClassOutcome,
+    /// Weekly delivered importance-density samples (live capacity only).
+    pub density: TimeSeries,
+    /// Weekly live-node fraction samples.
+    pub live_fraction: TimeSeries,
+    /// Placement probes used per placed object (mean).
+    pub mean_probes: f64,
+    /// Cluster counters (failures, losses, purges, rejoins).
+    pub cluster_stats: ClusterStats,
+    /// Names that survived in the directory at the end of the run.
+    pub surviving_names: u64,
+    /// Names ever published.
+    pub published_names: u64,
+}
+
+impl AvailabilityRunResult {
+    /// Fraction of placed objects lost to node failures.
+    pub fn loss_rate(&self) -> f64 {
+        if self.cluster_stats.placed == 0 {
+            0.0
+        } else {
+            self.cluster_stats.objects_lost as f64 / self.cluster_stats.placed as f64
+        }
+    }
+
+    /// Mean delivered density over the run.
+    pub fn mean_density(&self) -> f64 {
+        self.density.summary().map_or(0.0, |s| s.mean)
+    }
+
+    /// Lowest weekly live-node fraction observed.
+    pub fn min_live_fraction(&self) -> f64 {
+        self.live_fraction
+            .values()
+            .iter()
+            .copied()
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Runs the §5.3 workload under the configured availability schedule.
+pub fn run(config: AvailabilityRunConfig) -> AvailabilityRunResult {
+    let base = &config.base;
+    let mut rand: StdRng = rng::stream(base.seed, "university-placement");
+    let mut cluster = Besteffs::new(base.nodes, base.node_capacity, base.placement, &mut rand);
+    let mut directory = Directory::new();
+    let horizon = SimTime::ZERO + SimDuration::YEAR.mul(base.years);
+    // The churn stream is independent of the placement stream, so the
+    // zero-churn run consumes the workload RNG identically to the
+    // churn-free university experiment.
+    let schedule = ChurnSchedule::generate(base.nodes, horizon, &config.schedule, base.seed);
+    let mut churn = ChurnDriver::new(schedule);
+
+    let workload_cfg = UniversityConfig {
+        seed: base.seed,
+        ..UniversityConfig::default()
+    }
+    .scaled_down(base.scale);
+
+    let mut ids = temporal_importance::ObjectIdGen::new();
+    let mut university = ClassOutcome::default();
+    let mut student = ClassOutcome::default();
+    let mut density = TimeSeries::new();
+    let mut live_fraction = TimeSeries::new();
+    let mut next_sample = SimTime::ZERO;
+    let mut probes = 0u64;
+    let mut published_names = 0u64;
+
+    for arrival in UniversityCapture::new(workload_cfg, base.years) {
+        while next_sample <= arrival.at {
+            churn.advance(next_sample, &mut cluster, &mut directory);
+            cluster.advance(next_sample);
+            density.push(next_sample, cluster.importance_density(next_sample));
+            live_fraction.push(
+                next_sample,
+                cluster.live_nodes() as f64 / cluster.len() as f64,
+            );
+            next_sample += base.sample_every;
+        }
+        churn.advance(arrival.at, &mut cluster, &mut directory);
+        let at = arrival.at;
+        let size = arrival.size;
+        let class = arrival.class;
+        let spec = arrival.into_spec(&mut ids);
+        let object = spec.id();
+        let stats = if class == workload::CLASS_UNIVERSITY {
+            &mut university
+        } else {
+            &mut student
+        };
+        stats.offered += 1;
+        match cluster.place(spec, at, &mut rand) {
+            Ok(placed) => {
+                stats.placed += 1;
+                stats.bytes_placed += size.as_bytes();
+                probes += placed.probed as u64;
+                published_names += 1;
+                directory.publish_on(
+                    ObjectName::new(format!("capture-{published_names}")),
+                    object,
+                    placed.node,
+                    cluster.incarnation(placed.node),
+                );
+            }
+            Err(PlacementError::ClusterFull { .. }) => {
+                stats.rejected += 1;
+            }
+            Err(PlacementError::NoLiveNodes) => {
+                // The whole fleet is down; the capture is dropped.
+                stats.rejected += 1;
+            }
+            Err(e) => panic!("unexpected placement error: {e}"),
+        }
+    }
+    // Drain any churn scheduled after the last arrival so the loss
+    // accounting covers the full horizon.
+    churn.advance(horizon, &mut cluster, &mut directory);
+
+    let placed_total = cluster.stats().placed.max(1);
+    AvailabilityRunResult {
+        university,
+        student,
+        density,
+        live_fraction,
+        mean_probes: probes as f64 / placed_total as f64,
+        cluster_stats: *cluster.stats(),
+        surviving_names: directory.len() as u64,
+        published_names,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(daily_rate: f64) -> AvailabilityRunResult {
+        let mut config = AvailabilityRunConfig::daily_churn(2, 80, 80, daily_rate);
+        config.base.years = 1;
+        run(config)
+    }
+
+    #[test]
+    fn zero_churn_matches_the_baseline_run() {
+        let churned = quick(0.0);
+        assert_eq!(churned.cluster_stats.failed_nodes, 0);
+        assert_eq!(churned.cluster_stats.objects_lost, 0);
+        assert_eq!(churned.loss_rate(), 0.0);
+        assert_eq!(churned.min_live_fraction(), 1.0);
+
+        // The always-up churn run places exactly what the churn-free
+        // university driver places: the schedule draws from its own RNG
+        // stream and never perturbs placement.
+        let mut base_cfg = UniversityRunConfig::paper(2, 80, 80);
+        base_cfg.years = 1;
+        let baseline = crate::university::run(base_cfg);
+        assert_eq!(churned.university.placed, baseline.university.placed);
+        assert_eq!(churned.student.placed, baseline.student.placed);
+        assert_eq!(
+            churned.cluster_stats.rejected,
+            baseline.cluster_stats.rejected
+        );
+    }
+
+    #[test]
+    fn churn_loses_objects_and_purges_their_entries() {
+        let result = quick(0.10);
+        assert!(result.cluster_stats.failed_nodes > 0);
+        assert!(result.cluster_stats.rejoined_nodes > 0);
+        assert!(result.cluster_stats.objects_lost > 0);
+        assert!(result.loss_rate() > 0.0);
+        assert!(result.min_live_fraction() < 1.0);
+        // Every lost object's entry left the directory with it.
+        assert_eq!(
+            result.surviving_names,
+            result.published_names - result.cluster_stats.directory_entries_purged
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let key = |r: &AvailabilityRunResult| {
+            (
+                r.cluster_stats.placed,
+                r.cluster_stats.objects_lost,
+                r.cluster_stats.directory_entries_purged,
+                r.surviving_names,
+            )
+        };
+        assert_eq!(key(&quick(0.05)), key(&quick(0.05)));
+    }
+
+    #[test]
+    fn more_churn_means_more_loss() {
+        let light = quick(0.01);
+        let heavy = quick(0.10);
+        assert!(heavy.cluster_stats.failed_nodes > light.cluster_stats.failed_nodes);
+        assert!(heavy.loss_rate() > light.loss_rate());
+    }
+}

@@ -22,11 +22,13 @@
 //! | §5.3 summary (university-wide) | [`figures::sec53`] |
 //! | Decay-shape ablation (§3) | [`figures::ablate_decay`] |
 //! | Placement-parameter ablation (§5.3) | [`figures::ablate_placement`] |
+//! | Availability under churn (beyond-paper) | [`figures::availability`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod ablation;
+pub mod availability;
 pub mod figures;
 pub mod lecture;
 pub mod mixed;

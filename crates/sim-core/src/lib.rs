@@ -37,6 +37,7 @@ mod time;
 
 pub mod driver;
 pub mod rng;
+pub mod schedule;
 
 pub use bytes::ByteSize;
 pub use driver::Simulation;

@@ -1,0 +1,133 @@
+//! Periodic-tick helpers for sampling loops and schedule generators.
+//!
+//! Churn models and experiment drivers all need the same two shapes of
+//! time arithmetic: "every `period` from `start` until `horizon`" and
+//! "the next `period` boundary at or after `at`". Centralizing them keeps
+//! the arithmetic (and its inclusive/exclusive conventions) consistent
+//! across the workspace.
+
+use crate::{SimDuration, SimTime};
+
+/// An iterator over `start, start + period, start + 2·period, …` up to and
+/// including `until`.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::schedule::ticks;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let sampled: Vec<u64> = ticks(SimTime::ZERO, SimDuration::from_days(7), SimTime::from_days(21))
+///     .map(|t| t.as_days())
+///     .collect();
+/// assert_eq!(sampled, vec![0, 7, 14, 21]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `period` is zero (the iterator would never advance).
+pub fn ticks(start: SimTime, period: SimDuration, until: SimTime) -> Ticks {
+    assert!(period > SimDuration::ZERO, "tick period must be positive");
+    Ticks {
+        next: start,
+        period,
+        until,
+    }
+}
+
+/// The iterator returned by [`ticks`].
+#[derive(Debug, Clone)]
+pub struct Ticks {
+    next: SimTime,
+    period: SimDuration,
+    until: SimTime,
+}
+
+impl Iterator for Ticks {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.next > self.until {
+            return None;
+        }
+        let at = self.next;
+        self.next += self.period;
+        Some(at)
+    }
+}
+
+/// The earliest `period` boundary (counted from the epoch) at or after
+/// `at`. Useful for aligning an event stream onto a sampling grid.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::schedule::align_up;
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let day = SimDuration::DAY;
+/// assert_eq!(align_up(SimTime::from_hours(1), day), SimTime::from_days(1));
+/// assert_eq!(align_up(SimTime::from_days(2), day), SimTime::from_days(2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn align_up(at: SimTime, period: SimDuration) -> SimTime {
+    assert!(
+        period > SimDuration::ZERO,
+        "alignment period must be positive"
+    );
+    let p = period.as_minutes();
+    let m = at.as_minutes();
+    SimTime::from_minutes(m.div_ceil(p) * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_cover_inclusive_horizon() {
+        let all: Vec<SimTime> = ticks(
+            SimTime::from_days(1),
+            SimDuration::from_days(2),
+            SimTime::from_days(7),
+        )
+        .collect();
+        assert_eq!(
+            all,
+            vec![
+                SimTime::from_days(1),
+                SimTime::from_days(3),
+                SimTime::from_days(5),
+                SimTime::from_days(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn ticks_past_horizon_are_empty() {
+        let mut it = ticks(
+            SimTime::from_days(10),
+            SimDuration::DAY,
+            SimTime::from_days(9),
+        );
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = ticks(SimTime::ZERO, SimDuration::ZERO, SimTime::from_days(1));
+    }
+
+    #[test]
+    fn align_up_lands_on_boundaries() {
+        assert_eq!(align_up(SimTime::ZERO, SimDuration::DAY), SimTime::ZERO);
+        assert_eq!(
+            align_up(SimTime::from_minutes(61), SimDuration::HOUR),
+            SimTime::from_hours(2)
+        );
+    }
+}

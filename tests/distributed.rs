@@ -120,13 +120,14 @@ fn node_failures_mid_run() {
     }
     assert_eq!(directory.len(), 40);
 
-    // Kill a quarter of the cluster.
+    // Kill a quarter of the cluster; the purging path drops the dangling
+    // directory versions in the same step.
     let mut lost_total = 0;
     for node in 0..5 {
-        lost_total += cluster.fail_node(NodeId::new(node));
-        directory.purge_node(NodeId::new(node));
+        lost_total += cluster.fail_node_purging(NodeId::new(node), SimTime::ZERO, &mut directory);
     }
     assert_eq!(cluster.stats().objects_lost, lost_total);
+    assert_eq!(cluster.stats().directory_entries_purged, lost_total);
     assert_eq!(cluster.live_nodes(), 15);
     assert_eq!(directory.len() as u64, 40 - lost_total);
 

@@ -221,3 +221,34 @@ proptest! {
         run_differential(script, EvictionPolicy::Fifo);
     }
 }
+
+/// Nightly deep fuzz: `DIFF_CASES=4096` (or any count) cranks the same
+/// differential far past the default 256 cases. A no-op when the env var
+/// is unset, so regular `cargo test` stays fast; case seeds depend only
+/// on the property name and case index, so deep runs replay the default
+/// cases first and then explore new ones.
+#[test]
+fn deep_fuzz_engine_differential() {
+    let Some(cases) = std::env::var("DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    else {
+        return;
+    };
+    let strategy = script_strategy();
+    for (name, policy) in [
+        (
+            "indexed_engine_matches_naive_oracle_preemptive",
+            EvictionPolicy::Preemptive,
+        ),
+        (
+            "indexed_engine_matches_naive_oracle_fifo",
+            EvictionPolicy::Fifo,
+        ),
+    ] {
+        proptest::test_runner::run_cases_n(name, cases, |rng| {
+            run_differential(strategy.generate(rng), policy);
+            Ok(())
+        });
+    }
+}

@@ -214,7 +214,18 @@ pub mod test_runner {
 
     /// Runs `f` for each case with a deterministic per-(test, case) RNG,
     /// panicking with the failure message on the first `Err`.
-    pub fn run_cases<F>(name: &str, mut f: F)
+    pub fn run_cases<F>(name: &str, f: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        run_cases_n(name, case_count(), f);
+    }
+
+    /// [`run_cases`] with an explicit case count, for callers that scale
+    /// depth themselves (e.g. nightly deep-fuzz jobs driven by an env
+    /// var). Case seeds depend only on `(name, case index)`, so the first
+    /// N cases of a deep run replay the default run exactly.
+    pub fn run_cases_n<F>(name: &str, cases: u64, mut f: F)
     where
         F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
     {
@@ -223,7 +234,6 @@ pub mod test_runner {
             name_hash ^= u64::from(byte);
             name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let cases = case_count();
         for case in 0..cases {
             let seed = splitmix64(name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut rng = StdRng::seed_from_u64(seed);
