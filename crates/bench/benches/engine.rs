@@ -60,8 +60,9 @@ fn bench_fifo_store(c: &mut Criterion) {
     c.bench_function("store/fifo_eviction_400_residents", |b| {
         b.iter_batched(
             || {
-                let mut unit =
-                    StorageUnit::with_policy(ByteSize::from_mib(4000), EvictionPolicy::Fifo);
+                let mut unit = StorageUnit::builder(ByteSize::from_mib(4000))
+                    .policy(EvictionPolicy::Fifo)
+                    .build();
                 unit.set_recording(false);
                 for i in 0..400 {
                     unit.store(incoming_spec(i, 10), SimTime::ZERO).unwrap();

@@ -8,7 +8,9 @@ use besteffs::{Besteffs, PlacementConfig};
 
 fn loaded_cluster(nodes: usize, config: PlacementConfig) -> Besteffs {
     let mut rand = rng::seeded(42);
-    let mut cluster = Besteffs::new(nodes, ByteSize::from_gib(1), config, &mut rand);
+    let mut cluster = Besteffs::builder(nodes, ByteSize::from_gib(1))
+        .placement(config)
+        .build(&mut rand);
     // Half-fill so placements mix direct stores and preemption probes.
     let mut id = 1_000_000u64;
     for _ in 0..nodes * 5 {

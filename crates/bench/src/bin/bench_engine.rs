@@ -2,8 +2,8 @@
 //!
 //! Runs the three hot paths the indexed engine accelerates — sustained
 //! store churn, admission probes, and repeated density sampling — on both
-//! the incremental engine (`StorageUnit::with_policy`) and the
-//! scan-everything oracle (`StorageUnit::with_policy_naive`) at 10k and
+//! the incremental engine and the scan-everything oracle
+//! (`StorageUnit::builder(..).naive_oracle(true)`) at 10k and
 //! 100k residents, and records nanoseconds per operation plus the
 //! speedup. Run from the repository root:
 //!

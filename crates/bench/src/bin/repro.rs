@@ -11,11 +11,17 @@
 //! shortens the simulated horizons (CI-friendly); the default horizons
 //! match the figures in the paper. `--json DIR` additionally dumps each
 //! report's tables as CSV files into DIR.
+//!
+//! A process-global [`obs::MetricsRegistry`] is installed at startup;
+//! after each experiment the delta of engine/cluster counters goes to
+//! **stderr**, so the frozen stdout (`repro_output.txt`, `results/*.csv`)
+//! stays byte-identical while humans still get per-phase telemetry.
 
 use std::process::ExitCode;
 
 use experiments::figures::{self, FigureReport};
 use experiments::DEFAULT_SEED;
+use obs::Report;
 
 struct Options {
     seed: u64,
@@ -69,7 +75,12 @@ fn main() -> ExitCode {
         options.experiments.clone()
     };
 
+    // Every unit/cluster built from here on reports into this registry
+    // (unless compiled with `obs-off`, in which case it stays silent).
+    let metrics = obs::install_global_registry();
+
     for id in &ids {
+        let phase_start = metrics.as_ref().map(|m| m.snapshot());
         let report = match run_experiment(id, &options) {
             Some(report) => report,
             None => {
@@ -82,6 +93,10 @@ fn main() -> ExitCode {
             }
         };
         println!("{report}");
+        if let (Some(metrics), Some(baseline)) = (&metrics, phase_start) {
+            let delta = metrics.snapshot().delta(&baseline);
+            eprintln!("{}", Report::new(id, delta));
+        }
         if let Some(dir) = &options.json_dir {
             if let Err(e) = dump_csv(dir, &report) {
                 eprintln!("failed to write CSV for {id}: {e}");

@@ -18,10 +18,13 @@ pub fn mixed_unit(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
 }
 
 /// The same fixture on the naive scan-everything engine
-/// ([`StorageUnit::with_policy_naive`]) — the baseline the indexed engine
+/// (`StorageUnit::builder(..).naive_oracle(true)`) — the baseline the indexed engine
 /// is benchmarked against.
 pub fn mixed_unit_naive(capacity: ByteSize, count: u64, mib: u64) -> StorageUnit {
-    let mut unit = StorageUnit::with_policy_naive(capacity, EvictionPolicy::Preemptive);
+    let mut unit = StorageUnit::builder(capacity)
+        .policy(EvictionPolicy::Preemptive)
+        .naive_oracle(true)
+        .build();
     fill_mixed(&mut unit, count, mib);
     unit
 }

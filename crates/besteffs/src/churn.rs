@@ -21,7 +21,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sim_core::{rng, SimDuration, SimTime, Simulation};
+use sim_core::{rng, Obs, SimDuration, SimTime, Simulation};
 
 use crate::cluster::Besteffs;
 use crate::directory::Directory;
@@ -121,7 +121,7 @@ impl AvailabilitySchedule {
 /// assert_eq!(a.events(), b.events()); // same seed ⇒ same churn
 /// assert!(!a.events().is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChurnSchedule {
     events: Vec<ChurnEvent>,
 }
@@ -278,26 +278,28 @@ pub struct ChurnTick {
 /// # Examples
 ///
 /// ```
-/// use besteffs::churn::{AvailabilitySchedule, ChurnDriver, ChurnSchedule};
-/// use besteffs::{Besteffs, Directory, PlacementConfig};
+/// use besteffs::churn::{AvailabilitySchedule, ChurnSchedule};
+/// use besteffs::{Besteffs, Directory};
 /// use sim_core::{rng, ByteSize, SimDuration, SimTime};
 ///
 /// let mut rand = rng::seeded(3);
-/// let mut cluster = Besteffs::new(20, ByteSize::from_gib(1), PlacementConfig::default(), &mut rand);
-/// let mut directory = Directory::new();
 /// let schedule = ChurnSchedule::generate(
 ///     20,
 ///     SimTime::from_days(30),
 ///     &AvailabilitySchedule::daily_churn(0.2, SimDuration::from_hours(8)),
 ///     9,
 /// );
-/// let mut driver = ChurnDriver::new(schedule);
+/// let (mut cluster, mut driver) = Besteffs::builder(20, ByteSize::from_gib(1))
+///     .churn(schedule)
+///     .build_with_churn(&mut rand);
+/// let mut directory = Directory::new();
 /// let tick = driver.advance(SimTime::from_days(30), &mut cluster, &mut directory);
 /// assert_eq!(tick.failures, cluster.stats().failed_nodes);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ChurnDriver {
     sim: Simulation<(NodeId, ChurnEventKind)>,
+    obs: Obs,
 }
 
 impl ChurnDriver {
@@ -307,7 +309,10 @@ impl ChurnDriver {
         for event in schedule.events() {
             sim.schedule(event.at, (event.node, event.kind));
         }
-        ChurnDriver { sim }
+        ChurnDriver {
+            sim,
+            obs: Obs::global(),
+        }
     }
 
     /// Transitions not yet applied.
@@ -342,6 +347,9 @@ impl ChurnDriver {
                 }
             }
         });
+        self.obs.counter("churn.failures", tick.failures);
+        self.obs.counter("churn.rejoins", tick.rejoins);
+        self.obs.counter("churn.objects_lost", tick.objects_lost);
         tick
     }
 }
@@ -349,7 +357,6 @@ impl ChurnDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::PlacementConfig;
     use sim_core::ByteSize;
 
     const HORIZON: SimTime = SimTime::from_days(365);
@@ -492,12 +499,6 @@ mod tests {
     #[test]
     fn driver_applies_transitions_through_the_event_loop() {
         let mut rand = rng::seeded(31);
-        let mut cluster = Besteffs::new(
-            30,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
         let mut directory = Directory::new();
         let schedule = ChurnSchedule::generate(
             30,
@@ -510,7 +511,9 @@ mod tests {
             .iter()
             .filter(|e| e.kind == ChurnEventKind::Fail)
             .count() as u64;
-        let mut driver = ChurnDriver::new(schedule);
+        let (mut cluster, mut driver) = Besteffs::builder(30, ByteSize::from_mib(100))
+            .churn(schedule)
+            .build_with_churn(&mut rand);
         assert!(driver.pending() > 0);
 
         // Apply in weekly slices; accounting must add up across slices.

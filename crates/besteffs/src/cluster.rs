@@ -5,11 +5,12 @@ use std::fmt;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sim_core::{ByteSize, SimTime};
+use sim_core::{ByteSize, Obs, SimTime};
 use temporal_importance::{
     EvictionRecord, Importance, ObjectId, ObjectSpec, StorageUnit, StoreOutcome,
 };
 
+use crate::churn::{ChurnDriver, ChurnSchedule};
 use crate::directory::Directory;
 use crate::overlay::{NodeId, Overlay};
 
@@ -91,6 +92,12 @@ impl fmt::Display for PlacementError {
 
 impl Error for PlacementError {}
 
+impl From<PlacementError> for temporal_importance::Error {
+    fn from(e: PlacementError) -> Self {
+        temporal_importance::Error::external(e)
+    }
+}
+
 /// Aggregate counters for a cluster.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -129,18 +136,129 @@ pub struct FailureEpoch {
     pub bytes_lost: u64,
 }
 
+/// Configures and builds a [`Besteffs`] cluster.
+///
+/// Obtained from [`Besteffs::builder`]; every knob is optional and the
+/// defaults reproduce what `Besteffs::new` used to do. The RNG is consumed
+/// only at [`build`](ClusterBuilder::build) time, in the same order as the
+/// old constructor, so seeded simulations are bit-for-bit unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use besteffs::{Besteffs, PlacementConfig};
+/// use sim_core::{rng, ByteSize};
+///
+/// let mut rand = rng::seeded(11);
+/// let cluster = Besteffs::builder(50, ByteSize::from_gib(1))
+///     .placement(PlacementConfig {
+///         candidates_per_try: 4,
+///         max_tries: 2,
+///         walk_steps: 8,
+///     })
+///     .build(&mut rand);
+/// assert_eq!(cluster.len(), 50);
+/// assert_eq!(cluster.config().max_tries, 2);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until `build` is called"]
+pub struct ClusterBuilder {
+    nodes: usize,
+    capacity: ByteSize,
+    config: PlacementConfig,
+    churn: Option<ChurnSchedule>,
+    obs: Option<Obs>,
+}
+
+impl ClusterBuilder {
+    /// Sets the §5.3 placement parameters (default:
+    /// [`PlacementConfig::default`]).
+    pub fn placement(mut self, config: PlacementConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observability handle; the cluster forwards it to every
+    /// storage unit it creates (including rejoin replacements and
+    /// [`add_node`] newcomers). Defaults to the process-global observer.
+    ///
+    /// [`add_node`]: Besteffs::add_node
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches a churn schedule for [`build_with_churn`]; [`build`]
+    /// ignores it.
+    ///
+    /// [`build_with_churn`]: ClusterBuilder::build_with_churn
+    /// [`build`]: ClusterBuilder::build
+    pub fn churn(mut self, schedule: ChurnSchedule) -> Self {
+        self.churn = Some(schedule);
+        self
+    }
+
+    /// Builds the cluster, consuming `rng` to wire the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder was created with fewer than 3 nodes (the
+    /// overlay needs a ring).
+    pub fn build<R: Rng>(self, rng: &mut R) -> Besteffs {
+        let ClusterBuilder {
+            nodes,
+            capacity,
+            config,
+            churn: _,
+            obs,
+        } = self;
+        let obs = obs.unwrap_or_else(Obs::global);
+        let degree = 6.min(nodes - 1).max(2);
+        let overlay = Overlay::random(nodes, degree, rng);
+        // Large fleets keep aggregate stats only; per-eviction records on
+        // 2,000 nodes over years would dominate memory.
+        let units: Vec<StorageUnit> = (0..nodes)
+            .map(|_| {
+                StorageUnit::builder(capacity)
+                    .recording(false)
+                    .observer(obs.clone())
+                    .build()
+            })
+            .collect();
+        Besteffs {
+            units,
+            alive: vec![true; nodes],
+            incarnations: vec![0; nodes],
+            overlay,
+            config,
+            stats: ClusterStats::default(),
+            failure_epochs: Vec::new(),
+            obs,
+        }
+    }
+
+    /// Builds the cluster and a [`ChurnDriver`] loaded with the schedule
+    /// from [`churn`](ClusterBuilder::churn) (empty if none was set), so a
+    /// fault-injected experiment needs one expression instead of three.
+    pub fn build_with_churn<R: Rng>(mut self, rng: &mut R) -> (Besteffs, ChurnDriver) {
+        let schedule = self.churn.take().unwrap_or_default();
+        let cluster = self.build(rng);
+        (cluster, ChurnDriver::new(schedule))
+    }
+}
+
 /// A simulated Besteffs deployment: `n` storage units joined by a p2p
 /// overlay, placing objects with the §5.3 algorithm.
 ///
 /// # Examples
 ///
 /// ```
-/// use besteffs::{Besteffs, PlacementConfig};
+/// use besteffs::Besteffs;
 /// use sim_core::{rng, ByteSize, SimDuration, SimTime};
 /// use temporal_importance::{Importance, ImportanceCurve, ObjectId, ObjectSpec};
 ///
 /// let mut rand = rng::seeded(11);
-/// let mut cluster = Besteffs::new(50, ByteSize::from_gib(1), PlacementConfig::default(), &mut rand);
+/// let mut cluster = Besteffs::builder(50, ByteSize::from_gib(1)).build(&mut rand);
 /// let spec = ObjectSpec::new(
 ///     ObjectId::new(0),
 ///     ByteSize::from_mib(100),
@@ -165,37 +283,37 @@ pub struct Besteffs {
     config: PlacementConfig,
     stats: ClusterStats,
     failure_epochs: Vec<FailureEpoch>,
+    obs: Obs,
 }
 
 impl Besteffs {
+    /// Starts building a cluster of `nodes` units of equal `capacity`.
+    /// See [`ClusterBuilder`] for the knobs.
+    pub fn builder(nodes: usize, capacity: ByteSize) -> ClusterBuilder {
+        ClusterBuilder {
+            nodes,
+            capacity,
+            config: PlacementConfig::default(),
+            churn: None,
+            obs: None,
+        }
+    }
+
     /// Creates a cluster of `nodes` units of equal `capacity`.
     ///
     /// # Panics
     ///
     /// Panics if `nodes < 3` (the overlay needs a ring).
+    #[deprecated(since = "0.1.0", note = "use `Besteffs::builder(nodes, capacity)`")]
     pub fn new<R: Rng>(
         nodes: usize,
         capacity: ByteSize,
         config: PlacementConfig,
         rng: &mut R,
     ) -> Self {
-        let degree = 6.min(nodes - 1).max(2);
-        let overlay = Overlay::random(nodes, degree, rng);
-        let mut units: Vec<StorageUnit> = (0..nodes).map(|_| StorageUnit::new(capacity)).collect();
-        // Large fleets keep aggregate stats only; per-eviction records on
-        // 2,000 nodes over years would dominate memory.
-        for unit in &mut units {
-            unit.set_recording(false);
-        }
-        Besteffs {
-            units,
-            alive: vec![true; nodes],
-            incarnations: vec![0; nodes],
-            overlay,
-            config,
-            stats: ClusterStats::default(),
-            failure_epochs: Vec::new(),
-        }
+        Besteffs::builder(nodes, capacity)
+            .placement(config)
+            .build(rng)
     }
 
     /// Number of nodes (live and failed).
@@ -266,12 +384,26 @@ impl Besteffs {
         let degree = 6.min(self.units.len()).max(2);
         let id = self.overlay.add_node(degree, rng);
         debug_assert_eq!(id.index(), self.units.len());
-        let mut unit = StorageUnit::new(capacity);
-        unit.set_recording(false);
-        self.units.push(unit);
+        self.units.push(
+            StorageUnit::builder(capacity)
+                .recording(false)
+                .observer(self.obs.clone())
+                .build(),
+        );
         self.alive.push(true);
         self.incarnations.push(0);
+        self.obs.counter("cluster.nodes_added", 1);
         id
+    }
+
+    /// Attaches an observability handle after construction, forwarding it
+    /// to every existing storage unit. Units created later (rejoin
+    /// replacements, [`add_node`](Besteffs::add_node)) inherit it too.
+    pub fn set_observer(&mut self, obs: Obs) {
+        for unit in &mut self.units {
+            unit.set_observer(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// Fails a node at `now`: its objects are lost (Besteffs does not
@@ -301,8 +433,20 @@ impl Besteffs {
             objects_lost: lost_objects,
             bytes_lost: lost_bytes,
         });
-        self.units[i] = StorageUnit::new(self.units[i].capacity());
-        self.units[i].set_recording(false);
+        self.units[i] = StorageUnit::builder(self.units[i].capacity())
+            .recording(false)
+            .observer(self.obs.clone())
+            .build();
+        self.obs.counter("cluster.node_failures", 1);
+        self.obs.event(
+            now,
+            "cluster.node_fail",
+            &[
+                ("node", i as u64),
+                ("objects_lost", lost_objects),
+                ("bytes_lost", lost_bytes),
+            ],
+        );
         lost_objects
     }
 
@@ -321,7 +465,9 @@ impl Besteffs {
             return 0;
         }
         let lost = self.fail_node(node, now);
-        self.stats.directory_entries_purged += directory.purge_node(node) as u64;
+        let purged = directory.purge_node(node) as u64;
+        self.stats.directory_entries_purged += purged;
+        self.obs.counter("directory.entries_purged", purged);
         lost
     }
 
@@ -339,6 +485,7 @@ impl Besteffs {
         self.alive[i] = true;
         self.incarnations[i] += 1;
         self.stats.rejoined_nodes += 1;
+        self.obs.counter("cluster.node_rejoins", 1);
         true
     }
 
@@ -396,13 +543,15 @@ impl Besteffs {
         'tries: for try_index in 0..self.config.max_tries {
             tries_used = try_index + 1;
             let alive = &self.alive;
-            let candidates = self.overlay.sample_walks(
+            let (candidates, hops) = self.overlay.sample_walks_counted(
                 start,
                 self.config.candidates_per_try,
                 self.config.walk_steps,
                 rng,
                 |n| alive[n.index()],
             );
+            self.obs.counter("cluster.walks", candidates.len() as u64);
+            self.obs.record("cluster.walk_hops", hops);
             for node in candidates {
                 probed += 1;
                 let unit = &mut self.units[node.index()];
@@ -427,14 +576,18 @@ impl Besteffs {
 
         let Some((node, score)) = best else {
             self.stats.rejected += 1;
+            self.obs.counter("cluster.rejections", 1);
             return Err(PlacementError::ClusterFull { probed, incoming });
         };
         let outcome = self.units[node.index()]
             .store(spec, now)
             .expect("peeked unit must admit");
         self.stats.placed += 1;
+        self.obs.counter("cluster.placements", 1);
+        self.obs.record("cluster.probes", probed as u64);
         if score.is_zero() {
             self.stats.direct_stores += 1;
+            self.obs.counter("cluster.direct_stores", 1);
         }
         Ok(PlacementOutcome {
             node,
@@ -621,12 +774,7 @@ mod tests {
 
     fn small_cluster(seed: u64) -> (Besteffs, rand::rngs::StdRng) {
         let mut rand = rng::seeded(seed);
-        let cluster = Besteffs::new(
-            20,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = Besteffs::builder(20, ByteSize::from_mib(100)).build(&mut rand);
         (cluster, rand)
     }
 
@@ -788,12 +936,7 @@ mod churn_tests {
     #[test]
     fn added_nodes_join_the_overlay_and_accept_placements() {
         let mut rand = rng::seeded(21);
-        let mut cluster = Besteffs::new(
-            10,
-            ByteSize::from_mib(50),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(10, ByteSize::from_mib(50)).build(&mut rand);
         // Fill the original fleet to the brim.
         let mut id = 0u64;
         for i in 0..10 {
@@ -833,12 +976,7 @@ mod churn_tests {
     #[test]
     fn fail_node_purging_drops_stale_directory_entries() {
         let mut rand = rng::seeded(23);
-        let mut cluster = Besteffs::new(
-            10,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(10, ByteSize::from_mib(100)).build(&mut rand);
         let mut dir = crate::directory::Directory::new();
         let placed = cluster
             .place(spec(1, 10), SimTime::ZERO, &mut rand)
@@ -870,12 +1008,7 @@ mod churn_tests {
     #[test]
     fn rejoin_bumps_incarnation_and_blocks_resurrection() {
         let mut rand = rng::seeded(24);
-        let mut cluster = Besteffs::new(
-            10,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(10, ByteSize::from_mib(100)).build(&mut rand);
         let mut dir = crate::directory::Directory::new();
         let placed = cluster
             .place(spec(7, 10), SimTime::ZERO, &mut rand)
@@ -924,12 +1057,7 @@ mod churn_tests {
     #[test]
     fn rejoined_nodes_reenter_the_candidate_set() {
         let mut rand = rng::seeded(25);
-        let mut cluster = Besteffs::new(
-            10,
-            ByteSize::from_mib(50),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(10, ByteSize::from_mib(50)).build(&mut rand);
         for i in 0..10 {
             cluster.fail_node(NodeId::new(i), SimTime::ZERO);
         }
@@ -952,15 +1080,78 @@ mod churn_tests {
         assert!(cluster.importance_density(SimTime::from_days(2)) > 0.0);
     }
 
+    /// Regression: loss accounting across repeated fail → rejoin →
+    /// publish cycles must stay exact. An earlier audit worried that a
+    /// node failing between `fail_node` and the directory purge (or a
+    /// second failure of an already-dead node) could double-count purged
+    /// entries or lost objects; this pins the books.
+    #[test]
+    fn repeated_failure_cycles_never_double_count_losses() {
+        let mut rand = rng::seeded(29);
+        let mut cluster = Besteffs::builder(10, ByteSize::from_mib(100)).build(&mut rand);
+        let mut dir = crate::directory::Directory::new();
+
+        let mut published = 0u64;
+        let mut expected_lost = 0u64;
+        let mut id = 0u64;
+        for cycle in 0..4 {
+            // Publish a couple of fresh objects each cycle.
+            let mut target = None;
+            for _ in 0..2 {
+                id += 1;
+                let placed = cluster
+                    .place(spec(id, 5), SimTime::from_days(cycle * 10), &mut rand)
+                    .unwrap();
+                dir.publish_on(
+                    crate::directory::ObjectName::new(format!("obj-{id}")),
+                    ObjectId::new(id),
+                    placed.node,
+                    cluster.incarnation(placed.node),
+                );
+                published += 1;
+                target = Some(placed.node);
+            }
+            let node = target.unwrap();
+            expected_lost += cluster.node(node).len() as u64;
+            let lost =
+                cluster.fail_node_purging(node, SimTime::from_days(cycle * 10 + 5), &mut dir);
+            // Failing the node again while it is down must be a no-op.
+            assert_eq!(
+                cluster.fail_node_purging(node, SimTime::from_days(cycle * 10 + 6), &mut dir),
+                0
+            );
+            assert!(lost >= 1);
+            cluster.rejoin_node(node);
+        }
+
+        let stats = cluster.stats();
+        assert_eq!(stats.objects_lost, expected_lost);
+        assert_eq!(
+            stats.objects_lost,
+            cluster
+                .failure_epochs()
+                .iter()
+                .map(|e| e.objects_lost)
+                .sum::<u64>(),
+            "epochs and stats must agree"
+        );
+        // Every directory entry is either still resolvable or was purged
+        // exactly once: no entry is lost twice, none resurrects.
+        let surviving = dir.len() as u64;
+        assert_eq!(surviving + stats.directory_entries_purged, published);
+        for name in dir.names() {
+            let entry = dir.latest(name).unwrap();
+            assert!(
+                cluster.entry_is_current(entry),
+                "surviving entry {name:?} must resolve to a live incarnation"
+            );
+        }
+    }
+
     #[test]
     fn grown_overlay_stays_connected() {
         let mut rand = rng::seeded(22);
-        let mut cluster = Besteffs::new(
-            5,
-            ByteSize::from_mib(10),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(5, ByteSize::from_mib(10)).build(&mut rand);
         for _ in 0..50 {
             cluster.add_node(ByteSize::from_mib(10), &mut rand);
         }

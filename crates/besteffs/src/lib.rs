@@ -35,7 +35,8 @@ pub mod overlay;
 
 pub use churn::{AvailabilitySchedule, ChurnDriver, ChurnEvent, ChurnEventKind, ChurnSchedule};
 pub use cluster::{
-    Besteffs, ClusterStats, FailureEpoch, PlacementConfig, PlacementError, PlacementOutcome,
+    Besteffs, ClusterBuilder, ClusterStats, FailureEpoch, PlacementConfig, PlacementError,
+    PlacementOutcome,
 };
 pub use concurrent::SharedCluster;
 pub use directory::{Directory, ObjectName, Version, VersionEntry};

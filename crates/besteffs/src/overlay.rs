@@ -138,14 +138,38 @@ impl Overlay {
         R: Rng,
         F: Fn(NodeId) -> bool,
     {
+        self.random_walk_live_counted(start, steps, rng, alive).0
+    }
+
+    /// [`random_walk_live`] plus the number of hops actually taken before
+    /// the walk finished or got stuck — the figure placement telemetry
+    /// records. Consumes the RNG identically to the uncounted form.
+    ///
+    /// [`random_walk_live`]: Overlay::random_walk_live
+    pub fn random_walk_live_counted<R, F>(
+        &self,
+        start: NodeId,
+        steps: usize,
+        rng: &mut R,
+        alive: F,
+    ) -> (Option<NodeId>, u64)
+    where
+        R: Rng,
+        F: Fn(NodeId) -> bool,
+    {
         let mut at = start;
+        let mut hops = 0u64;
         let mut live: Vec<NodeId> = Vec::new();
         for _ in 0..steps {
             live.clear();
             live.extend(self.neighbors[at.0].iter().copied().filter(|&n| alive(n)));
-            at = *live.choose(rng)?;
+            let Some(next) = live.choose(rng) else {
+                return (None, hops);
+            };
+            at = *next;
+            hops += 1;
         }
-        alive(at).then_some(at)
+        (alive(at).then_some(at), hops)
     }
 
     /// Samples up to `count` *distinct* live nodes by repeated live-aware
@@ -167,20 +191,43 @@ impl Overlay {
         R: Rng,
         F: Fn(NodeId) -> bool,
     {
+        self.sample_walks_counted(start, count, steps, rng, alive).0
+    }
+
+    /// [`sample_walks`] plus the total hops taken across every attempted
+    /// walk (including walks that got stuck or landed on duplicates).
+    /// Consumes the RNG identically to the uncounted form.
+    ///
+    /// [`sample_walks`]: Overlay::sample_walks
+    pub fn sample_walks_counted<R, F>(
+        &self,
+        start: NodeId,
+        count: usize,
+        steps: usize,
+        rng: &mut R,
+        alive: F,
+    ) -> (Vec<NodeId>, u64)
+    where
+        R: Rng,
+        F: Fn(NodeId) -> bool,
+    {
         let mut out: Vec<NodeId> = Vec::with_capacity(count);
+        let mut hops = 0u64;
         let max_attempts = count * 8 + 16;
         for _ in 0..max_attempts {
             if out.len() >= count {
                 break;
             }
-            let Some(node) = self.random_walk_live(start, steps, rng, &alive) else {
+            let (node, walked) = self.random_walk_live_counted(start, steps, rng, &alive);
+            hops += walked;
+            let Some(node) = node else {
                 continue;
             };
             if !out.contains(&node) {
                 out.push(node);
             }
         }
-        out
+        (out, hops)
     }
 
     /// Joins a new node to the overlay, wiring it to `degree` random
@@ -272,6 +319,22 @@ mod tests {
         unique.sort();
         unique.dedup();
         assert_eq!(unique.len(), sample.len());
+    }
+
+    #[test]
+    fn counted_walks_match_uncounted_and_report_hops() {
+        let mut a = rng::seeded(9);
+        let mut b = rng::seeded(9);
+        let overlay_a = Overlay::random(50, 4, &mut a);
+        let overlay_b = Overlay::random(50, 4, &mut b);
+        let plain = overlay_a.sample_walks(NodeId::new(0), 5, 6, &mut a, |_| true);
+        let (counted, hops) =
+            overlay_b.sample_walks_counted(NodeId::new(0), 5, 6, &mut b, |_| true);
+        assert_eq!(plain, counted, "counted variant must not perturb the RNG");
+        // Every attempted walk runs all 6 hops on an all-alive overlay, and
+        // at least `count` attempts are needed to find 5 distinct nodes.
+        assert!(hops >= 30, "hops {hops}");
+        assert_eq!(hops % 6, 0);
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl StorageUnit {
     /// assert_eq!(unit.importance_density(SimTime::ZERO), 0.0);
     /// ```
     pub fn importance_density(&self, now: SimTime) -> f64 {
+        self.obs().counter("engine.density_samples", 1);
         if self.capacity().is_zero() {
             return 0.0;
         }
@@ -93,8 +94,10 @@ impl StorageUnit {
         // extrapolated sum can undershoot zero by a rounding error where
         // the exact sum is non-negative.
         if let Some(weighted) = self.weighted_importance_fast(now) {
+            self.obs().counter("engine.density_fast_path", 1);
             return (weighted / self.capacity().as_bytes() as f64).clamp(0.0, 1.0);
         }
+        self.obs().counter("engine.density_full_scan", 1);
         let weighted: f64 = self
             .iter()
             .map(|o| o.size().as_bytes() as f64 * o.current_importance(now).value())

@@ -321,6 +321,12 @@ impl EngineIndex {
         self.entries.len()
     }
 
+    /// Number of pending curve breakpoints — the depth of the index's
+    /// event queue, reported as an observability gauge.
+    pub(crate) fn events_len(&self) -> usize {
+        self.events.len()
+    }
+
     /// True when every breakpoint at or before `now` has been processed.
     pub(crate) fn events_processed_through(&self, now: SimTime) -> bool {
         self.events

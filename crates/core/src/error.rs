@@ -1,11 +1,124 @@
 //! Error types for the temporal-importance core library.
 
-use std::error::Error;
+use std::error::Error as StdError;
 use std::fmt;
 
 use sim_core::ByteSize;
 
-use crate::{Importance, ObjectId};
+use crate::{FairStoreError, Importance, ObjectId};
+
+/// The consolidated error hierarchy for the whole workspace.
+///
+/// Each operation still returns its precise error type (`StoreError`,
+/// `RejuvenateError`, …) so callers who match on variants lose nothing;
+/// this umbrella exists for callers who thread heterogeneous failures
+/// through one `Result` — experiment drivers, the filesystem layer, and
+/// downstream users of the `tempimp` facade. Sibling crates fold their own
+/// error types in through [`Error::External`] (besteffs placement,
+/// workload traces, tifs), so `?` converts end to end.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{ByteSize, SimTime};
+/// use temporal_importance::{Error, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit};
+///
+/// fn fill(unit: &mut StorageUnit) -> Result<(), Error> {
+///     let spec = ObjectSpec::new(
+///         ObjectId::new(1),
+///         ByteSize::from_mib(10),
+///         ImportanceCurve::Persistent,
+///     );
+///     unit.store(spec, SimTime::ZERO)?; // StoreError -> Error
+///     Ok(())
+/// }
+///
+/// let mut unit = StorageUnit::new(ByteSize::from_mib(100));
+/// assert!(fill(&mut unit).is_ok());
+/// assert!(matches!(fill(&mut unit), Err(Error::Store(_))));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An importance value outside `[0, 1]`.
+    Importance(ImportanceError),
+    /// An invalid importance-curve specification.
+    Curve(CurveError),
+    /// A store request the unit could not satisfy.
+    Store(StoreError),
+    /// A failed rejuvenation request.
+    Rejuvenate(RejuvenateError),
+    /// A fair-share admission failure.
+    FairStore(FairStoreError),
+    /// An error from a crate layered on top of this one (placement,
+    /// workload parsing, filesystem), carried without this crate having to
+    /// know its type.
+    External(Box<dyn StdError + Send + Sync + 'static>),
+}
+
+impl Error {
+    /// Wraps an error from a higher layer. Sibling crates use this in
+    /// their `From` impls; applications can call it directly.
+    pub fn external(error: impl StdError + Send + Sync + 'static) -> Self {
+        Error::External(Box::new(error))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Importance(e) => e.fmt(f),
+            Error::Curve(e) => e.fmt(f),
+            Error::Store(e) => e.fmt(f),
+            Error::Rejuvenate(e) => e.fmt(f),
+            Error::FairStore(e) => e.fmt(f),
+            Error::External(e) => e.fmt(f),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Importance(e) => Some(e),
+            Error::Curve(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Rejuvenate(e) => Some(e),
+            Error::FairStore(e) => Some(e),
+            Error::External(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<ImportanceError> for Error {
+    fn from(e: ImportanceError) -> Self {
+        Error::Importance(e)
+    }
+}
+
+impl From<CurveError> for Error {
+    fn from(e: CurveError) -> Self {
+        Error::Curve(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
+impl From<RejuvenateError> for Error {
+    fn from(e: RejuvenateError) -> Self {
+        Error::Rejuvenate(e)
+    }
+}
+
+impl From<FairStoreError> for Error {
+    fn from(e: FairStoreError) -> Self {
+        Error::FairStore(e)
+    }
+}
 
 /// An importance value outside the valid `[0, 1]` range.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +144,7 @@ impl fmt::Display for ImportanceError {
     }
 }
 
-impl Error for ImportanceError {}
+impl StdError for ImportanceError {}
 
 /// An invalid importance-curve specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +191,7 @@ impl fmt::Display for CurveError {
     }
 }
 
-impl Error for CurveError {}
+impl StdError for CurveError {}
 
 /// A store request that the unit could not satisfy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,7 +252,7 @@ impl fmt::Display for StoreError {
     }
 }
 
-impl Error for StoreError {}
+impl StdError for StoreError {}
 
 /// A failed re-annotation (rejuvenation) request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,13 +285,13 @@ impl fmt::Display for RejuvenateError {
     }
 }
 
-impl Error for RejuvenateError {}
+impl StdError for RejuvenateError {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn assert_error<E: Error + Send + Sync + 'static>() {}
+    fn assert_error<E: StdError + Send + Sync + 'static>() {}
 
     #[test]
     fn error_types_are_well_behaved() {
@@ -186,6 +299,24 @@ mod tests {
         assert_error::<CurveError>();
         assert_error::<StoreError>();
         assert_error::<RejuvenateError>();
+        assert_error::<Error>();
+    }
+
+    #[test]
+    fn umbrella_error_preserves_message_and_source() {
+        let store = StoreError::DuplicateId(ObjectId::new(7));
+        let wrapped = Error::from(store.clone());
+        assert_eq!(wrapped.to_string(), store.to_string());
+        assert!(wrapped.source().is_some(), "source chain must survive");
+
+        let external = Error::external(CurveError::ZeroHalfLife);
+        assert!(matches!(external, Error::External(_)));
+        assert_eq!(external.to_string(), CurveError::ZeroHalfLife.to_string());
+        assert!(external
+            .source()
+            .unwrap()
+            .downcast_ref::<CurveError>()
+            .is_some());
     }
 
     #[test]

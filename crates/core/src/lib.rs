@@ -74,7 +74,7 @@ mod unit;
 pub use advisor::{Advisor, Forecast};
 pub use curve::{ImportanceCurve, PiecewiseCurve};
 pub use density::DensitySnapshot;
-pub use error::{CurveError, ImportanceError, RejuvenateError, StoreError};
+pub use error::{CurveError, Error, ImportanceError, RejuvenateError, StoreError};
 pub use fairness::{FairStore, FairStoreError, PrincipalId, PrincipalUsage};
 pub use importance::Importance;
 pub use object::{ObjectClass, ObjectId, ObjectIdGen, ObjectSpec, StoredObject};
@@ -82,7 +82,7 @@ pub use policy::EvictionPolicy;
 pub use records::{
     Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
 };
-pub use unit::StorageUnit;
+pub use unit::{StorageUnit, StorageUnitBuilder};
 
 #[cfg(test)]
 mod send_sync_tests {

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use serde::{Deserialize, Serialize};
-use sim_core::{ByteSize, SimTime};
+use sim_core::{ByteSize, Obs, SimTime};
 
 use crate::engine::EngineIndex;
 use crate::error::{RejuvenateError, StoreError};
@@ -61,6 +61,88 @@ pub struct StorageUnit {
     /// scanning all objects — the reference oracle for differential tests.
     #[serde(skip)]
     naive: bool,
+    /// Instrumentation handle. Never touches functional state: outcomes
+    /// are byte-identical with or without an observer attached.
+    /// Deserialized units come back silent (re-attach explicitly).
+    #[serde(skip)]
+    obs: Obs,
+}
+
+/// Builds a [`StorageUnit`], the single construction path for every
+/// configuration: policy, the naive scan oracle, record keeping, and the
+/// observability hook.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::ByteSize;
+/// use temporal_importance::{EvictionPolicy, StorageUnit};
+///
+/// let unit = StorageUnit::builder(ByteSize::from_gib(1))
+///     .policy(EvictionPolicy::Fifo)
+///     .recording(false)
+///     .build();
+/// assert_eq!(unit.policy(), EvictionPolicy::Fifo);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to create the unit"]
+pub struct StorageUnitBuilder {
+    capacity: ByteSize,
+    policy: EvictionPolicy,
+    naive: bool,
+    recording: bool,
+    obs: Option<Obs>,
+}
+
+impl StorageUnitBuilder {
+    /// Sets the eviction policy (default: [`EvictionPolicy::Preemptive`],
+    /// the paper's mechanism).
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// When true, the unit answers every query with full scans instead of
+    /// the incremental indexes — the executable specification of the
+    /// reclamation semantics, driven in lockstep with an indexed unit by
+    /// the differential tests. Every operation is `O(n)` or worse; not for
+    /// production use.
+    pub fn naive_oracle(mut self, naive: bool) -> Self {
+        self.naive = naive;
+        self
+    }
+
+    /// Enables or disables per-event eviction/rejection records (default:
+    /// on). Large multi-node simulations that only need aggregate
+    /// [`stats`](StorageUnit::stats) turn this off.
+    pub fn recording(mut self, recording: bool) -> Self {
+        self.recording = recording;
+        self
+    }
+
+    /// Attaches an explicit observer. Without this, the unit observes into
+    /// [`Obs::global`] — silent unless a global observer is installed.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Builds the unit, empty.
+    pub fn build(self) -> StorageUnit {
+        StorageUnit {
+            capacity: self.capacity,
+            used: ByteSize::ZERO,
+            policy: self.policy,
+            objects: BTreeMap::new(),
+            stats: UnitStats::default(),
+            evictions: Vec::new(),
+            rejections: Vec::new(),
+            recording: self.recording,
+            index: EngineIndex::default(),
+            naive: self.naive,
+            obs: self.obs.unwrap_or_else(Obs::global),
+        }
+    }
 }
 
 /// A preemption plan computed by [`StorageUnit::plan`].
@@ -110,39 +192,50 @@ fn eviction_key(object: &StoredObject, now: SimTime) -> EvictionKey {
 }
 
 impl StorageUnit {
-    /// Creates an empty unit with the paper's preemptive policy.
+    /// Creates an empty unit with the paper's preemptive policy —
+    /// shorthand for [`builder`](StorageUnit::builder) with defaults.
     pub fn new(capacity: ByteSize) -> Self {
-        StorageUnit::with_policy(capacity, EvictionPolicy::Preemptive)
+        StorageUnit::builder(capacity).build()
+    }
+
+    /// Starts building a unit of the given capacity. See
+    /// [`StorageUnitBuilder`] for the knobs.
+    pub fn builder(capacity: ByteSize) -> StorageUnitBuilder {
+        StorageUnitBuilder {
+            capacity,
+            policy: EvictionPolicy::Preemptive,
+            naive: false,
+            recording: true,
+            obs: None,
+        }
     }
 
     /// Creates an empty unit with an explicit eviction policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StorageUnit::builder(capacity).policy(policy).build()"
+    )]
     pub fn with_policy(capacity: ByteSize, policy: EvictionPolicy) -> Self {
-        StorageUnit {
-            capacity,
-            used: ByteSize::ZERO,
-            policy,
-            objects: BTreeMap::new(),
-            stats: UnitStats::default(),
-            evictions: Vec::new(),
-            rejections: Vec::new(),
-            recording: true,
-            index: EngineIndex::default(),
-            naive: false,
-        }
+        StorageUnit::builder(capacity).policy(policy).build()
     }
 
     /// Creates a unit that answers every query with full scans instead of
     /// the incremental indexes.
-    ///
-    /// The scan engine is the executable specification of the reclamation
-    /// semantics; differential tests drive it in lockstep with an indexed
-    /// unit and require identical outcomes. It is not meant for production
-    /// use — every operation is `O(n)` or worse.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StorageUnit::builder(capacity).policy(policy).naive_oracle(true).build()"
+    )]
     pub fn with_policy_naive(capacity: ByteSize, policy: EvictionPolicy) -> Self {
-        StorageUnit {
-            naive: true,
-            ..StorageUnit::with_policy(capacity, policy)
-        }
+        StorageUnit::builder(capacity)
+            .policy(policy)
+            .naive_oracle(true)
+            .build()
+    }
+
+    /// Redirects this unit's instrumentation to `obs` (e.g. to attach a
+    /// trace sink to an already-populated unit).
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Processes every curve breakpoint at or before `now`, bringing the
@@ -165,6 +258,8 @@ impl StorageUnit {
         } else {
             self.index.advance(&self.objects, now);
         }
+        self.obs
+            .gauge("engine.breakpoint_queue", self.index.events_len() as u64);
     }
 
     /// True when the index answers queries at `now` exactly: it covers all
@@ -259,6 +354,7 @@ impl StorageUnit {
     ///   is never returned for objects that fit in the unit at all.
     pub fn store(&mut self, spec: ObjectSpec, now: SimTime) -> Result<StoreOutcome, StoreError> {
         self.stats.stores_attempted += 1;
+        self.obs.counter("engine.stores", 1);
         if spec.size().is_zero() {
             return Err(StoreError::EmptyObject(spec.id()));
         }
@@ -282,6 +378,16 @@ impl StorageUnit {
                 reclaimable,
             } => {
                 self.stats.rejections_full += 1;
+                self.obs.counter("engine.rejections_full", 1);
+                self.obs.event(
+                    now,
+                    "engine.reject",
+                    &[
+                        ("id", spec.id().raw()),
+                        ("size", spec.size().as_bytes()),
+                        ("reclaimable", (self.free() + reclaimable).as_bytes()),
+                    ],
+                );
                 if self.recording {
                     self.rejections.push(RejectionRecord {
                         id: spec.id(),
@@ -300,6 +406,19 @@ impl StorageUnit {
             }
         };
 
+        self.obs.counter("engine.plans", 1);
+        self.obs
+            .record("engine.plan_victims", plan.victims.len() as u64);
+        self.obs.event(
+            now,
+            "engine.store",
+            &[
+                ("id", spec.id().raw()),
+                ("size", spec.size().as_bytes()),
+                ("victims", plan.victims.len() as u64),
+                ("freed", plan.freed.as_bytes()),
+            ],
+        );
         let mut evicted = Vec::with_capacity(plan.victims.len());
         for victim in plan.victims {
             let record = self.evict(victim, now, EvictionReason::Preempted);
@@ -330,6 +449,7 @@ impl StorageUnit {
     /// candidate units: it reports the *highest importance object that will
     /// be preempted* as the placement score.
     pub fn peek_admission(&self, size: ByteSize, incoming: Importance, now: SimTime) -> Admission {
+        self.obs.counter("engine.peeks", 1);
         if size.is_zero() || size > self.capacity {
             return Admission::TooLarge;
         }
@@ -376,6 +496,9 @@ impl StorageUnit {
                 .map(|o| o.id())
                 .collect()
         };
+        self.obs.counter("engine.sweeps", 1);
+        self.obs
+            .record("engine.sweep_reclaimed", expired.len() as u64);
         expired
             .into_iter()
             .map(|id| self.evict(id, now, EvictionReason::Expired))
@@ -449,9 +572,15 @@ impl StorageUnit {
         }
         self.used -= object.size();
         match reason {
-            EvictionReason::Preempted => self.stats.evictions_preempted += 1,
-            EvictionReason::Expired => self.stats.evictions_expired += 1,
-            EvictionReason::Removed => {}
+            EvictionReason::Preempted => {
+                self.stats.evictions_preempted += 1;
+                self.obs.counter("engine.evictions_preempted", 1);
+            }
+            EvictionReason::Expired => {
+                self.stats.evictions_expired += 1;
+                self.obs.counter("engine.evictions_expired", 1);
+            }
+            EvictionReason::Removed => self.obs.counter("engine.removals", 1),
         }
         self.stats.bytes_evicted += object.size().as_bytes();
         let record = EvictionRecord {
@@ -692,6 +821,12 @@ impl StorageUnit {
         }
     }
 
+    /// The unit's instrumentation handle, shared with the sibling modules
+    /// (density sampling) that extend `StorageUnit`.
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Fast-path weighted importance sum when the index is current for
     /// `now`; `None` sends the caller to the full scan.
     pub(crate) fn weighted_importance_fast(&self, now: SimTime) -> Option<f64> {
@@ -887,7 +1022,9 @@ mod tests {
 
     #[test]
     fn fifo_policy_never_rejects_and_evicts_oldest() {
-        let mut unit = StorageUnit::with_policy(mib(100), EvictionPolicy::Fifo);
+        let mut unit = StorageUnit::builder(mib(100))
+            .policy(EvictionPolicy::Fifo)
+            .build();
         for (i, t) in [(1u64, 0u64), (2, 5), (3, 10)] {
             unit.store(fixed_spec(i, mib(30), 1.0, 365), SimTime::from_days(t))
                 .unwrap();

@@ -91,6 +91,7 @@ pub struct DecayAblationRow {
 /// sooner loses its objects sooner. The rows report the shaped class
 /// only.
 pub fn decay_ablation(seed: u64, capacity: ByteSize, days: u64) -> Vec<DecayAblationRow> {
+    sim_core::Obs::global().counter("experiment.ablation_decay.runs", 1);
     const SHAPED: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(20);
     const COMPETITOR: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(21);
 
@@ -174,6 +175,7 @@ pub fn placement_ablation(
     nodes: usize,
     sweep: &[(usize, usize)],
 ) -> Vec<PlacementAblationRow> {
+    sim_core::Obs::global().counter("experiment.ablation_placement.runs", 1);
     sweep
         .iter()
         .map(|&(candidates, tries)| {
@@ -183,7 +185,9 @@ pub fn placement_ablation(
                 max_tries: tries,
                 walk_steps: 10,
             };
-            let mut cluster = Besteffs::new(nodes, ByteSize::from_mib(100), config, &mut rand);
+            let mut cluster = Besteffs::builder(nodes, ByteSize::from_mib(100))
+                .placement(config)
+                .build(&mut rand);
             // Pre-fill every node with ten 10-MiB objects of uniformly
             // random importance, so placements must preempt.
             let mut raw_id = 0u64;

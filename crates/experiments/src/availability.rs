@@ -94,9 +94,12 @@ impl AvailabilityRunResult {
 
 /// Runs the §5.3 workload under the configured availability schedule.
 pub fn run(config: AvailabilityRunConfig) -> AvailabilityRunResult {
+    sim_core::Obs::global().counter("experiment.availability.runs", 1);
     let base = &config.base;
     let mut rand: StdRng = rng::stream(base.seed, "university-placement");
-    let mut cluster = Besteffs::new(base.nodes, base.node_capacity, base.placement, &mut rand);
+    let mut cluster = Besteffs::builder(base.nodes, base.node_capacity)
+        .placement(base.placement)
+        .build(&mut rand);
     let mut directory = Directory::new();
     let horizon = SimTime::ZERO + SimDuration::YEAR.mul(base.years);
     // The churn stream is independent of the placement stream, so the

@@ -109,6 +109,7 @@ impl LectureRunResult {
 
 /// Runs the §5.2 experiment.
 pub fn run(config: LectureRunConfig) -> LectureRunResult {
+    sim_core::Obs::global().counter("experiment.lecture.runs", 1);
     let workload_cfg = LectureConfig {
         seed: config.seed,
         ..LectureConfig::default()
@@ -120,7 +121,7 @@ pub fn run(config: LectureRunConfig) -> LectureRunResult {
     } else {
         EvictionPolicy::Preemptive
     };
-    let mut unit = StorageUnit::with_policy(config.capacity, policy);
+    let mut unit = StorageUnit::builder(config.capacity).policy(policy).build();
     let mut ids = ObjectIdGen::new();
 
     let mut density = TimeSeries::new();

@@ -167,8 +167,11 @@ impl SingleClassResult {
 
 /// Runs the §5.1 experiment.
 pub fn run(config: SingleClassConfig) -> SingleClassResult {
+    sim_core::Obs::global().counter("experiment.single_class.runs", 1);
     let horizon = SimTime::from_days(config.days);
-    let mut unit = StorageUnit::with_policy(config.capacity, config.policy.eviction_policy());
+    let mut unit = StorageUnit::builder(config.capacity)
+        .policy(config.policy.eviction_policy())
+        .build();
     let mut ids = ObjectIdGen::new();
     let curve = config.policy.curve();
 

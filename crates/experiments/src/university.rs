@@ -110,13 +110,11 @@ impl UniversityRunResult {
 
 /// Runs the §5.3 experiment.
 pub fn run(config: UniversityRunConfig) -> UniversityRunResult {
+    sim_core::Obs::global().counter("experiment.university.runs", 1);
     let mut rand: StdRng = rng::stream(config.seed, "university-placement");
-    let mut cluster = Besteffs::new(
-        config.nodes,
-        config.node_capacity,
-        config.placement,
-        &mut rand,
-    );
+    let mut cluster = Besteffs::builder(config.nodes, config.node_capacity)
+        .placement(config.placement)
+        .build(&mut rand);
     let workload_cfg = UniversityConfig {
         seed: config.seed,
         ..UniversityConfig::default()

@@ -1,0 +1,360 @@
+//! The metrics registry: counters, high-watermark gauges, log₂ histograms.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use sim_core::observe::Observer;
+use sim_core::SimTime;
+
+use crate::report::{HistogramSummary, Snapshot};
+
+/// A log₂-bucketed histogram of `u64` magnitudes.
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i ≥ 1` holds the values
+/// in `[2^(i-1), 2^i)`. Sixty-five buckets therefore cover the whole `u64`
+/// range: victims-per-plan, walk hops, and reclaimed-byte magnitudes all
+/// land in the low buckets, but nothing ever falls off the top.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 2, 3, 4] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 10);
+/// assert_eq!(h.bucket_count(2), 2); // 2 and 3 share the [2, 4) bucket
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    /// Number of buckets: one for zero plus one per power of two.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; Histogram::BUCKETS],
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `(low, high)` value range of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Histogram::BUCKETS`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < Histogram::BUCKETS, "bucket {index} out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples recorded in bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Histogram::BUCKETS`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// The upper bound of the first bucket whose cumulative count reaches
+    /// the quantile `q` (clamped to `[0, 1]`), tightened by the observed
+    /// min/max. Zero when empty. Bucket-resolution, so at worst one power
+    /// of two above the true quantile — plenty for order-of-magnitude
+    /// reports, and exactly reproducible.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, high) = Self::bucket_range(i);
+                return high.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A compact copy for [`Snapshot`]s.
+    pub(crate) fn summarize(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A thread-safe registry of named metrics, usable as an [`Observer`].
+///
+/// Aggregation is strictly commutative — counters add, gauges keep their
+/// high watermark, histograms bucket-count — so totals are deterministic
+/// even when the parallel cluster sweeps emit from several threads at
+/// once. Names are `&'static str` by design: instrumentation sites name
+/// their metrics statically, and the registry never allocates per event.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    events: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking emitter only ever leaves a metric partially bumped,
+    // never structurally broken; keep counting.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Current value of a counter (zero if never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        locked(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// High watermark of a gauge (zero if never set).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        locked(&self.gauges).get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy of a histogram, if any samples were recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        locked(&self.histograms).get(name).cloned()
+    }
+
+    /// Number of trace events seen per kind (the registry counts events
+    /// rather than buffering them — attach a [`TraceSink`] for bodies).
+    ///
+    /// [`TraceSink`]: crate::TraceSink
+    pub fn event_count(&self, kind: &str) -> u64 {
+        locked(&self.events).get(kind).copied().unwrap_or(0)
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: locked(&self.counters)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: locked(&self.gauges)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: locked(&self.histograms)
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.summarize()))
+                .collect(),
+            events: locked(&self.events)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+impl Observer for MetricsRegistry {
+    fn counter(&self, name: &'static str, delta: u64) {
+        *locked(&self.counters).entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        let mut gauges = locked(&self.gauges);
+        let slot = gauges.entry(name).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    fn record(&self, name: &'static str, value: u64) {
+        locked(&self.histograms)
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn event(&self, _at: SimTime, kind: &'static str, _fields: &[(&'static str, u64)]) {
+        *locked(&self.events).entry(kind).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_the_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_u64_line() {
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(2), (2, 3));
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+        for i in 1..Histogram::BUCKETS {
+            let (low, high) = Histogram::bucket_range(i);
+            assert!(low <= high);
+            assert_eq!(Histogram::bucket_index(low), i);
+            assert_eq!(Histogram::bucket_index(high), i);
+            if i > 1 {
+                let (_, prev_high) = Histogram::bucket_range(i - 1);
+                assert_eq!(low, prev_high + 1, "gap below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_range_rejects_out_of_range_indexes() {
+        let _ = Histogram::bucket_range(Histogram::BUCKETS);
+    }
+
+    #[test]
+    fn histogram_edge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(64), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0, "empty min must not leak the sentinel");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 lands in the [32, 64) bucket, clamped by max=100.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 63);
+        assert_eq!(h.quantile(1.0), 100);
+        // A single-sample histogram answers that sample for any q.
+        let mut single = Histogram::new();
+        single.record(42);
+        assert_eq!(single.quantile(0.0), 42);
+        assert_eq!(single.quantile(0.5), 42);
+        assert_eq!(single.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn registry_aggregates_commutatively() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c", 2);
+        registry.counter("c", 3);
+        registry.gauge("g", 7);
+        registry.gauge("g", 4);
+        registry.record("h", 5);
+        registry.record("h", 9);
+        registry.event(SimTime::ZERO, "store", &[("id", 1)]);
+        registry.event(SimTime::from_minutes(1), "store", &[("id", 2)]);
+
+        assert_eq!(registry.counter_value("c"), 5);
+        assert_eq!(registry.gauge_value("g"), 7, "gauges keep the watermark");
+        let h = registry.histogram("h").unwrap();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 14, 5, 9));
+        assert_eq!(registry.event_count("store"), 2);
+        assert_eq!(registry.counter_value("absent"), 0);
+        assert_eq!(registry.gauge_value("absent"), 0);
+        assert!(registry.histogram("absent").is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Point-in-time metric snapshots and renderable per-phase reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compact copy of one histogram's aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (zero when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Bucket-resolution median.
+    pub p50: u64,
+    /// Bucket-resolution 99th percentile.
+    pub p99: u64,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], suitable for diffing
+/// against an earlier snapshot and rendering as a [`Report`].
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// High-watermark gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Trace-event counts by kind.
+    pub events: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// The change since `baseline`: counters and event counts subtract;
+    /// histogram counts and sums subtract while min/max/quantiles stay
+    /// cumulative (bucket contents are not carried in a snapshot); gauges
+    /// stay at their cumulative high watermark. Entries that did not move
+    /// are dropped, so a phase report shows only what the phase touched.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let diff = |current: &BTreeMap<String, u64>, base: &BTreeMap<String, u64>| {
+            current
+                .iter()
+                .filter_map(|(name, &value)| {
+                    let moved = value - base.get(name).copied().unwrap_or(0);
+                    (moved > 0).then(|| (name.clone(), moved))
+                })
+                .collect()
+        };
+        Snapshot {
+            counters: diff(&self.counters, &baseline.counters),
+            events: diff(&self.events, &baseline.events),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(name, &value)| value > baseline.gauges.get(*name).copied().unwrap_or(0))
+                .map(|(name, &value)| (name.clone(), value))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(name, summary)| {
+                    let base = baseline.histograms.get(name);
+                    let moved = summary.count - base.map_or(0, |b| b.count);
+                    (moved > 0).then(|| {
+                        let mut phase = *summary;
+                        phase.count = moved;
+                        phase.sum -= base.map_or(0, |b| b.sum);
+                        (name.clone(), phase)
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// True if nothing was observed (or nothing moved, for a delta).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+/// A titled snapshot rendered as an aligned, deterministic text block —
+/// what `repro` prints to stderr after each experiment phase.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{MetricsRegistry, Report};
+/// use sim_core::observe::Observer;
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter("engine.stores", 12);
+/// let report = Report::new("fig2", registry.snapshot());
+/// let text = report.to_string();
+/// assert!(text.contains("obs[fig2]"));
+/// assert!(text.contains("engine.stores"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    title: String,
+    snapshot: Snapshot,
+}
+
+impl Report {
+    /// A report titled `title` over `snapshot` (typically a phase delta).
+    pub fn new(title: impl Into<String>, snapshot: Snapshot) -> Self {
+        Report {
+            title: title.into(),
+            snapshot,
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.snapshot.is_empty() {
+            return writeln!(f, "obs[{}] nothing observed", self.title);
+        }
+        writeln!(f, "obs[{}]", self.title)?;
+        for (name, value) in &self.snapshot.counters {
+            writeln!(f, "  counter    {name:<34} {value:>14}")?;
+        }
+        for (name, value) in &self.snapshot.gauges {
+            writeln!(f, "  gauge(max) {name:<34} {value:>14}")?;
+        }
+        for (name, h) in &self.snapshot.histograms {
+            writeln!(
+                f,
+                "  histogram  {name:<34} {count:>14}  sum {sum}  min {min}  p50 {p50}  p99 {p99}  max {max}",
+                count = h.count,
+                sum = h.sum,
+                min = h.min,
+                p50 = h.p50,
+                p99 = h.p99,
+                max = h.max,
+            )?;
+        }
+        for (name, value) in &self.snapshot.events {
+            writeln!(f, "  events     {name:<34} {value:>14}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+    use sim_core::observe::Observer;
+    use sim_core::SimTime;
+
+    #[test]
+    fn delta_keeps_only_what_moved() {
+        let registry = MetricsRegistry::new();
+        registry.counter("stable", 5);
+        registry.counter("moving", 1);
+        registry.gauge("level", 10);
+        registry.record("sizes", 4);
+        registry.event(SimTime::ZERO, "tick", &[]);
+        let before = registry.snapshot();
+
+        registry.counter("moving", 2);
+        registry.gauge("level", 3); // below the watermark: no movement
+        registry.record("sizes", 8);
+        registry.event(SimTime::ZERO, "tick", &[]);
+        let delta = registry.snapshot().delta(&before);
+
+        assert_eq!(delta.counters.len(), 1);
+        assert_eq!(delta.counters["moving"], 2);
+        assert!(delta.gauges.is_empty(), "unmoved watermark dropped");
+        assert_eq!(delta.events["tick"], 1);
+        let h = delta.histograms["sizes"];
+        assert_eq!((h.count, h.sum), (1, 8));
+        assert_eq!((h.min, h.max), (4, 8), "min/max stay cumulative");
+        assert!(!delta.is_empty());
+        assert!(delta.delta(&delta).is_empty());
+    }
+
+    #[test]
+    fn reports_render_deterministically() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b.second", 2);
+        registry.counter("a.first", 1);
+        registry.gauge("depth", 9);
+        registry.record("hops", 3);
+        let report = Report::new("phase", registry.snapshot());
+        let text = report.to_string();
+        let again = Report::new("phase", registry.snapshot()).to_string();
+        assert_eq!(text, again);
+        let a = text.find("a.first").unwrap();
+        let b = text.find("b.second").unwrap();
+        assert!(a < b, "counters render in name order:\n{text}");
+        assert!(report.snapshot().counters.contains_key("a.first"));
+    }
+
+    #[test]
+    fn empty_reports_say_so() {
+        let report = Report::new("idle", Snapshot::default());
+        assert_eq!(report.to_string(), "obs[idle] nothing observed\n");
+    }
+}

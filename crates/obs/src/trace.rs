@@ -1,0 +1,201 @@
+//! Structured event traces keyed by simulated time, plus observer fanout.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sim_core::observe::Observer;
+use sim_core::SimTime;
+
+/// Captures [`Observer::event`]s as JSON Lines keyed by [`SimTime`].
+///
+/// Each event becomes one line of the form
+///
+/// ```text
+/// {"t":17,"kind":"engine.store","fields":{"id":42,"victims":1}}
+/// ```
+///
+/// where `t` is the simulated instant in minutes. Every value is an
+/// integer — the vendored `serde_json` is typed-only and floats format
+/// differently across build profiles, so the sink renders by hand and the
+/// byte stream is identical across runs, debug/release, and platforms, as
+/// long as events arrive in a deterministic order (i.e. from one thread;
+/// counters/gauges/histograms are the multi-thread-safe signals).
+///
+/// # Examples
+///
+/// ```
+/// use obs::TraceSink;
+/// use sim_core::{Obs, SimTime};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(TraceSink::new());
+/// let obs = Obs::attached(sink.clone());
+/// obs.event(SimTime::from_minutes(5), "engine.store", &[("id", 7)]);
+/// # #[cfg(not(feature = "obs-off"))]
+/// assert_eq!(
+///     sink.to_jsonl(),
+///     "{\"t\":5,\"kind\":\"engine.store\",\"fields\":{\"id\":7}}\n"
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    lines: Mutex<TraceBuf>,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    text: String,
+    count: usize,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// The captured trace as one JSONL string.
+    pub fn to_jsonl(&self) -> String {
+        self.buf().text.clone()
+    }
+
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.buf().count
+    }
+
+    /// True if no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn buf(&self) -> std::sync::MutexGuard<'_, TraceBuf> {
+        self.lines.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Observer for TraceSink {
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+    fn gauge(&self, _name: &'static str, _value: u64) {}
+    fn record(&self, _name: &'static str, _value: u64) {}
+
+    fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+        debug_assert!(
+            !kind.contains(['"', '\\']) && fields.iter().all(|(k, _)| !k.contains(['"', '\\'])),
+            "event kinds and field names are static identifiers; escaping is not supported"
+        );
+        let mut buf = self.buf();
+        let line = &mut buf.text;
+        write!(
+            line,
+            "{{\"t\":{},\"kind\":\"{kind}\",\"fields\":{{",
+            at.as_minutes()
+        )
+        .expect("write to String");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            let comma = if i == 0 { "" } else { "," };
+            write!(line, "{comma}\"{key}\":{value}").expect("write to String");
+        }
+        line.push_str("}}\n");
+        buf.count += 1;
+    }
+}
+
+/// Forwards every emission to each of a list of observers — e.g. a
+/// [`MetricsRegistry`] for totals *and* a [`TraceSink`] for the event
+/// stream, behind one handle.
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Observer>>,
+}
+
+impl Fanout {
+    /// A fanout over `sinks`, forwarded to in order.
+    pub fn new(sinks: Vec<Arc<dyn Observer>>) -> Self {
+        Fanout { sinks }
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Observer for Fanout {
+    fn counter(&self, name: &'static str, delta: u64) {
+        for sink in &self.sinks {
+            sink.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        for sink in &self.sinks {
+            sink.gauge(name, value);
+        }
+    }
+
+    fn record(&self, name: &'static str, value: u64) {
+        for sink in &self.sinks {
+            sink.record(name, value);
+        }
+    }
+
+    fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+        for sink in &self.sinks {
+            sink.event(at, kind, fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn events_render_as_stable_jsonl() {
+        let sink = TraceSink::new();
+        sink.event(SimTime::from_minutes(3), "a", &[]);
+        sink.event(SimTime::from_days(1), "b", &[("x", 1), ("y", 2)]);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(
+            sink.to_jsonl(),
+            "{\"t\":3,\"kind\":\"a\",\"fields\":{}}\n\
+             {\"t\":1440,\"kind\":\"b\",\"fields\":{\"x\":1,\"y\":2}}\n"
+        );
+    }
+
+    #[test]
+    fn non_event_signals_are_ignored() {
+        let sink = TraceSink::new();
+        sink.counter("c", 1);
+        sink.gauge("g", 2);
+        sink.record("h", 3);
+        assert!(sink.is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = Arc::new(TraceSink::new());
+        let fanout = Fanout::new(vec![registry.clone(), trace.clone()]);
+        fanout.counter("c", 4);
+        fanout.gauge("g", 9);
+        fanout.record("h", 2);
+        fanout.event(SimTime::ZERO, "e", &[("n", 1)]);
+
+        assert_eq!(registry.counter_value("c"), 4);
+        assert_eq!(registry.gauge_value("g"), 9);
+        assert_eq!(registry.histogram("h").unwrap().count(), 1);
+        assert_eq!(registry.event_count("e"), 1);
+        assert_eq!(trace.len(), 1);
+        assert!(format!("{fanout:?}").contains("sinks: 2"));
+    }
+}

@@ -1,5 +1,6 @@
 //! A minimal discrete-event simulation driver.
 
+use crate::observe::Obs;
 use crate::{EventQueue, SimTime};
 
 /// Drives an [`EventQueue`] forward, tracking the current simulated clock.
@@ -33,15 +34,24 @@ use crate::{EventQueue, SimTime};
 pub struct Simulation<E> {
     queue: EventQueue<E>,
     now: SimTime,
+    obs: Obs,
 }
 
 impl<E> Simulation<E> {
     /// Creates a simulation starting at the epoch with no pending events.
+    /// Observes into the global observer (if one is installed); use
+    /// [`set_observer`](Simulation::set_observer) to redirect.
     pub fn new() -> Self {
         Simulation {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            obs: Obs::global(),
         }
+    }
+
+    /// Redirects this driver's instrumentation to `obs`.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The current simulated instant.
@@ -66,12 +76,16 @@ impl<E> Simulation<E> {
             now = self.now
         );
         self.queue.push(at, event);
+        self.obs
+            .gauge("sim.pending_events", self.queue.len() as u64);
     }
 
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn schedule_after(&mut self, delay: crate::SimDuration, event: E) {
         let at = self.now + delay;
         self.queue.push(at, event);
+        self.obs
+            .gauge("sim.pending_events", self.queue.len() as u64);
     }
 
     /// Runs until the queue drains, invoking `handler` for each event.
@@ -84,6 +98,7 @@ impl<E> Simulation<E> {
     {
         while let Some((at, event)) = self.queue.pop() {
             self.now = at;
+            self.obs.counter("sim.events_dispatched", 1);
             handler(self, at, event);
         }
     }
@@ -96,6 +111,7 @@ impl<E> Simulation<E> {
     {
         while let Some((at, event)) = self.queue.pop_due(deadline) {
             self.now = at;
+            self.obs.counter("sim.events_dispatched", 1);
             handler(self, at, event);
         }
         if deadline > self.now {

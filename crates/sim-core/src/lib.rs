@@ -36,10 +36,39 @@ mod queue;
 mod time;
 
 pub mod driver;
+pub mod observe;
 pub mod rng;
 pub mod schedule;
 
 pub use bytes::ByteSize;
 pub use driver::Simulation;
+pub use observe::{Obs, Observer};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};
+
+#[cfg(test)]
+mod manifest_guard {
+    /// `sim-core` is the workspace's dependency-free foundation: the
+    /// observability layer was deliberately designed as a trait in
+    /// `observe` so that no metrics implementation leaks down here. This
+    /// guard fails the build the moment someone adds a dependency, the
+    /// same way a `cargo deny` bans list would.
+    #[test]
+    fn dependency_set_is_frozen() {
+        let manifest = include_str!("../Cargo.toml");
+        let deps: Vec<&str> = manifest
+            .lines()
+            .skip_while(|l| l.trim() != "[dependencies]")
+            .skip(1)
+            .take_while(|l| !l.trim().starts_with('['))
+            .filter_map(|l| l.split_once(['.', ' ', '=']).map(|(name, _)| name.trim()))
+            .filter(|name| !name.is_empty() && !name.starts_with('#'))
+            .collect();
+        assert_eq!(
+            deps,
+            ["rand", "serde"],
+            "sim-core must stay dependency-free beyond the vendored rand/serde; \
+             put new functionality in a crate that depends on sim-core instead"
+        );
+    }
+}

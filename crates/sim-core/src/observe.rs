@@ -1,0 +1,304 @@
+//! Zero-cost observability hooks for the simulation substrate.
+//!
+//! Every layer of the workspace (engine, cluster, experiments) wants the
+//! same thing from instrumentation: named counters, high-watermark gauges,
+//! magnitude histograms, and a structured event stream keyed by simulated
+//! time — never wall-clock, so traces stay byte-reproducible. This module
+//! defines the [`Observer`] trait those layers emit into and the cheap
+//! [`Obs`] handle they hold, without pulling any metrics implementation
+//! into `sim-core` (the concrete registry and trace sinks live in the
+//! `obs` crate, which depends on this one — not the other way round).
+//!
+//! # Zero cost when disabled
+//!
+//! With the `obs-off` cargo feature enabled, [`Obs`] compiles down to a
+//! unit struct and every emission method to an empty inline body, so
+//! instrumented hot paths carry no branch, no load, and no extra struct
+//! bytes. Downstream crates forward the feature (`obs-off =
+//! ["sim-core/obs-off"]`) rather than sprinkling their own `cfg`s: this
+//! module is the only place in the workspace that mentions the feature.
+//!
+//! # Determinism contract
+//!
+//! Observers must never feed back into simulation state: implementations
+//! only aggregate. Emission sites must never consult an RNG or branch on
+//! whether an observer is attached — results with and without observation
+//! are byte-identical by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::observe::{Obs, Observer};
+//! use sim_core::SimTime;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! #[derive(Debug, Default)]
+//! struct CountStores(AtomicU64);
+//!
+//! impl Observer for CountStores {
+//!     fn counter(&self, name: &'static str, delta: u64) {
+//!         if name == "engine.stores" {
+//!             self.0.fetch_add(delta, Ordering::Relaxed);
+//!         }
+//!     }
+//!     fn gauge(&self, _name: &'static str, _value: u64) {}
+//!     fn record(&self, _name: &'static str, _value: u64) {}
+//!     fn event(&self, _at: SimTime, _kind: &'static str, _fields: &[(&'static str, u64)]) {}
+//! }
+//!
+//! let sink = Arc::new(CountStores::default());
+//! let obs = Obs::attached(sink.clone());
+//! obs.counter("engine.stores", 2);
+//! # #[cfg(not(feature = "obs-off"))]
+//! assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::SimTime;
+
+/// A sink for instrumentation emitted by simulation components.
+///
+/// All methods take `&self`: observers are shared (usually behind an
+/// [`Arc`]) between components and, in the parallel cluster sweeps,
+/// between threads. Implementations must therefore be internally
+/// synchronized, and — to keep multi-threaded runs deterministic — should
+/// aggregate only commutatively (sums, maxima, bucket counts).
+pub trait Observer: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &'static str, delta: u64);
+
+    /// Reports an instantaneous level for the named gauge. Aggregators
+    /// should keep the high watermark: maxima are order-independent, so
+    /// gauges stay deterministic even when threads race.
+    fn gauge(&self, name: &'static str, value: u64);
+
+    /// Records one sample into the named magnitude histogram.
+    fn record(&self, name: &'static str, value: u64);
+
+    /// Emits a structured trace event at simulated instant `at`.
+    ///
+    /// Field values are plain `u64`s (counts, byte sizes, raw ids,
+    /// minutes) precisely so serialized traces cannot pick up
+    /// float-formatting differences between build profiles.
+    fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]);
+}
+
+#[cfg(not(feature = "obs-off"))]
+static GLOBAL: std::sync::OnceLock<Arc<dyn Observer>> = std::sync::OnceLock::new();
+
+/// Installs the process-wide default observer picked up by [`Obs::global`].
+///
+/// Components constructed through the builder APIs observe into the global
+/// sink unless given an explicit observer, so a binary (like `repro`)
+/// instruments every unit and cluster it creates with one call at startup.
+/// Follows the `log::set_logger` model: first install wins. Returns
+/// `false` if an observer was already installed — or always, under the
+/// `obs-off` feature, where the global slot does not exist.
+pub fn set_global_observer(observer: Arc<dyn Observer>) -> bool {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        GLOBAL.set(observer).is_ok()
+    }
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = observer;
+        false
+    }
+}
+
+/// A cheap, cloneable handle to an optional [`Observer`].
+///
+/// This is what instrumented components store and call. A handle is either
+/// attached to a sink or silent; every emission method is a no-op on a
+/// silent handle, and under the `obs-off` feature the handle holds no data
+/// at all and the methods compile to nothing.
+#[derive(Clone, Default)]
+pub struct Obs {
+    #[cfg(not(feature = "obs-off"))]
+    inner: Option<Arc<dyn Observer>>,
+}
+
+impl Obs {
+    /// A silent handle: every emission is a no-op.
+    pub fn none() -> Obs {
+        Obs::default()
+    }
+
+    /// A handle attached to `observer`. Under `obs-off` the observer is
+    /// dropped and the handle is silent.
+    pub fn attached(observer: Arc<dyn Observer>) -> Obs {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            Obs {
+                inner: Some(observer),
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = observer;
+            Obs {}
+        }
+    }
+
+    /// A handle attached to the observer registered with
+    /// [`set_global_observer`], or a silent handle if none is installed.
+    /// Captures the global at call time: components built before the
+    /// install stay silent.
+    pub fn global() -> Obs {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            Obs {
+                inner: GLOBAL.get().cloned(),
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            Obs {}
+        }
+    }
+
+    /// True if emissions reach an observer.
+    pub fn is_enabled(&self) -> bool {
+        self.sink().is_some()
+    }
+
+    #[inline]
+    fn sink(&self) -> Option<&Arc<dyn Observer>> {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.inner.as_ref()
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            None
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(sink) = self.sink() {
+            sink.counter(name, delta);
+        }
+    }
+
+    /// Reports a level for the named high-watermark gauge.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if let Some(sink) = self.sink() {
+            sink.gauge(name, value);
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    #[inline]
+    pub fn record(&self, name: &'static str, value: u64) {
+        if let Some(sink) = self.sink() {
+            sink.record(name, value);
+        }
+    }
+
+    /// Emits a structured trace event keyed by simulated time.
+    #[inline]
+    pub fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+        if let Some(sink) = self.sink() {
+            sink.event(at, kind, fields);
+        }
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Mutex<Vec<String>>,
+    }
+
+    impl Observer for Recorder {
+        fn counter(&self, name: &'static str, delta: u64) {
+            self.seen.lock().unwrap().push(format!("c {name} {delta}"));
+        }
+        fn gauge(&self, name: &'static str, value: u64) {
+            self.seen.lock().unwrap().push(format!("g {name} {value}"));
+        }
+        fn record(&self, name: &'static str, value: u64) {
+            self.seen.lock().unwrap().push(format!("h {name} {value}"));
+        }
+        fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+            self.seen
+                .lock()
+                .unwrap()
+                .push(format!("e {kind}@{} {fields:?}", at.as_minutes()));
+        }
+    }
+
+    #[test]
+    fn silent_handles_swallow_everything() {
+        let obs = Obs::none();
+        assert!(!obs.is_enabled());
+        obs.counter("a", 1);
+        obs.gauge("b", 2);
+        obs.record("c", 3);
+        obs.event(SimTime::ZERO, "d", &[("x", 4)]);
+    }
+
+    #[test]
+    fn attached_handles_forward_in_order() {
+        let recorder = Arc::new(Recorder::default());
+        let obs = Obs::attached(recorder.clone());
+        obs.counter("a", 1);
+        obs.gauge("b", 2);
+        obs.record("c", 3);
+        obs.event(SimTime::from_minutes(7), "store", &[("victims", 2)]);
+
+        let seen = recorder.seen.lock().unwrap();
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert!(obs.is_enabled());
+            assert_eq!(
+                *seen,
+                vec![
+                    "c a 1".to_string(),
+                    "g b 2".to_string(),
+                    "h c 3".to_string(),
+                    "e store@7 [(\"victims\", 2)]".to_string(),
+                ]
+            );
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            assert!(!obs.is_enabled());
+            assert!(seen.is_empty());
+        }
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let recorder = Arc::new(Recorder::default());
+        let obs = Obs::attached(recorder.clone());
+        let copy = obs.clone();
+        copy.counter("shared", 5);
+        #[cfg(not(feature = "obs-off"))]
+        assert_eq!(recorder.seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn debug_shows_enablement_not_contents() {
+        let text = format!("{:?}", Obs::none());
+        assert!(text.contains("enabled: false"), "{text}");
+    }
+}

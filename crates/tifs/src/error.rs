@@ -89,6 +89,12 @@ impl From<RejuvenateError> for FsError {
     }
 }
 
+impl From<FsError> for temporal_importance::Error {
+    fn from(e: FsError) -> Self {
+        temporal_importance::Error::external(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

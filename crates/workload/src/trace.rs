@@ -59,6 +59,12 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+impl From<TraceError> for temporal_importance::Error {
+    fn from(e: TraceError) -> Self {
+        temporal_importance::Error::external(e)
+    }
+}
+
 /// Writes arrivals as JSON lines.
 ///
 /// # Errors

@@ -3,14 +3,17 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use temporal_reclaim::{
-    ByteSize, Importance, ImportanceCurve, ObjectIdGen, ObjectSpec, SimDuration, SimTime,
-    StorageUnit,
-};
+use std::sync::Arc;
+
+use temporal_reclaim::tempimp::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A 10 GiB storage unit using the paper's preemptive policy.
-    let mut unit = StorageUnit::new(ByteSize::from_gib(10));
+    // A 10 GiB storage unit using the paper's preemptive policy, with a
+    // metrics registry attached so we can see what the engine did.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut unit = StorageUnit::builder(ByteSize::from_gib(10))
+        .observer(Obs::attached(metrics.clone()))
+        .build();
     let mut ids = ObjectIdGen::new();
 
     // The paper's §5.1 two-step annotation: "the object is definitely
@@ -83,5 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|i| i.to_string())
             .unwrap_or_else(|| "n/a".into())
     );
+
+    // Everything the engine did, straight from the observability layer
+    // (compile with `--features obs-off` and this report is empty, at
+    // zero runtime cost).
+    println!("\n{}", Report::new("quickstart", metrics.snapshot()));
     Ok(())
 }

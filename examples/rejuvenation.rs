@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example rejuvenation`
 
-use temporal_reclaim::{
-    ByteSize, Importance, ImportanceCurve, ObjectId, ObjectSpec, SimDuration, SimTime, StorageUnit,
-};
+use temporal_reclaim::tempimp::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut unit = StorageUnit::new(ByteSize::from_gib(4));

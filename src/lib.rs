@@ -11,7 +11,25 @@
 //! * [`analysis`] — CDFs, time series, the Palimpsest time-constant
 //!   estimator.
 //! * [`experiments`] — drivers regenerating every paper table and figure.
+//! * [`obs`] — the zero-cost observability layer (metrics, event traces,
+//!   per-phase reports); compiled out entirely by the `obs-off` feature.
 //! * [`sim`](sim_core) — simulated time, byte sizes, event queues.
+//!
+//! Most programs only need the [`tempimp`] prelude:
+//!
+//! ```
+//! use temporal_reclaim::tempimp::*;
+//!
+//! let mut unit = StorageUnit::builder(ByteSize::from_gib(1)).build();
+//! let curve = ImportanceCurve::two_step(
+//!     Importance::FULL,
+//!     SimDuration::from_days(15),
+//!     SimDuration::from_days(15),
+//! );
+//! let spec = ObjectSpec::new(ObjectId::new(0), ByteSize::from_mib(700), curve);
+//! unit.store(spec, SimTime::ZERO)?;
+//! # Ok::<(), Error>(())
+//! ```
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -20,6 +38,7 @@
 pub use analysis;
 pub use besteffs;
 pub use experiments;
+pub use obs;
 pub use sim_core as sim;
 pub use temporal_importance as core;
 pub use tifs;
@@ -29,3 +48,21 @@ pub use sim_core::{ByteSize, SimDuration, SimTime};
 pub use temporal_importance::{
     EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen, ObjectSpec, StorageUnit,
 };
+
+pub mod tempimp {
+    //! The curated prelude: one `use` for the types almost every program
+    //! needs, spanning the engine, the distributed store, and the
+    //! observability layer.
+    //!
+    //! ```
+    //! use temporal_reclaim::tempimp::*;
+    //! ```
+
+    pub use besteffs::{Besteffs, ClusterBuilder, Directory, PlacementConfig};
+    pub use obs::{MetricsRegistry, Obs, Report, Snapshot, TraceSink};
+    pub use sim_core::{rng, ByteSize, SimDuration, SimTime};
+    pub use temporal_importance::{
+        Error, EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen, ObjectSpec,
+        StorageUnit, StorageUnitBuilder,
+    };
+}

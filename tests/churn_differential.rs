@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use temporal_reclaim::besteffs::churn::{AvailabilitySchedule, ChurnDriver, ChurnSchedule};
 use temporal_reclaim::besteffs::{
-    Besteffs, ChurnEventKind, Directory, NodeId, ObjectName, Overlay, PlacementConfig,
+    Besteffs, ChurnEventKind, Directory, NodeId, ObjectName, Overlay,
 };
 use temporal_reclaim::core::{ImportanceCurve, ObjectId, ObjectSpec};
 use temporal_reclaim::sim::rng;
@@ -80,12 +80,7 @@ proptest! {
         flips in proptest::collection::vec((0usize..FLEET, 0u64..30), 1..40),
     ) {
         let mut rand = rng::stream(seed, "churn-placement");
-        let mut cluster = Besteffs::new(
-            FLEET,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let mut cluster = Besteffs::builder(FLEET, ByteSize::from_mib(100)).build(&mut rand);
         let mut directory = Directory::new();
         let mut next_id = 0u64;
         let mut now = SimTime::ZERO;
@@ -192,12 +187,7 @@ fn run_slicing_differential(
 
     let build = |label: &str| {
         let mut rand = rng::stream(seed, label);
-        let cluster = Besteffs::new(
-            FLEET,
-            ByteSize::from_mib(200),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = Besteffs::builder(FLEET, ByteSize::from_mib(200)).build(&mut rand);
         (cluster, rand)
     };
     // Identical label → identical overlay and placement stream on both

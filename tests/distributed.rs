@@ -29,12 +29,7 @@ fn two_step_spec(ids: &mut ObjectIdGen, mib: u64, importance: f64) -> ObjectSpec
 #[test]
 fn cluster_fullness_is_importance_relative() {
     let mut rand = rng::seeded(SEED);
-    let mut cluster = Besteffs::new(
-        30,
-        ByteSize::from_gib(1),
-        PlacementConfig::default(),
-        &mut rand,
-    );
+    let mut cluster = Besteffs::builder(30, ByteSize::from_gib(1)).build(&mut rand);
     let mut ids = ObjectIdGen::new();
 
     // Saturate with mid-importance data.
@@ -69,16 +64,13 @@ fn cluster_fullness_is_importance_relative() {
 #[test]
 fn placement_score_matches_eviction_outcome() {
     let mut rand = rng::seeded(SEED + 1);
-    let mut cluster = Besteffs::new(
-        10,
-        ByteSize::from_mib(500),
-        PlacementConfig {
+    let mut cluster = Besteffs::builder(10, ByteSize::from_mib(500))
+        .placement(PlacementConfig {
             candidates_per_try: 5,
             max_tries: 2,
             walk_steps: 6,
-        },
-        &mut rand,
-    );
+        })
+        .build(&mut rand);
     let mut ids = ObjectIdGen::new();
     for _ in 0..60 {
         let _ = cluster.place(two_step_spec(&mut ids, 100, 0.4), SimTime::ZERO, &mut rand);
@@ -100,12 +92,7 @@ fn placement_score_matches_eviction_outcome() {
 #[test]
 fn node_failures_mid_run() {
     let mut rand = rng::seeded(SEED + 2);
-    let mut cluster = Besteffs::new(
-        20,
-        ByteSize::from_gib(1),
-        PlacementConfig::default(),
-        &mut rand,
-    );
+    let mut cluster = Besteffs::builder(20, ByteSize::from_gib(1)).build(&mut rand);
     let mut ids = ObjectIdGen::new();
     let mut directory = Directory::new();
 

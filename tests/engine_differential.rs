@@ -1,8 +1,8 @@
 //! Differential test of the indexed incremental engine against the naive
 //! scan-everything oracle.
 //!
-//! `StorageUnit::with_policy` runs on the event-queue/eviction-index
-//! engine; `StorageUnit::with_policy_naive` re-derives every decision by
+//! the indexed unit runs on the event-queue/eviction-index
+//! engine; the `naive_oracle(true)` unit re-derives every decision by
 //! scanning all residents. Arbitrary operation sequences — stores with
 //! every curve family, removals, rejuvenations, demotions, expiry sweeps,
 //! admission probes and clock advances at non-decreasing times — must
@@ -126,8 +126,11 @@ fn run_differential(script: Vec<(u64, Op)>, policy: EvictionPolicy) {
     // Small capacity versus the size range above keeps the unit under
     // constant preemption pressure.
     let capacity = ByteSize::from_mib(96);
-    let mut indexed = StorageUnit::with_policy(capacity, policy);
-    let mut naive = StorageUnit::with_policy_naive(capacity, policy);
+    let mut indexed = StorageUnit::builder(capacity).policy(policy).build();
+    let mut naive = StorageUnit::builder(capacity)
+        .policy(policy)
+        .naive_oracle(true)
+        .build();
     let mut now = SimTime::ZERO;
     let mut minted: Vec<ObjectId> = Vec::new();
     let mut next_id = 0u64;

@@ -181,7 +181,9 @@ proptest! {
     fn fifo_never_full_and_evicts_oldest(
         ops in proptest::collection::vec(1u64..500, 1..60),
     ) {
-        let mut unit = StorageUnit::with_policy(ByteSize::from_mib(1_000), EvictionPolicy::Fifo);
+        let mut unit = StorageUnit::builder(ByteSize::from_mib(1_000))
+            .policy(EvictionPolicy::Fifo)
+            .build();
         let mut day = 0u64;
         for (i, mib) in ops.into_iter().enumerate() {
             day += 1;

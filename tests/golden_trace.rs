@@ -1,0 +1,101 @@
+//! Golden trace: the engine's structured event stream is byte-stable.
+//!
+//! The observability contract (DESIGN.md §3.3) promises that a
+//! [`TraceSink`] attached to a seeded simulation produces a *byte
+//! identical* JSONL stream on every run, on every platform, in every
+//! build profile — events are keyed by simulated time (never wall-clock)
+//! and carry only integer fields. This test pins that contract two ways:
+//! two in-process runs must agree with each other, and both must agree
+//! with the committed `tests/golden/engine_trace.jsonl`.
+//!
+//! Regenerate the golden file (only after an intentional trace change)
+//! with `BLESS_GOLDEN_TRACE=1 cargo test --test golden_trace`.
+
+#![cfg(not(feature = "obs-off"))]
+
+use std::sync::Arc;
+
+use rand::Rng;
+use temporal_reclaim::tempimp::*;
+
+const SEED: u64 = 4242;
+const RESIDENTS: u64 = 1_000;
+const CHURN_STORES: u64 = 256;
+
+fn mixed_spec(rng: &mut impl Rng, id: u64) -> ObjectSpec {
+    let mib = rng.gen_range(1..=4);
+    let curve = match id % 3 {
+        0 => ImportanceCurve::two_step(
+            Importance::new(rng.gen_range(0.2..=1.0)).unwrap(),
+            SimDuration::from_days(rng.gen_range(5..40)),
+            SimDuration::from_days(rng.gen_range(5..40)),
+        ),
+        1 => ImportanceCurve::Fixed {
+            importance: Importance::new(rng.gen_range(0.1..0.9)).unwrap(),
+            expiry: SimDuration::from_days(rng.gen_range(10..90)),
+        },
+        _ => ImportanceCurve::fixed_lifetime(SimDuration::from_days(rng.gen_range(20..60))),
+    };
+    ObjectSpec::new(ObjectId::new(id), ByteSize::from_mib(mib), curve)
+}
+
+/// Fills a unit to steady state, then traces a burst of churn stores.
+/// The sink attaches only after the fill so the golden file stays small.
+fn trace_run() -> String {
+    let mut rand = rng::seeded(SEED);
+    let mut unit = StorageUnit::builder(ByteSize::from_mib(2_000))
+        .recording(false)
+        .build();
+    for id in 0..RESIDENTS {
+        let _ = unit.store(mixed_spec(&mut rand, id), SimTime::ZERO);
+    }
+
+    let sink = Arc::new(TraceSink::new());
+    unit.set_observer(Obs::attached(sink.clone()));
+    for k in 0..CHURN_STORES {
+        let now = SimTime::from_days(30 + k / 8);
+        unit.advance(now);
+        let _ = unit.store(mixed_spec(&mut rand, RESIDENTS + k), now);
+    }
+    sink.to_jsonl()
+}
+
+#[test]
+fn engine_trace_is_byte_reproducible() {
+    let first = trace_run();
+    let second = trace_run();
+    assert!(!first.is_empty(), "the churn burst must emit events");
+    assert_eq!(first, second, "two identical runs must trace identically");
+
+    if std::env::var_os("BLESS_GOLDEN_TRACE").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/engine_trace.jsonl"
+            ),
+            &first,
+        )
+        .expect("write golden trace");
+        return;
+    }
+    let golden = include_str!("golden/engine_trace.jsonl");
+    assert_eq!(
+        first, golden,
+        "trace diverged from tests/golden/engine_trace.jsonl; if the \
+         change is intentional, re-bless with BLESS_GOLDEN_TRACE=1"
+    );
+}
+
+#[test]
+fn trace_lines_are_valid_shape() {
+    let trace = trace_run();
+    for line in trace.lines() {
+        assert!(line.starts_with("{\"t\":"), "line {line:?}");
+        assert!(line.ends_with("}}"), "line {line:?}");
+        assert!(
+            line.contains("\"kind\":\"engine.store\"")
+                || line.contains("\"kind\":\"engine.reject\""),
+            "unexpected event kind in {line:?}"
+        );
+    }
+}
