@@ -14,10 +14,12 @@
 //! `--out PATH` redirects the report (CI measures into a scratch file and
 //! gates it against the committed baseline with `bench_gate`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench_harness::{incoming_spec, mixed_unit, mixed_unit_naive};
-use sim_core::{ByteSize, SimTime};
+use obs::{Fanout, MetricsRegistry, Obs, Observer, SeriesRecorder, TraceSink};
+use sim_core::{ByteSize, SimDuration, SimTime};
 use temporal_importance::{Importance, StorageUnit};
 
 const RESIDENT_COUNTS: [u64; 2] = [10_000, 100_000];
@@ -39,6 +41,14 @@ fn main() {
         cases.push(run_case("peek_admission", residents, peek_admission_ns));
         cases.push(run_case("density_sampling", residents, density_sampling_ns));
     }
+    // Observability overhead: the same churn loop behind the full sink
+    // stack. One fixture size is enough to watch the trend against the
+    // plain `store_churn` row.
+    cases.push(run_case(
+        "store_churn_observed",
+        10_000,
+        store_churn_observed_ns,
+    ));
 
     // The vendored serde_json exposes only typed (de)serialization, so the
     // report is rendered by hand.
@@ -106,6 +116,46 @@ fn store_churn_ns(mut unit: StorageUnit, residents: u64) -> f64 {
 
     // Preempting the whole fixture would leave only unpreemptible
     // full-importance residents; stay well inside the pool.
+    let ops = calibrated_ops(first, residents / 2);
+    let start = Instant::now();
+    for _ in 0..ops {
+        next_id += 1;
+        minute += 1;
+        do_store(&mut unit, next_id, minute);
+    }
+    start.elapsed().as_nanos() as f64 / ops as f64
+}
+
+/// `store_churn` with the full observability stack attached — a metrics
+/// registry, a daily series recorder, and a trace sink fanned out behind
+/// one handle. This is the instrumented cost `bench_gate` watches; under
+/// `obs-off` the attach compiles to nothing and this case collapses to
+/// `store_churn`, which is the zero-cost claim made measurable. The sink
+/// drains after calibration so the measured window pays steady-state
+/// buffer growth, not reallocation of a cold one.
+fn store_churn_observed_ns(mut unit: StorageUnit, residents: u64) -> f64 {
+    let registry = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(SeriesRecorder::new(SimDuration::DAY));
+    recorder.track_counter("engine.stores");
+    recorder.track_events("engine.evict", "importance_ppm", &[]);
+    let sink = Arc::new(TraceSink::new());
+    let sinks: Vec<Arc<dyn Observer>> = vec![registry, recorder, sink.clone()];
+    unit.set_observer(Obs::attached(Arc::new(Fanout::new(sinks))));
+
+    let mut next_id = residents;
+    let mut minute = 0u64;
+    let do_store = |unit: &mut StorageUnit, id: u64, minute: u64| {
+        unit.store(incoming_spec(id, 10), SimTime::from_minutes(minute))
+            .expect("churn store preempts one victim");
+    };
+
+    let start = Instant::now();
+    next_id += 1;
+    minute += 1;
+    do_store(&mut unit, next_id, minute);
+    let first = start.elapsed().as_nanos() as f64;
+    let _ = sink.take_jsonl();
+
     let ops = calibrated_ops(first, residents / 2);
     let start = Instant::now();
     for _ in 0..ops {

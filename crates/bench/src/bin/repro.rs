@@ -3,30 +3,40 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--seed N] [--quick] [--json DIR] [EXPERIMENT...]
+//! repro [--seed N] [--quick] [--json DIR] [--series DIR] [--prom FILE] [EXPERIMENT...]
 //! repro --list
 //! ```
 //!
 //! With no experiment arguments, all of them run in paper order. `--quick`
 //! shortens the simulated horizons (CI-friendly); the default horizons
 //! match the figures in the paper. `--json DIR` additionally dumps each
-//! report's tables as CSV files into DIR.
+//! report's tables as CSV files into DIR. `--series DIR` attaches a
+//! [`obs::SeriesRecorder`] and dumps every captured time series (density
+//! samples, per-node cluster trajectories, …) as per-experiment CSVs into
+//! DIR; `--prom FILE` writes the final registry and series state in the
+//! Prometheus text exposition format.
 //!
 //! A process-global [`obs::MetricsRegistry`] is installed at startup;
 //! after each experiment the delta of engine/cluster counters goes to
 //! **stderr**, so the frozen stdout (`repro_output.txt`, `results/*.csv`)
-//! stays byte-identical while humans still get per-phase telemetry.
+//! stays byte-identical while humans still get per-phase telemetry. The
+//! series recorder only ever *reads* the same integer events the trace
+//! layer sees, so it cannot perturb stdout either.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use experiments::figures::{self, FigureReport};
 use experiments::DEFAULT_SEED;
-use obs::Report;
+use obs::{Observer, Report, SeriesRecorder};
+use sim_core::SimDuration;
 
 struct Options {
     seed: u64,
     quick: bool,
     json_dir: Option<String>,
+    series_dir: Option<String>,
+    prom_file: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -77,9 +87,32 @@ fn main() -> ExitCode {
 
     // Every unit/cluster built from here on reports into this registry
     // (unless compiled with `obs-off`, in which case it stays silent).
-    let metrics = obs::install_global_registry();
+    // With `--series` the registry shares the stream with a series
+    // recorder through a fan-out.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    let recorder = options.series_dir.as_ref().map(|_| {
+        let recorder = Arc::new(SeriesRecorder::new(SimDuration::DAY));
+        recorder.track_counter("engine.stores");
+        recorder.track_counter("cluster.placements");
+        recorder.track_events("density.sample", "density_ppm", &["gib", "policy"]);
+        recorder.track_events("cluster.density", "density_ppm", &[]);
+        recorder.track_events("cluster.node", "density_ppm", &["node"]);
+        recorder
+    });
+    let mut sinks: Vec<Arc<dyn Observer>> = vec![registry.clone()];
+    if let Some(recorder) = &recorder {
+        sinks.push(recorder.clone());
+    }
+    let metrics = obs::set_global_observer(Arc::new(obs::Fanout::new(sinks))).then_some(registry);
 
-    for id in &ids {
+    for (index, id) in ids.iter().enumerate() {
+        // One series bundle per experiment: start each one (after the
+        // first) from a clean clock so trajectories never interleave.
+        if index > 0 {
+            if let Some(recorder) = &recorder {
+                recorder.reset();
+            }
+        }
         let phase_start = metrics.as_ref().map(|m| m.snapshot());
         let report = match run_experiment(id, &options) {
             Some(report) => report,
@@ -103,6 +136,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let (Some(dir), Some(recorder)) = (&options.series_dir, &recorder) {
+            if let Err(e) = dump_series(dir, id, recorder) {
+                eprintln!("failed to write series for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &options.prom_file {
+        let mut text = metrics
+            .as_ref()
+            .map(|m| m.snapshot().render_prometheus())
+            .unwrap_or_default();
+        if let Some(recorder) = &recorder {
+            text.push_str(&recorder.render_prometheus());
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -112,6 +164,8 @@ fn parse_args() -> Result<Options, String> {
         seed: DEFAULT_SEED,
         quick: false,
         json_dir: None,
+        series_dir: None,
+        prom_file: None,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -127,6 +181,12 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 options.json_dir = Some(args.next().ok_or("--json needs a directory")?);
             }
+            "--series" => {
+                options.series_dir = Some(args.next().ok_or("--series needs a directory")?);
+            }
+            "--prom" => {
+                options.prom_file = Some(args.next().ok_or("--prom needs a file path")?);
+            }
             "--list" => {
                 println!("{}", ALL_EXPERIMENTS.join("\n"));
                 println!("{}", EXTRA_EXPERIMENTS.join("\n"));
@@ -134,7 +194,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--seed N] [--quick] [--json DIR] [EXPERIMENT...]\n       repro --list"
+                    "usage: repro [--seed N] [--quick] [--json DIR] [--series DIR] [--prom FILE] [EXPERIMENT...]\n       repro --list"
                 );
                 std::process::exit(0);
             }
@@ -184,12 +244,26 @@ fn run_experiment(id: &str, options: &Options) -> Option<FigureReport> {
 fn dump_csv(dir: &str, report: &FigureReport) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (index, (name, table)) in report.tables.iter().enumerate() {
-        let slug: String = name
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = format!("{dir}/{}_{index}_{slug}.csv", report.id);
+        let path = format!("{dir}/{}_{index}_{}.csv", report.id, slug(name));
         std::fs::write(path, table.to_csv())?;
     }
     Ok(())
+}
+
+/// Writes every series the recorder captured during `experiment` as
+/// `DIR/<experiment>__<series>.csv` (slugged; one value column keyed by
+/// simulated minutes).
+fn dump_series(dir: &str, experiment: &str, recorder: &SeriesRecorder) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, csv) in recorder.dump_csvs() {
+        let path = format!("{dir}/{}__{}.csv", slug(experiment), slug(&name));
+        std::fs::write(path, csv)?;
+    }
+    Ok(())
+}
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }

@@ -188,8 +188,12 @@ mod tests {
         // The gate must keep understanding the real committed artifact.
         let committed = include_str!("../../../BENCH_engine.json");
         let cases = parse_report(committed).unwrap();
-        assert_eq!(cases.len(), 6, "committed baseline has 6 cases");
+        assert_eq!(cases.len(), 7, "committed baseline has 7 cases");
         assert!(cases.iter().all(|c| c.indexed_ns_per_op > 0.0));
+        assert!(
+            cases.iter().any(|c| c.case == "store_churn_observed"),
+            "the observability-overhead case must stay in the baseline"
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod golden;
+
 use sim_core::{ByteSize, SimDuration, SimTime};
 use temporal_importance::{
     EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,

@@ -530,6 +530,7 @@ impl Besteffs {
         now: SimTime,
         rng: &mut R,
     ) -> Result<PlacementOutcome, PlacementError> {
+        let _span = self.obs.span("span.cluster.place");
         if self.live_nodes() == 0 {
             return Err(PlacementError::NoLiveNodes);
         }
@@ -606,6 +607,7 @@ impl Besteffs {
     ///
     /// [`importance_density`]: Besteffs::importance_density
     pub fn advance(&mut self, now: SimTime) {
+        let _span = self.obs.span("span.cluster.advance");
         if self.units.len() < PARALLEL_THRESHOLD {
             for (i, unit) in self.units.iter_mut().enumerate() {
                 if self.alive[i] {
@@ -639,6 +641,7 @@ impl Besteffs {
     /// worker threads; records are merged in node order either way, so
     /// the result does not depend on the execution strategy.
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
+        let _span = self.obs.span("span.cluster.sweep");
         if self.units.len() < PARALLEL_THRESHOLD {
             let mut out = Vec::new();
             for (i, unit) in self.units.iter_mut().enumerate() {
@@ -735,6 +738,56 @@ impl Besteffs {
             per_chunk.into_iter().flatten().sum()
         };
         weighted / capacity
+    }
+
+    /// Samples the cluster into the observer and returns the cluster-wide
+    /// density (the same value as [`importance_density`]).
+    ///
+    /// Emits one `cluster.node` event per node (density, occupancy, and
+    /// liveness — dead nodes report zeros) followed by a single
+    /// `cluster.density` rollup. Fractions are scaled to parts-per-million
+    /// so traces stay integer-only. Emission always runs sequentially in
+    /// node order, even on fleets large enough that the density *reads*
+    /// fan out to worker threads, so traces are byte-identical regardless
+    /// of fleet size.
+    ///
+    /// [`importance_density`]: Besteffs::importance_density
+    pub fn observe_density(&self, now: SimTime) -> f64 {
+        let density = self.importance_density(now);
+        if !self.obs.is_enabled() {
+            return density;
+        }
+        let ppm = |fraction: f64| (fraction * 1e6).round() as u64;
+        for (i, unit) in self.units.iter().enumerate() {
+            let live = self.alive[i];
+            let (node_density, node_used) = if live {
+                (
+                    unit.importance_density(now),
+                    unit.used().ratio(unit.capacity()),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            self.obs.event(
+                now,
+                "cluster.node",
+                &[
+                    ("node", i as u64),
+                    ("density_ppm", ppm(node_density)),
+                    ("used_ppm", ppm(node_used)),
+                    ("live", live as u64),
+                ],
+            );
+        }
+        let used = self
+            .used()
+            .ratio(self.capacity().max(ByteSize::from_bytes(1)));
+        self.obs.event(
+            now,
+            "cluster.density",
+            &[("density_ppm", ppm(density)), ("used_ppm", ppm(used))],
+        );
+        density
     }
 
     /// Locates the live node storing `id`, if any (directory-service

@@ -34,7 +34,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use sim_core::{SimDuration, SimTime};
+use sim_core::{Obs, SimDuration, SimTime};
 
 use crate::curve::SegmentForm;
 use crate::{ImportanceCurve, ObjectId, StoredObject};
@@ -373,12 +373,21 @@ impl EngineIndex {
     }
 
     /// Processes every breakpoint due at or before `now` and advances the
-    /// clock. `objects` must contain exactly the indexed objects.
-    pub(crate) fn advance(&mut self, objects: &BTreeMap<ObjectId, StoredObject>, now: SimTime) {
+    /// clock. `objects` must contain exactly the indexed objects. Each
+    /// processed breakpoint is reported to `obs` as an `engine.breakpoint`
+    /// event keyed by the breakpoint's own instant, so traces expose an
+    /// object's full importance-curve lifecycle.
+    pub(crate) fn advance(
+        &mut self,
+        objects: &BTreeMap<ObjectId, StoredObject>,
+        now: SimTime,
+        obs: &Obs,
+    ) {
         if now <= self.clock {
             return;
         }
-        while let Some((&(t, id), _)) = self.events.range(..=(now, ObjectId::new(u64::MAX))).next()
+        while let Some((&(t, id), &kind)) =
+            self.events.range(..=(now, ObjectId::new(u64::MAX))).next()
         {
             self.density.integrate_to(t);
             self.clock = t;
@@ -390,6 +399,14 @@ impl EngineIndex {
             let object = objects.get(&id).expect("event for missing object");
             self.unregister(id);
             self.register(object);
+            obs.event(
+                t,
+                "engine.breakpoint",
+                &[
+                    ("id", id.raw()),
+                    ("finalize", (kind == EventKind::Finalize) as u64),
+                ],
+            );
         }
         self.density.integrate_to(now);
         self.clock = now;

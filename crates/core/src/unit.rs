@@ -256,7 +256,7 @@ impl StorageUnit {
         if self.index.len() != self.objects.len() {
             self.index.rebuild(&self.objects, now);
         } else {
-            self.index.advance(&self.objects, now);
+            self.index.advance(&self.objects, now, &self.obs);
         }
         self.obs
             .gauge("engine.breakpoint_queue", self.index.events_len() as u64);
@@ -486,6 +486,7 @@ impl StorageUnit {
     /// [`used`](StorageUnit::used) meaningful for dashboards and mirrors
     /// the delete-optimized grouping of Douglis et al. that §2 discusses.
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
+        let _span = self.obs.span("span.engine.sweep");
         self.advance(now);
         let expired: Vec<ObjectId> = if self.index_fresh(now) {
             self.index.expired_ids(now)
@@ -593,6 +594,22 @@ impl StorageUnit {
             requested_expiry: object.curve().expiry(),
             reason,
         };
+        self.obs.event(
+            now,
+            "engine.evict",
+            &[
+                ("id", record.id.raw()),
+                ("size", record.size.as_bytes()),
+                // 0 = preempted, 1 = expired, 2 = removed.
+                ("reason", reason as u64),
+                // Importance is a unit-interval float; ppm keeps the trace
+                // integer-only without losing plot-resolution precision.
+                (
+                    "importance_ppm",
+                    (record.importance_at_eviction.value() * 1e6).round() as u64,
+                ),
+            ],
+        );
         if self.recording {
             self.evictions.push(record.clone());
         }

@@ -92,6 +92,7 @@ pub struct DecayAblationRow {
 /// only.
 pub fn decay_ablation(seed: u64, capacity: ByteSize, days: u64) -> Vec<DecayAblationRow> {
     sim_core::Obs::global().counter("experiment.ablation_decay.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.ablation_decay");
     const SHAPED: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(20);
     const COMPETITOR: temporal_importance::ObjectClass = temporal_importance::ObjectClass::new(21);
 
@@ -176,6 +177,7 @@ pub fn placement_ablation(
     sweep: &[(usize, usize)],
 ) -> Vec<PlacementAblationRow> {
     sim_core::Obs::global().counter("experiment.ablation_placement.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.ablation_placement");
     sweep
         .iter()
         .map(|&(candidates, tries)| {

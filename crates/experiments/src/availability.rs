@@ -95,6 +95,7 @@ impl AvailabilityRunResult {
 /// Runs the §5.3 workload under the configured availability schedule.
 pub fn run(config: AvailabilityRunConfig) -> AvailabilityRunResult {
     sim_core::Obs::global().counter("experiment.availability.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.availability");
     let base = &config.base;
     let mut rand: StdRng = rng::stream(base.seed, "university-placement");
     let mut cluster = Besteffs::builder(base.nodes, base.node_capacity)

@@ -90,7 +90,7 @@ fn merged_table(
 
 /// Figure 2: storage requirements over one year of §5.1 arrivals.
 pub fn fig2(seed: u64) -> FigureReport {
-    observe_figure("fig2");
+    let _span = observe_figure("fig2");
     let gen = RampedArrivals::paper(seed);
     let mut sampled = TimeSeries::new();
     let mut acc = 0.0;
@@ -160,7 +160,7 @@ where
 /// Figure 3: lifetimes achieved (monthly mean, days) under the three
 /// policies, at 80 and 120 GiB.
 pub fn fig3(seed: u64, days: u64) -> FigureReport {
-    observe_figure("fig3");
+    let _span = observe_figure("fig3");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -203,7 +203,7 @@ pub fn fig3(seed: u64, days: u64) -> FigureReport {
 
 /// Figure 4: requests turned down because of full storage (monthly count).
 pub fn fig4(seed: u64, days: u64) -> FigureReport {
-    observe_figure("fig4");
+    let _span = observe_figure("fig4");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -318,7 +318,7 @@ fn time_constant_table(
 
 /// Figure 5: the Palimpsest time constant analyzed every hour/day/month.
 pub fn fig5(seed: u64, days: u64) -> FigureReport {
-    observe_figure("fig5");
+    let _span = observe_figure("fig5");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     // The estimator needs only the arrival stream; reuse the temporal run.
@@ -343,7 +343,7 @@ pub fn fig5(seed: u64, days: u64) -> FigureReport {
 
 /// Figure 6: instantaneous storage importance density over time.
 pub fn fig6(seed: u64, days: u64) -> FigureReport {
-    observe_figure("fig6");
+    let _span = observe_figure("fig6");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -370,7 +370,7 @@ pub fn fig6(seed: u64, days: u64) -> FigureReport {
 /// Figure 7: CDF of stored-byte importance at an instant when the density
 /// is ≈0.8369.
 pub fn fig7(seed: u64, days: u64) -> FigureReport {
-    observe_figure("fig7");
+    let _span = observe_figure("fig7");
     let mut cfg = SingleClassConfig::paper(seed, 80, PolicyChoice::TemporalImportance);
     cfg.days = days;
     cfg.snapshot_density = Some(0.8369);
@@ -414,7 +414,7 @@ pub fn fig7(seed: u64, days: u64) -> FigureReport {
 
 /// Table 1: lifetimes for the lecture capture system.
 pub fn table1() -> FigureReport {
-    observe_figure("table1");
+    let _span = observe_figure("table1");
     let mut table = Table::new(vec![
         "term",
         "term begin (doy)",
@@ -439,7 +439,7 @@ pub fn table1() -> FigureReport {
 
 /// Figure 8: number of lecture downloads per day (synthetic model).
 pub fn fig8(seed: u64) -> FigureReport {
-    observe_figure("fig8");
+    let _span = observe_figure("fig8");
     let model = DownloadModel {
         seed,
         ..DownloadModel::default()
@@ -466,7 +466,7 @@ pub fn fig8(seed: u64) -> FigureReport {
 
 /// Figure 9: lifetimes achieved in the lecture scenario, by creator class.
 pub fn fig9(seed: u64, years: u64) -> FigureReport {
-    observe_figure("fig9");
+    let _span = observe_figure("fig9");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -533,7 +533,7 @@ pub fn fig9(seed: u64, years: u64) -> FigureReport {
 
 /// Figure 10: importance at reclamation for university objects.
 pub fn fig10(seed: u64, years: u64) -> FigureReport {
-    observe_figure("fig10");
+    let _span = observe_figure("fig10");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -580,7 +580,7 @@ pub fn fig10(seed: u64, years: u64) -> FigureReport {
 
 /// Figure 11: time constant in the lecture scenario.
 pub fn fig11(seed: u64, years: u64) -> FigureReport {
-    observe_figure("fig11");
+    let _span = observe_figure("fig11");
     let mut cfg = LectureRunConfig::paper(seed, 80);
     cfg.years = years;
     let result = lecture::run(cfg);
@@ -602,7 +602,7 @@ pub fn fig11(seed: u64, years: u64) -> FigureReport {
 
 /// Figure 12: storage importance density in the lecture scenario.
 pub fn fig12(seed: u64, years: u64) -> FigureReport {
-    observe_figure("fig12");
+    let _span = observe_figure("fig12");
     let mut tables = Vec::new();
     let mut notes = Vec::new();
     for capacity in CAPACITIES_GIB {
@@ -631,7 +631,7 @@ pub fn fig12(seed: u64, years: u64) -> FigureReport {
 
 /// §5.3: the university-wide capture summary.
 pub fn sec53(seed: u64, years: u64, scale: usize) -> FigureReport {
-    observe_figure("sec53");
+    let _span = observe_figure("sec53");
     let mut table = Table::new(vec![
         "per-node",
         "nodes",
@@ -695,7 +695,7 @@ pub fn sec53(seed: u64, years: u64, scale: usize) -> FigureReport {
 /// fail and rejoin nodes, at 0/1/5/10% daily churn. Reports loss rate,
 /// delivered density, live fraction, and placement retry inflation.
 pub fn availability(seed: u64, years: u64, scale: usize) -> FigureReport {
-    observe_figure("availability");
+    let _span = observe_figure("availability");
     const DAILY_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
     let mut table = Table::new(vec![
         "daily churn",
@@ -765,7 +765,7 @@ pub fn availability(seed: u64, years: u64, scale: usize) -> FigureReport {
 
 /// Decay-shape ablation (§3's open choice of wane function).
 pub fn ablate_decay(seed: u64, days: u64) -> FigureReport {
-    observe_figure("ablate_decay");
+    let _span = observe_figure("ablate_decay");
     let rows = decay_ablation(seed, ByteSize::from_gib(80), days);
     let mut table = Table::new(vec![
         "shape",
@@ -801,7 +801,7 @@ pub fn ablate_decay(seed: u64, days: u64) -> FigureReport {
 
 /// Placement-parameter ablation (§5.3's x and m).
 pub fn ablate_placement(seed: u64) -> FigureReport {
-    observe_figure("ablate_placement");
+    let _span = observe_figure("ablate_placement");
     let sweep = [(1, 1), (2, 1), (4, 1), (8, 1), (8, 3), (16, 3)];
     let rows = placement_ablation(seed, 60, &sweep);
     let mut table = Table::new(vec![
@@ -828,7 +828,7 @@ pub fn ablate_placement(seed: u64) -> FigureReport {
 
 /// §6 extension: the sensor node's trigger-driven importance lifecycle.
 pub fn sec6_sensor(seed: u64) -> FigureReport {
-    observe_figure("sec6_sensor");
+    let _span = observe_figure("sec6_sensor");
     use crate::sensor::{self, SensorRunConfig};
     use workload::sensor::SensorConfig;
 
@@ -897,7 +897,7 @@ pub fn sec6_sensor(seed: u64) -> FigureReport {
 /// §1 extension: per-principal fairness budgets over importance-weighted
 /// bytes.
 pub fn fairness(seed: u64) -> FigureReport {
-    observe_figure("fairness");
+    let _span = observe_figure("fairness");
     use rand::Rng;
     use sim_core::rng;
     use temporal_importance::{
@@ -973,7 +973,7 @@ pub fn fairness(seed: u64) -> FigureReport {
 
 /// §5.1.2 extension: the annotation advisor closing the feedback loop.
 pub fn advisor(seed: u64, days: u64) -> FigureReport {
-    observe_figure("advisor");
+    let _span = observe_figure("advisor");
     use temporal_importance::{Advisor, Forecast, Importance, ImportanceCurve};
 
     // Take the §5.1 temporal-importance run and consult the advisor at a
@@ -1060,7 +1060,7 @@ pub fn advisor(seed: u64, days: u64) -> FigureReport {
 /// Follow-up study (§1): simultaneous different applications sharing one
 /// storage unit.
 pub fn mixed_apps(seed: u64, days: u64) -> FigureReport {
-    observe_figure("mixed_apps");
+    let _span = observe_figure("mixed_apps");
     use crate::mixed::{self, MixedRunConfig};
 
     let result = mixed::run(MixedRunConfig {
@@ -1109,7 +1109,7 @@ pub fn mixed_apps(seed: u64, days: u64) -> FigureReport {
 /// §5.1.2's "wake up later than necessary" risk, quantified: forecast
 /// quality of the Palimpsest time constant by analysis window and history.
 pub fn predictability(seed: u64, days: u64) -> FigureReport {
-    observe_figure("predictability");
+    let _span = observe_figure("predictability");
     use analysis::predict::rolling_mean_report;
 
     let mut cfg = SingleClassConfig::paper(seed, 80, PolicyChoice::TemporalImportance);
@@ -1170,11 +1170,14 @@ pub fn predictability(seed: u64, days: u64) -> FigureReport {
 /// Counts figure regenerations in the process-global observer (a no-op
 /// unless a registry is installed; compiled out under `obs-off`). The
 /// figure id doubles as the metric name, so `repro`'s per-phase report
-/// shows exactly which figures ran.
-fn observe_figure(id: &'static str) {
+/// shows exactly which figures ran. The returned span times the figure's
+/// whole body under the same id — bind it with `let _span = ...` so it
+/// drops when the figure function returns.
+fn observe_figure(id: &'static str) -> sim_core::Span {
     let obs = sim_core::Obs::global();
     obs.counter("experiment.figures", 1);
     obs.counter(id, 1);
+    obs.span(id)
 }
 
 #[cfg(test)]

@@ -110,6 +110,7 @@ impl LectureRunResult {
 /// Runs the §5.2 experiment.
 pub fn run(config: LectureRunConfig) -> LectureRunResult {
     sim_core::Obs::global().counter("experiment.lecture.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.lecture");
     let workload_cfg = LectureConfig {
         seed: config.seed,
         ..LectureConfig::default()

@@ -157,6 +157,7 @@ impl MixedRunResult {
 /// Runs the mixed-application experiment.
 pub fn run(config: MixedRunConfig) -> MixedRunResult {
     sim_core::Obs::global().counter("experiment.mixed.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.mixed");
     let mut rand = sim_core::rng::stream(config.seed, "mixed-apps");
     let mut unit = StorageUnit::new(config.capacity);
     let mut ids = ObjectIdGen::new();

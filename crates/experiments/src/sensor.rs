@@ -75,6 +75,7 @@ enum Event {
 /// Runs the sensor-node simulation.
 pub fn run(config: SensorRunConfig) -> SensorRunResult {
     sim_core::Obs::global().counter("experiment.sensor.runs", 1);
+    let _span = sim_core::Obs::global().span("span.experiment.sensor");
     let mut rand: StdRng = rng::stream(config.sensor.seed, "sensor-run");
     let mut unit = StorageUnit::new(config.capacity);
     let mut ids = ObjectIdGen::new();

@@ -62,6 +62,17 @@ impl PolicyChoice {
         }
     }
 
+    /// Stable integer code for trace events (`policy` field), in the
+    /// paper's presentation order: 0 = no-importance, 1 =
+    /// temporal-importance, 2 = palimpsest.
+    pub fn code(self) -> u64 {
+        match self {
+            PolicyChoice::NoImportance => 0,
+            PolicyChoice::TemporalImportance => 1,
+            PolicyChoice::Palimpsest => 2,
+        }
+    }
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -167,7 +178,10 @@ impl SingleClassResult {
 
 /// Runs the §5.1 experiment.
 pub fn run(config: SingleClassConfig) -> SingleClassResult {
-    sim_core::Obs::global().counter("experiment.single_class.runs", 1);
+    let obs = sim_core::Obs::global();
+    obs.counter("experiment.single_class.runs", 1);
+    let mut span = obs.span("span.experiment.single_class");
+    let gib = config.capacity.as_bytes() >> 30;
     let horizon = SimTime::from_days(config.days);
     let mut unit = StorageUnit::builder(config.capacity)
         .policy(config.policy.eviction_policy())
@@ -189,8 +203,21 @@ pub fn run(config: SingleClassConfig) -> SingleClassResult {
         // Sample state up to the arrival instant.
         while next_sample <= arrival.at {
             unit.advance(next_sample);
-            density.push(next_sample, unit.importance_density(next_sample));
-            used_fraction.push(next_sample, unit.used().ratio(unit.capacity()));
+            let d = unit.importance_density(next_sample);
+            let used = unit.used().ratio(unit.capacity());
+            density.push(next_sample, d);
+            used_fraction.push(next_sample, used);
+            span.sim_to(next_sample);
+            obs.event(
+                next_sample,
+                "density.sample",
+                &[
+                    ("gib", gib),
+                    ("policy", config.policy.code()),
+                    ("density_ppm", (d * 1e6).round() as u64),
+                    ("used_ppm", (used * 1e6).round() as u64),
+                ],
+            );
             next_sample += config.sample_every;
         }
 

@@ -110,7 +110,9 @@ impl UniversityRunResult {
 
 /// Runs the §5.3 experiment.
 pub fn run(config: UniversityRunConfig) -> UniversityRunResult {
-    sim_core::Obs::global().counter("experiment.university.runs", 1);
+    let obs = sim_core::Obs::global();
+    obs.counter("experiment.university.runs", 1);
+    let mut span = obs.span("span.experiment.university");
     let mut rand: StdRng = rng::stream(config.seed, "university-placement");
     let mut cluster = Besteffs::builder(config.nodes, config.node_capacity)
         .placement(config.placement)
@@ -132,7 +134,10 @@ pub fn run(config: UniversityRunConfig) -> UniversityRunResult {
     for arrival in UniversityCapture::new(workload_cfg, config.years) {
         while next_sample <= arrival.at {
             cluster.advance(next_sample);
-            density.push(next_sample, cluster.importance_density(next_sample));
+            // `observe_density` also emits per-node `cluster.node` events
+            // and a `cluster.density` rollup when an observer is attached.
+            density.push(next_sample, cluster.observe_density(next_sample));
+            span.sim_to(next_sample);
             next_sample += config.sample_every;
         }
         offered_bytes += arrival.size.as_bytes();

@@ -47,17 +47,20 @@
 
 mod registry;
 mod report;
+mod series;
 mod trace;
+pub mod tracefile;
 
 pub use registry::{Histogram, MetricsRegistry};
-pub use report::{Report, Snapshot};
+pub use report::{HistogramSummary, Report, Snapshot, SpanSummary};
+pub use series::SeriesRecorder;
 pub use trace::{Fanout, TraceSink};
 
 use std::sync::Arc;
 
 // Re-exported so downstream users get the whole observability surface from
 // one crate: the hooks (sim-core) plus the sinks (here).
-pub use sim_core::observe::{set_global_observer, Obs, Observer};
+pub use sim_core::observe::{set_global_observer, Obs, Observer, Span};
 
 /// Creates a [`MetricsRegistry`], installs it as the process-wide global
 /// observer, and hands it back for snapshotting.

@@ -6,7 +6,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use sim_core::observe::Observer;
 use sim_core::SimTime;
 
-use crate::report::{HistogramSummary, Snapshot};
+use crate::report::{HistogramSummary, Snapshot, SpanSummary};
 
 /// A log₂-bucketed histogram of `u64` magnitudes.
 ///
@@ -170,6 +170,7 @@ pub struct MetricsRegistry {
     gauges: Mutex<BTreeMap<&'static str, u64>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     events: Mutex<BTreeMap<&'static str, u64>>,
+    spans: Mutex<BTreeMap<&'static str, SpanSummary>>,
 }
 
 fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -207,6 +208,11 @@ impl MetricsRegistry {
         locked(&self.events).get(kind).copied().unwrap_or(0)
     }
 
+    /// Aggregates for a phase span (zero summary if never reported).
+    pub fn span_summary(&self, name: &str) -> SpanSummary {
+        locked(&self.spans).get(name).copied().unwrap_or_default()
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -223,6 +229,10 @@ impl MetricsRegistry {
                 .map(|(&k, h)| (k.to_string(), h.summarize()))
                 .collect(),
             events: locked(&self.events)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            spans: locked(&self.spans)
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
@@ -250,6 +260,17 @@ impl Observer for MetricsRegistry {
 
     fn event(&self, _at: SimTime, kind: &'static str, _fields: &[(&'static str, u64)]) {
         *locked(&self.events).entry(kind).or_insert(0) += 1;
+    }
+
+    fn span(&self, name: &'static str, wall_nanos: u64, sim_minutes: u64) {
+        // Wall-clock distribution goes into the log₂ histogram like any
+        // magnitude; the span table keeps the simulated-time correlation.
+        self.record(name, wall_nanos);
+        let mut spans = locked(&self.spans);
+        let summary = spans.entry(name).or_default();
+        summary.count += 1;
+        summary.wall_nanos = summary.wall_nanos.saturating_add(wall_nanos);
+        summary.sim_minutes = summary.sim_minutes.saturating_add(sim_minutes);
     }
 }
 

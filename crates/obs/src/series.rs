@@ -1,0 +1,515 @@
+//! Bounded time-series capture over the observer seam.
+//!
+//! A [`SeriesRecorder`] turns the flat emission stream into named
+//! trajectories keyed by [`SimTime`]: registered counters and gauges are
+//! sampled on a fixed [`SimDuration`] cadence grid, and registered event
+//! kinds contribute one point per event (optionally split into per-label
+//! series, e.g. one density trajectory per cluster node). Buffers are
+//! bounded: when a series reaches its capacity it halves itself by keeping
+//! every other retained point and doubling its stride, so memory stays
+//! O(capacity) over arbitrarily long runs while the first and the most
+//! recent sample are always preserved.
+//!
+//! The recorder is a pure sink — like every [`Observer`] it only
+//! aggregates, never feeds back — and its simulated clock is driven by the
+//! event stream itself (or explicit [`advance_to`](SeriesRecorder::advance_to)
+//! calls), so attaching one cannot perturb a run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use sim_core::observe::Observer;
+use sim_core::{SimDuration, SimTime};
+
+/// Default per-series point capacity.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One bounded series buffer: a strided subsequence of everything pushed,
+/// plus the most recent point, which is always retained.
+#[derive(Debug, Clone)]
+struct SeriesBuf {
+    points: Vec<(u64, u64)>, // (minutes, value), time-ordered
+    stride: u64,             // keep every stride-th incoming point
+    skip: u64,               // countdown to the next kept point
+    last: Option<(u64, u64)>,
+}
+
+impl SeriesBuf {
+    fn new() -> Self {
+        SeriesBuf {
+            points: Vec::new(),
+            stride: 1,
+            skip: 0,
+            last: None,
+        }
+    }
+
+    fn push(&mut self, capacity: usize, t: u64, value: u64) {
+        self.last = Some((t, value));
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        self.points.push((t, value));
+        self.skip = self.stride - 1;
+        if self.points.len() >= capacity {
+            // Halve: retain even positions (position 0 — the first sample —
+            // always survives) and double the stride.
+            let mut position = 0usize;
+            self.points.retain(|_| {
+                let keep = position % 2 == 0;
+                position += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    fn samples(&self) -> Vec<(SimTime, u64)> {
+        let mut out: Vec<(SimTime, u64)> = self
+            .points
+            .iter()
+            .map(|&(t, v)| (SimTime::from_minutes(t), v))
+            .collect();
+        if let Some((t, v)) = self.last {
+            if self.points.last().is_none_or(|&(kept, _)| kept < t) {
+                out.push((SimTime::from_minutes(t), v));
+            }
+        }
+        out
+    }
+}
+
+/// How one event kind maps onto series.
+#[derive(Debug, Clone)]
+struct EventSpec {
+    value_field: &'static str,
+    label_fields: Vec<&'static str>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Tracked counters: running totals, sampled on the cadence grid.
+    counters: BTreeMap<&'static str, u64>,
+    /// Tracked gauges: latest reported level (the trajectory, not the
+    /// registry's high watermark), sampled on the cadence grid.
+    gauges: BTreeMap<&'static str, u64>,
+    /// Tracked event kinds.
+    events: BTreeMap<&'static str, EventSpec>,
+    /// Captured series by name.
+    series: BTreeMap<String, SeriesBuf>,
+    /// Next cadence-grid instant to sample scalars at (minutes).
+    next_sample: u64,
+    /// Latest simulated instant seen (minutes); the grid only moves
+    /// forward.
+    last_seen: u64,
+}
+
+/// Records named time series from the observer stream into bounded
+/// buffers.
+///
+/// Register what to capture up front ([`track_counter`],
+/// [`track_gauge`], [`track_events`]), attach the recorder — alone or
+/// inside a [`Fanout`] — and read the trajectories back with
+/// [`series`](SeriesRecorder::series) / [`to_csv`](SeriesRecorder::to_csv)
+/// when the run completes. Under the `obs-off` feature nothing ever
+/// reaches the recorder, so it simply stays empty.
+///
+/// [`track_counter`]: SeriesRecorder::track_counter
+/// [`track_gauge`]: SeriesRecorder::track_gauge
+/// [`track_events`]: SeriesRecorder::track_events
+/// [`Fanout`]: crate::Fanout
+///
+/// # Examples
+///
+/// ```
+/// use obs::SeriesRecorder;
+/// use sim_core::{Obs, SimDuration, SimTime};
+/// use std::sync::Arc;
+///
+/// let recorder = Arc::new(SeriesRecorder::new(SimDuration::DAY));
+/// recorder.track_counter("engine.stores");
+/// let obs = Obs::attached(recorder.clone());
+///
+/// obs.counter("engine.stores", 2);
+/// obs.event(SimTime::from_days(2), "tick", &[]); // clock reaches day 2
+/// # #[cfg(not(feature = "obs-off"))]
+/// assert_eq!(
+///     recorder.series("engine.stores").unwrap(),
+///     vec![
+///         (SimTime::ZERO, 2),
+///         (SimTime::from_days(1), 2),
+///         (SimTime::from_days(2), 2),
+///     ],
+/// );
+/// ```
+#[derive(Debug)]
+pub struct SeriesRecorder {
+    inner: Mutex<Inner>,
+    cadence: SimDuration,
+    capacity: usize,
+}
+
+fn locked(mutex: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SeriesRecorder {
+    /// A recorder sampling scalars every `cadence`, with the default
+    /// per-series capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn new(cadence: SimDuration) -> Self {
+        SeriesRecorder::with_capacity(cadence, DEFAULT_CAPACITY)
+    }
+
+    /// A recorder with an explicit per-series point capacity (minimum 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn with_capacity(cadence: SimDuration, capacity: usize) -> Self {
+        assert!(
+            cadence.as_minutes() > 0,
+            "series cadence must be a positive duration"
+        );
+        SeriesRecorder {
+            inner: Mutex::default(),
+            cadence,
+            capacity: capacity.max(4),
+        }
+    }
+
+    /// The scalar sampling cadence.
+    pub fn cadence(&self) -> SimDuration {
+        self.cadence
+    }
+
+    /// Registers a counter to sample: the series tracks the running total
+    /// of deltas seen since construction (or the last [`reset`]).
+    ///
+    /// [`reset`]: SeriesRecorder::reset
+    pub fn track_counter(&self, name: &'static str) {
+        locked(&self.inner).counters.entry(name).or_insert(0);
+    }
+
+    /// Registers a gauge to sample. Unlike the registry's high-watermark
+    /// aggregation, the series keeps the *latest* reported level — the
+    /// trajectory is the point of a series.
+    pub fn track_gauge(&self, name: &'static str) {
+        locked(&self.inner).gauges.entry(name).or_insert(0);
+    }
+
+    /// Registers an event kind to capture: every `kind` event contributes
+    /// the point `(event time, fields[value_field])`. When `label_fields`
+    /// is non-empty the stream splits into one series per observed label
+    /// combination — e.g. labeling `cluster.node` by `node` yields one
+    /// density trajectory per cluster node. Events missing `value_field`
+    /// are ignored; missing label fields are omitted from the name.
+    pub fn track_events(
+        &self,
+        kind: &'static str,
+        value_field: &'static str,
+        label_fields: &[&'static str],
+    ) {
+        locked(&self.inner).events.insert(
+            kind,
+            EventSpec {
+                value_field,
+                label_fields: label_fields.to_vec(),
+            },
+        );
+    }
+
+    /// Advances the sampling clock to `at`, recording scalar samples at
+    /// every cadence-grid instant up to and including it. Event arrivals
+    /// do this implicitly; call it directly at the end of a run so the
+    /// grid covers the final stretch. Instants earlier than the latest one
+    /// seen are ignored (the clock only moves forward — [`reset`] starts a
+    /// new run).
+    ///
+    /// [`reset`]: SeriesRecorder::reset
+    pub fn advance_to(&self, at: SimTime) {
+        let mut inner = locked(&self.inner);
+        self.advance_locked(&mut inner, at);
+    }
+
+    fn advance_locked(&self, inner: &mut Inner, at: SimTime) {
+        let minutes = at.as_minutes();
+        if minutes < inner.last_seen {
+            return;
+        }
+        inner.last_seen = minutes;
+        while inner.next_sample <= minutes {
+            let t = inner.next_sample;
+            let scalars: Vec<(String, u64)> = inner
+                .counters
+                .iter()
+                .chain(inner.gauges.iter())
+                .map(|(&name, &value)| (name.to_string(), value))
+                .collect();
+            for (name, value) in scalars {
+                inner
+                    .series
+                    .entry(name)
+                    .or_insert_with(SeriesBuf::new)
+                    .push(self.capacity, t, value);
+            }
+            inner.next_sample = t + self.cadence.as_minutes();
+        }
+    }
+
+    /// Names of every captured series, in lexicographic order.
+    pub fn names(&self) -> Vec<String> {
+        locked(&self.inner).series.keys().cloned().collect()
+    }
+
+    /// The captured points of a series, time-ordered.
+    pub fn series(&self, name: &str) -> Option<Vec<(SimTime, u64)>> {
+        locked(&self.inner).series.get(name).map(SeriesBuf::samples)
+    }
+
+    /// One series as a `t_minutes,value` CSV table.
+    pub fn to_csv(&self, name: &str) -> Option<String> {
+        self.series(name).map(|points| {
+            let mut out = String::from("t_minutes,value\n");
+            for (at, value) in points {
+                let _ = writeln!(out, "{},{value}", at.as_minutes());
+            }
+            out
+        })
+    }
+
+    /// Every captured series as `(name, csv)` pairs, in name order.
+    pub fn dump_csvs(&self) -> Vec<(String, String)> {
+        self.names()
+            .into_iter()
+            .map(|name| {
+                let csv = self.to_csv(&name).expect("name listed by names()");
+                (name, csv)
+            })
+            .collect()
+    }
+
+    /// Renders the latest value of every series as Prometheus gauges
+    /// (`tempimp_series{series="<name>"} <value>`), deterministically
+    /// ordered by series name.
+    pub fn render_prometheus(&self) -> String {
+        let inner = locked(&self.inner);
+        if inner.series.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("# TYPE tempimp_series gauge\n");
+        for (name, buf) in &inner.series {
+            if let Some((_, value)) = buf.last {
+                let _ = writeln!(out, "tempimp_series{{series=\"{name}\"}} {value}");
+            }
+        }
+        out
+    }
+
+    /// Drops all captured points and zeroes the scalar accumulators and
+    /// the sampling clock, keeping the registrations. Call between
+    /// back-to-back runs (e.g. per experiment in `repro`) so each run's
+    /// series starts at `t = 0`.
+    pub fn reset(&self) {
+        let mut inner = locked(&self.inner);
+        inner.series.clear();
+        inner.next_sample = 0;
+        inner.last_seen = 0;
+        for value in inner.counters.values_mut() {
+            *value = 0;
+        }
+        for value in inner.gauges.values_mut() {
+            *value = 0;
+        }
+    }
+}
+
+impl Observer for SeriesRecorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = locked(&self.inner);
+        if let Some(value) = inner.counters.get_mut(name) {
+            *value = value.saturating_add(delta);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        let mut inner = locked(&self.inner);
+        if let Some(slot) = inner.gauges.get_mut(name) {
+            *slot = value;
+        }
+    }
+
+    fn record(&self, _name: &'static str, _value: u64) {}
+
+    fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+        let mut inner = locked(&self.inner);
+        self.advance_locked(&mut inner, at);
+        let Some(spec) = inner.events.get(kind) else {
+            return;
+        };
+        let lookup = |field: &str| fields.iter().find(|(k, _)| *k == field).map(|&(_, v)| v);
+        let Some(value) = lookup(spec.value_field) else {
+            return;
+        };
+        let mut name = format!("{kind}.{}", spec.value_field);
+        let labels: Vec<String> = spec
+            .label_fields
+            .iter()
+            .filter_map(|&field| lookup(field).map(|v| format!("{field}={v}")))
+            .collect();
+        if !labels.is_empty() {
+            name.push('{');
+            name.push_str(&labels.join(","));
+            name.push('}');
+        }
+        inner
+            .series
+            .entry(name)
+            .or_insert_with(SeriesBuf::new)
+            .push(self.capacity, at.as_minutes(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes(points: &[(SimTime, u64)]) -> Vec<(u64, u64)> {
+        points.iter().map(|&(t, v)| (t.as_minutes(), v)).collect()
+    }
+
+    #[test]
+    fn scalars_sample_on_the_cadence_grid() {
+        let recorder = SeriesRecorder::new(SimDuration::from_minutes(10));
+        recorder.track_counter("c");
+        recorder.track_gauge("g");
+        recorder.counter("c", 5);
+        recorder.gauge("g", 3);
+        recorder.advance_to(SimTime::from_minutes(25));
+        recorder.gauge("g", 1); // latest wins, unlike the registry
+        recorder.counter("untracked", 99);
+        recorder.advance_to(SimTime::from_minutes(30));
+
+        assert_eq!(recorder.names(), vec!["c".to_string(), "g".to_string()]);
+        assert_eq!(
+            minutes(&recorder.series("c").unwrap()),
+            vec![(0, 5), (10, 5), (20, 5), (30, 5)]
+        );
+        assert_eq!(
+            minutes(&recorder.series("g").unwrap()),
+            vec![(0, 3), (10, 3), (20, 3), (30, 1)]
+        );
+        assert!(recorder.series("untracked").is_none());
+    }
+
+    #[test]
+    fn events_split_into_labeled_series() {
+        let recorder = SeriesRecorder::new(SimDuration::DAY);
+        recorder.track_events("cluster.node", "density_ppm", &["node"]);
+        recorder.event(
+            SimTime::from_days(1),
+            "cluster.node",
+            &[("node", 0), ("density_ppm", 500_000)],
+        );
+        recorder.event(
+            SimTime::from_days(1),
+            "cluster.node",
+            &[("node", 1), ("density_ppm", 250_000)],
+        );
+        recorder.event(
+            SimTime::from_days(2),
+            "cluster.node",
+            &[("node", 0), ("density_ppm", 750_000)],
+        );
+        // Value field missing: ignored.
+        recorder.event(SimTime::from_days(2), "cluster.node", &[("node", 0)]);
+        // Unregistered kind: ignored.
+        recorder.event(SimTime::from_days(2), "other", &[("density_ppm", 1)]);
+
+        assert_eq!(
+            recorder.names(),
+            vec![
+                "cluster.node.density_ppm{node=0}".to_string(),
+                "cluster.node.density_ppm{node=1}".to_string(),
+            ]
+        );
+        assert_eq!(
+            minutes(&recorder.series("cluster.node.density_ppm{node=0}").unwrap()),
+            vec![(1440, 500_000), (2880, 750_000)]
+        );
+    }
+
+    #[test]
+    fn the_clock_only_moves_forward() {
+        let recorder = SeriesRecorder::new(SimDuration::from_minutes(10));
+        recorder.track_counter("c");
+        recorder.advance_to(SimTime::from_minutes(20));
+        recorder.advance_to(SimTime::from_minutes(5)); // ignored
+        assert_eq!(
+            minutes(&recorder.series("c").unwrap()),
+            vec![(0, 0), (10, 0), (20, 0)]
+        );
+    }
+
+    #[test]
+    fn downsampling_bounds_memory_and_keeps_endpoints() {
+        let recorder = SeriesRecorder::with_capacity(SimDuration::MINUTE, 8);
+        recorder.track_counter("c");
+        recorder.counter("c", 1);
+        recorder.advance_to(SimTime::from_minutes(1000));
+        let points = recorder.series("c").unwrap();
+        assert!(points.len() <= 8, "{} points retained", points.len());
+        assert_eq!(points.first().unwrap().0, SimTime::ZERO);
+        assert_eq!(points.last().unwrap().0, SimTime::from_minutes(1000));
+        let times: Vec<u64> = points.iter().map(|&(t, _)| t.as_minutes()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn csv_and_prometheus_renderings() {
+        let recorder = SeriesRecorder::new(SimDuration::from_minutes(10));
+        recorder.track_counter("c");
+        recorder.counter("c", 2);
+        recorder.advance_to(SimTime::from_minutes(10));
+        assert_eq!(
+            recorder.to_csv("c").unwrap(),
+            "t_minutes,value\n0,2\n10,2\n"
+        );
+        assert!(recorder.to_csv("absent").is_none());
+        let dumps = recorder.dump_csvs();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].0, "c");
+        assert_eq!(
+            recorder.render_prometheus(),
+            "# TYPE tempimp_series gauge\ntempimp_series{series=\"c\"} 2\n"
+        );
+        assert_eq!(
+            SeriesRecorder::new(SimDuration::DAY).render_prometheus(),
+            ""
+        );
+    }
+
+    #[test]
+    fn reset_clears_data_but_keeps_registrations() {
+        let recorder = SeriesRecorder::new(SimDuration::from_minutes(10));
+        recorder.track_counter("c");
+        recorder.counter("c", 7);
+        recorder.advance_to(SimTime::from_minutes(50));
+        recorder.reset();
+        assert!(recorder.names().is_empty());
+        recorder.counter("c", 1);
+        recorder.advance_to(SimTime::ZERO);
+        assert_eq!(minutes(&recorder.series("c").unwrap()), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_cadence_is_rejected() {
+        let _ = SeriesRecorder::new(SimDuration::from_minutes(0));
+    }
+}

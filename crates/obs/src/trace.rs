@@ -60,6 +60,17 @@ impl TraceSink {
         self.buf().text.clone()
     }
 
+    /// Drains the captured trace, returning it and leaving the sink empty.
+    ///
+    /// Long-running instrumented loops (benchmarks, the `repro` binary)
+    /// use this to bound the sink's memory: take the accumulated text,
+    /// write it out, and keep tracing into the same sink.
+    pub fn take_jsonl(&self) -> String {
+        let mut buf = self.buf();
+        buf.count = 0;
+        std::mem::take(&mut buf.text)
+    }
+
     /// Number of events captured.
     pub fn len(&self) -> usize {
         self.buf().count
@@ -150,6 +161,12 @@ impl Observer for Fanout {
             sink.event(at, kind, fields);
         }
     }
+
+    fn span(&self, name: &'static str, wall_nanos: u64, sim_minutes: u64) {
+        for sink in &self.sinks {
+            sink.span(name, wall_nanos, sim_minutes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,12 +207,27 @@ mod tests {
         fanout.gauge("g", 9);
         fanout.record("h", 2);
         fanout.event(SimTime::ZERO, "e", &[("n", 1)]);
+        fanout.span("s", 1_000, 5);
 
         assert_eq!(registry.counter_value("c"), 4);
         assert_eq!(registry.gauge_value("g"), 9);
         assert_eq!(registry.histogram("h").unwrap().count(), 1);
         assert_eq!(registry.event_count("e"), 1);
-        assert_eq!(trace.len(), 1);
+        assert_eq!(registry.span_summary("s").sim_minutes, 5);
+        assert_eq!(trace.len(), 1, "spans never become trace lines");
         assert!(format!("{fanout:?}").contains("sinks: 2"));
+    }
+
+    #[test]
+    fn take_drains_the_sink() {
+        let sink = TraceSink::new();
+        sink.event(SimTime::ZERO, "a", &[]);
+        let first = sink.take_jsonl();
+        assert_eq!(first, "{\"t\":0,\"kind\":\"a\",\"fields\":{}}\n");
+        assert!(sink.is_empty());
+        assert_eq!(sink.take_jsonl(), "");
+        sink.event(SimTime::from_minutes(1), "b", &[]);
+        assert_eq!(sink.len(), 1);
+        assert!(sink.take_jsonl().contains("\"kind\":\"b\""));
     }
 }

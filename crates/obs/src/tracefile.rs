@@ -1,0 +1,378 @@
+//! Reading, summarizing and diffing [`TraceSink`] JSONL traces.
+//!
+//! The sink's format is deliberately tiny — one object per line, integer
+//! values only, fixed key order:
+//!
+//! ```text
+//! {"t":43200,"kind":"engine.store","fields":{"id":1007,"size":3145728}}
+//! ```
+//!
+//! so this module parses it with a hand-rolled scanner (the vendored
+//! `serde_json` is typed-only) and builds the analysis the `tempimp-obs`
+//! CLI and the golden-trace test share: per-kind statistics,
+//! first-divergence location between two traces, per-series extraction,
+//! and object-lifecycle reconstruction.
+//!
+//! [`TraceSink`]: crate::TraceSink
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant, in minutes.
+    pub t: u64,
+    /// Event kind (e.g. `engine.store`).
+    pub kind: String,
+    /// Integer fields, in serialized order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl TraceEvent {
+    /// The value of a field, if present.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}m {}", self.t, self.kind)?;
+        for (key, value) in &self.fields {
+            write!(f, " {key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one JSONL trace line.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed byte sequence. The parser
+/// accepts exactly what [`TraceSink`](crate::TraceSink) emits: fixed key
+/// order, integer values, no escapes, no whitespace.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut rest = line;
+    rest = expect(rest, "{\"t\":")?;
+    let (t, tail) = scan_u64(rest)?;
+    rest = expect(tail, ",\"kind\":\"")?;
+    let (kind, tail) = scan_string(rest)?;
+    rest = expect(tail, ",\"fields\":{")?;
+    let mut fields = Vec::new();
+    if !rest.starts_with('}') {
+        loop {
+            rest = expect(rest, "\"")?;
+            let (key, tail) = scan_string(rest)?;
+            rest = expect(tail, ":")?;
+            let (value, tail) = scan_u64(rest)?;
+            rest = tail;
+            fields.push((key, value));
+            if let Some(tail) = rest.strip_prefix(',') {
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+    }
+    rest = expect(rest, "}}")?;
+    if !rest.is_empty() {
+        return Err(format!("trailing bytes `{}`", truncate(rest)));
+    }
+    Ok(TraceEvent { t, kind, fields })
+}
+
+fn expect<'a>(rest: &'a str, prefix: &str) -> Result<&'a str, String> {
+    rest.strip_prefix(prefix)
+        .ok_or_else(|| format!("expected `{prefix}` at `{}`", truncate(rest)))
+}
+
+/// Scans up to the closing quote (the sink forbids escapes in names).
+fn scan_string(text: &str) -> Result<(String, &str), String> {
+    let end = text
+        .find('"')
+        .ok_or_else(|| format!("unterminated string at `{}`", truncate(text)))?;
+    Ok((text[..end].to_string(), &text[end + 1..]))
+}
+
+fn scan_u64(text: &str) -> Result<(u64, &str), String> {
+    let digits = text.len() - text.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return Err(format!("expected an integer at `{}`", truncate(text)));
+    }
+    let value = text[..digits]
+        .parse()
+        .map_err(|_| format!("integer out of range at `{}`", truncate(text)))?;
+    Ok((value, &text[digits..]))
+}
+
+fn truncate(text: &str) -> &str {
+    &text[..text.len().min(40)]
+}
+
+/// Parses a whole JSONL trace. Empty lines are not tolerated: the sink
+/// never writes them, so one signals corruption.
+///
+/// # Errors
+///
+/// Returns `(1-based line number, description)` for the first bad line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    text.lines()
+        .enumerate()
+        .map(|(index, line)| parse_line(line).map_err(|e| (index + 1, e)))
+        .collect()
+}
+
+/// Per-kind aggregates of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindStats {
+    /// Events of this kind.
+    pub count: u64,
+    /// Simulated minute of the first occurrence.
+    pub first_t: u64,
+    /// Simulated minute of the last occurrence.
+    pub last_t: u64,
+}
+
+/// Summarizes a parsed trace by kind, in kind order.
+pub fn stats(events: &[TraceEvent]) -> BTreeMap<String, KindStats> {
+    let mut out: BTreeMap<String, KindStats> = BTreeMap::new();
+    for event in events {
+        out.entry(event.kind.clone())
+            .and_modify(|s| {
+                s.count += 1;
+                s.first_t = s.first_t.min(event.t);
+                s.last_t = s.last_t.max(event.t);
+            })
+            .or_insert(KindStats {
+                count: 1,
+                first_t: event.t,
+                last_t: event.t,
+            });
+    }
+    out
+}
+
+/// Where two traces first differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Event `index` (0-based) differs; both raw lines are carried.
+    Event {
+        /// 0-based index of the diverging line.
+        index: usize,
+        /// The line in the left trace.
+        left: String,
+        /// The line in the right trace.
+        right: String,
+    },
+    /// One trace is a strict prefix of the other.
+    Length {
+        /// Events in the left trace.
+        left: usize,
+        /// Events in the right trace.
+        right: usize,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Event { index, left, right } => {
+                writeln!(f, "event {index}: traces diverge")?;
+                match (parse_line(left), parse_line(right)) {
+                    (Ok(a), Ok(b)) => {
+                        writeln!(f, "  left : {a}")?;
+                        writeln!(f, "  right: {b}")?;
+                        for change in describe_changes(&a, &b) {
+                            writeln!(f, "  {change}")?;
+                        }
+                    }
+                    _ => {
+                        writeln!(f, "  left : {left}")?;
+                        writeln!(f, "  right: {right}")?;
+                    }
+                }
+                Ok(())
+            }
+            Divergence::Length { left, right } => writeln!(
+                f,
+                "traces agree for {} events, then lengths differ: left has {left}, right has {right}",
+                left.min(right)
+            ),
+        }
+    }
+}
+
+/// Field-level description of how two parsed events differ.
+fn describe_changes(a: &TraceEvent, b: &TraceEvent) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.t != b.t {
+        out.push(format!("t moved {} -> {} minutes", a.t, b.t));
+    }
+    if a.kind != b.kind {
+        out.push(format!("kind changed {} -> {}", a.kind, b.kind));
+        return out;
+    }
+    for (key, left) in &a.fields {
+        match b.field(key) {
+            Some(right) if right != *left => {
+                out.push(format!("{key} changed {left} -> {right}"));
+            }
+            None => out.push(format!("{key} removed (was {left})")),
+            _ => {}
+        }
+    }
+    for (key, right) in &b.fields {
+        if a.field(key).is_none() {
+            out.push(format!("{key} added ({right})"));
+        }
+    }
+    out
+}
+
+/// Locates the first line where two JSONL traces differ, or `None` when
+/// they are byte-identical.
+pub fn first_divergence(left: &str, right: &str) -> Option<Divergence> {
+    let mut a = left.lines();
+    let mut b = right.lines();
+    let mut index = 0;
+    loop {
+        match (a.next(), b.next()) {
+            (Some(x), Some(y)) if x == y => index += 1,
+            (Some(x), Some(y)) => {
+                return Some(Divergence::Event {
+                    index,
+                    left: x.to_string(),
+                    right: y.to_string(),
+                });
+            }
+            (None, None) => return None,
+            (x, y) => {
+                return Some(Divergence::Length {
+                    left: index + x.map_or(0, |_| 1) + a.count(),
+                    right: index + y.map_or(0, |_| 1) + b.count(),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(t, fields[field])` points from every `kind` event whose
+/// fields match all of `filters` — the plottable series hiding in a trace.
+pub fn extract_series(
+    events: &[TraceEvent],
+    kind: &str,
+    field: &str,
+    filters: &[(String, u64)],
+) -> Vec<(u64, u64)> {
+    events
+        .iter()
+        .filter(|e| e.kind == kind)
+        .filter(|e| filters.iter().all(|(k, v)| e.field(k) == Some(*v)))
+        .filter_map(|e| e.field(field).map(|value| (e.t, value)))
+        .collect()
+}
+
+/// Every event mentioning object `id` (an `id` field), in trace order —
+/// the raw material of a lifecycle reconstruction.
+pub fn object_events(events: &[TraceEvent], id: u64) -> Vec<&TraceEvent> {
+    events
+        .iter()
+        .filter(|e| e.field("id") == Some(id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"t\":0,\"kind\":\"engine.store\",\"fields\":{\"id\":7,\"size\":1048576,\"victims\":0,\"freed\":0}}\n\
+        {\"t\":1440,\"kind\":\"engine.breakpoint\",\"fields\":{\"id\":7,\"finalize\":0}}\n\
+        {\"t\":2880,\"kind\":\"engine.evict\",\"fields\":{\"id\":7,\"size\":1048576,\"reason\":0,\"importance_ppm\":137000}}\n";
+
+    #[test]
+    fn parses_the_sink_format_exactly() {
+        let events = parse_jsonl(SAMPLE).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].t, 0);
+        assert_eq!(events[0].kind, "engine.store");
+        assert_eq!(events[0].field("size"), Some(1_048_576));
+        assert_eq!(events[0].field("absent"), None);
+        assert_eq!(
+            events[1].fields,
+            vec![("id".into(), 7), ("finalize".into(), 0)]
+        );
+        assert_eq!(
+            events[2].to_string(),
+            "t=2880m engine.evict id=7 size=1048576 reason=0 importance_ppm=137000"
+        );
+        // Empty fields object round-trips too.
+        let empty = parse_line("{\"t\":3,\"kind\":\"a\",\"fields\":{}}").unwrap();
+        assert!(empty.fields.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_positions() {
+        for bad in [
+            "",
+            "{\"t\":x}",
+            "{\"t\":1,\"kind\":\"a\",\"fields\":{}}trailing",
+            "{\"t\":1,\"kind\":\"a\",\"fields\":{\"k\":}}",
+            "{\"t\":99999999999999999999999,\"kind\":\"a\",\"fields\":{}}",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse_jsonl("{\"t\":1,\"kind\":\"a\",\"fields\":{}}\nnope\n").unwrap_err();
+        assert_eq!(err.0, 2, "1-based line number");
+    }
+
+    #[test]
+    fn stats_aggregate_per_kind() {
+        let events = parse_jsonl(SAMPLE).unwrap();
+        let s = stats(&events);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s["engine.store"].count, 1);
+        assert_eq!(
+            (s["engine.evict"].first_t, s["engine.evict"].last_t),
+            (2880, 2880)
+        );
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        assert_eq!(first_divergence(SAMPLE, SAMPLE), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn divergence_names_the_changed_field() {
+        let altered = SAMPLE.replace("\"victims\":0", "\"victims\":2");
+        let d = first_divergence(SAMPLE, &altered).expect("must diverge");
+        let text = d.to_string();
+        assert!(text.contains("event 0"), "{text}");
+        assert!(text.contains("victims changed 0 -> 2"), "{text}");
+
+        let shorter: String = SAMPLE.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let d = first_divergence(SAMPLE, &shorter).expect("length diverges");
+        assert_eq!(d, Divergence::Length { left: 3, right: 2 });
+        assert!(d.to_string().contains("agree for 2 events"));
+    }
+
+    #[test]
+    fn series_and_object_extraction() {
+        let events = parse_jsonl(SAMPLE).unwrap();
+        let series = extract_series(&events, "engine.evict", "importance_ppm", &[]);
+        assert_eq!(series, vec![(2880, 137_000)]);
+        let filtered = extract_series(
+            &events,
+            "engine.evict",
+            "importance_ppm",
+            &[("reason".to_string(), 1)],
+        );
+        assert!(filtered.is_empty());
+        let life = object_events(&events, 7);
+        assert_eq!(life.len(), 3);
+        assert!(object_events(&events, 8).is_empty());
+    }
+}

@@ -96,8 +96,10 @@ impl<E> Simulation<E> {
     where
         F: FnMut(&mut Simulation<E>, SimTime, E),
     {
+        let mut span = self.obs.span("span.sim.run");
         while let Some((at, event)) = self.queue.pop() {
             self.now = at;
+            span.sim_to(at);
             self.obs.counter("sim.events_dispatched", 1);
             handler(self, at, event);
         }
@@ -109,8 +111,10 @@ impl<E> Simulation<E> {
     where
         F: FnMut(&mut Simulation<E>, SimTime, E),
     {
+        let mut span = self.obs.span("span.sim.run_until");
         while let Some((at, event)) = self.queue.pop_due(deadline) {
             self.now = at;
+            span.sim_to(at);
             self.obs.counter("sim.events_dispatched", 1);
             handler(self, at, event);
         }

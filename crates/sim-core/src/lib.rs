@@ -42,7 +42,7 @@ pub mod schedule;
 
 pub use bytes::ByteSize;
 pub use driver::Simulation;
-pub use observe::{Obs, Observer};
+pub use observe::{Obs, Observer, Span};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};
 

@@ -1,0 +1,77 @@
+//! Property tests for [`SeriesRecorder`] downsampling (DESIGN.md §3.4).
+//!
+//! The ring buffers behind a recorder must stay bounded no matter how long
+//! a run gets, while never losing the endpoints of a trajectory or the
+//! time-ordering that makes it plottable.
+
+#![cfg(not(feature = "obs-off"))]
+
+use obs::{Observer, SeriesRecorder};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn downsampling_keeps_endpoints_ordered_and_bounded(
+        cadence in 1u64..=120,
+        capacity in 4usize..=64,
+        steps in 1u64..=3_000,
+    ) {
+        let recorder =
+            SeriesRecorder::with_capacity(SimDuration::from_minutes(cadence), capacity);
+        recorder.track_counter("ops");
+        for _ in 0..steps {
+            recorder.counter("ops", 1);
+        }
+        recorder.advance_to(SimTime::from_minutes((steps - 1) * cadence));
+
+        let samples = recorder.series("ops").expect("tracked series exists");
+        prop_assert!(!samples.is_empty());
+        // The first grid instant survives every downsampling pass (even
+        // positions always include position zero) and the latest sample is
+        // always re-attached by `series()`.
+        prop_assert_eq!(samples.first().unwrap().0, SimTime::ZERO);
+        prop_assert_eq!(
+            samples.last().unwrap().0,
+            SimTime::from_minutes((steps - 1) * cadence)
+        );
+        // Bounded memory: at most the ring capacity plus the live tail.
+        prop_assert!(samples.len() <= capacity + 1);
+        // Strictly monotone SimTime, and the counter itself never runs
+        // backwards, so downsampling cannot reorder or duplicate points.
+        for pair in samples.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "time went backwards: {pair:?}");
+            prop_assert!(pair[0].1 <= pair[1].1, "counter decreased: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn event_series_keep_endpoints_through_downsampling(
+        capacity in 4usize..=32,
+        count in 1u64..=2_000,
+        stride_minutes in 1u64..=500,
+    ) {
+        let recorder =
+            SeriesRecorder::with_capacity(SimDuration::from_minutes(1), capacity);
+        recorder.track_events("density.sample", "density_ppm", &[]);
+        for i in 0..count {
+            recorder.event(
+                SimTime::from_minutes(i * stride_minutes),
+                "density.sample",
+                &[("density_ppm", i)],
+            );
+        }
+        let samples = recorder
+            .series("density.sample.density_ppm")
+            .expect("event series exists");
+        prop_assert_eq!(samples.first().unwrap(), &(SimTime::ZERO, 0));
+        prop_assert_eq!(
+            samples.last().unwrap(),
+            &(SimTime::from_minutes((count - 1) * stride_minutes), count - 1)
+        );
+        prop_assert!(samples.len() <= capacity + 1);
+        for pair in samples.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0);
+        }
+    }
+}
