@@ -5,50 +5,98 @@
 //! the incremental engine and the scan-everything oracle
 //! (`StorageUnit::builder(..).naive_oracle(true)`) at 10k and
 //! 100k residents, and records nanoseconds per operation plus the
-//! speedup. Run from the repository root:
+//! speedup. Each case also records `bytes_per_resident`: the net heap
+//! growth of building the indexed fixture divided by its population, the
+//! memory side of the ID-arena data layout (gated by `bench_gate` next to
+//! the time-per-op columns). Run from the repository root:
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin bench_engine
 //! ```
 //!
 //! `--out PATH` redirects the report (CI measures into a scratch file and
-//! gates it against the committed baseline with `bench_gate`).
+//! gates it against the committed baseline with `bench_gate`);
+//! `--residents N` restricts the run to one fixture size so a CI matrix
+//! can parallelize across sizes.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bench_harness::{incoming_spec, mixed_unit, mixed_unit_naive};
-use obs::{Fanout, MetricsRegistry, Obs, Observer, SeriesRecorder, TraceSink};
+use obs::{Obs, ObsStack};
 use sim_core::{ByteSize, SimDuration, SimTime};
 use temporal_importance::{Importance, StorageUnit};
 
 const RESIDENT_COUNTS: [u64; 2] = [10_000, 100_000];
 const OUTPUT: &str = "BENCH_engine.json";
 
+/// A [`System`]-delegating allocator that tallies gross bytes allocated
+/// and freed, so fixture construction can be measured as net heap growth.
+/// Counts request sizes (not allocator-internal overhead), which is the
+/// part the engine's data layout controls.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static FREED: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn net_heap_bytes() -> u64 {
+    ALLOCATED
+        .load(Ordering::Relaxed)
+        .saturating_sub(FREED.load(Ordering::Relaxed))
+}
+
 fn main() {
     let mut output = OUTPUT.to_string();
+    let mut only_residents: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => output = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument '{other}' (expected --out PATH)"),
+            "--residents" => {
+                let n = args.next().expect("--residents needs a count");
+                only_residents = Some(n.parse().expect("--residents needs a number"));
+            }
+            other => panic!("unknown argument '{other}' (expected --out PATH / --residents N)"),
         }
     }
 
     let mut cases = Vec::new();
     for residents in RESIDENT_COUNTS {
-        cases.push(run_case("store_churn", residents, store_churn_ns));
+        if only_residents.is_some_and(|only| only != residents) {
+            continue;
+        }
+        let (plain, observed) = run_churn_pair(residents);
+        cases.push(plain);
         cases.push(run_case("peek_admission", residents, peek_admission_ns));
         cases.push(run_case("density_sampling", residents, density_sampling_ns));
+        cases.push(observed);
     }
-    // Observability overhead: the same churn loop behind the full sink
-    // stack. One fixture size is enough to watch the trend against the
-    // plain `store_churn` row.
-    cases.push(run_case(
-        "store_churn_observed",
-        10_000,
-        store_churn_observed_ns,
-    ));
+    assert!(!cases.is_empty(), "--residents matched no fixture size");
 
     // The vendored serde_json exposes only typed (de)serialization, so the
     // report is rendered by hand.
@@ -73,19 +121,83 @@ fn run_case(name: &str, residents: u64, measure: fn(StorageUnit, u64) -> f64) ->
     // noisy enough on a shared runner to flap a 25% tolerance. Take the
     // minimum of five fresh-fixture repetitions: noise is strictly
     // additive, so the min is the stable estimate of the true cost.
-    let indexed_ns = (0..5)
-        .map(|_| measure(mixed_unit(capacity, residents, 10), residents))
-        .fold(f64::INFINITY, f64::min);
+    let mut indexed_ns = f64::INFINITY;
+    let mut bytes_per_resident = 0.0;
+    for repetition in 0..5 {
+        let before = net_heap_bytes();
+        let unit = mixed_unit(capacity, residents, 10);
+        if repetition == 0 {
+            // Fixture heap footprint: everything the unit retains after
+            // admitting `residents` objects — arena slots, dense indexes,
+            // id map — measured while nothing else is being built.
+            let delta = net_heap_bytes().saturating_sub(before);
+            bytes_per_resident = delta as f64 / residents as f64;
+        }
+        indexed_ns = indexed_ns.min(measure(unit, residents));
+    }
     let naive_ns = measure(mixed_unit_naive(capacity, residents, 10), residents);
+    case_line(name, residents, indexed_ns, naive_ns, bytes_per_resident)
+}
+
+/// Measures plain and instrumented churn as one interleaved pair: every
+/// repetition times a plain window and an observed window back-to-back,
+/// so both minima come from the same load regime and the overhead ratio
+/// the obs gate checks is not skewed by a background burst that happened
+/// to land on only one of two far-apart measurement phases.
+fn run_churn_pair(residents: u64) -> (String, String) {
+    let capacity = ByteSize::from_mib(residents * 10);
+    let mut plain_ns = f64::INFINITY;
+    let mut observed_ns = f64::INFINITY;
+    let mut bytes_per_resident = 0.0;
+    for repetition in 0..5 {
+        let before = net_heap_bytes();
+        let unit = mixed_unit(capacity, residents, 10);
+        if repetition == 0 {
+            let delta = net_heap_bytes().saturating_sub(before);
+            bytes_per_resident = delta as f64 / residents as f64;
+        }
+        plain_ns = plain_ns.min(store_churn_ns(unit, residents));
+        let unit = mixed_unit(capacity, residents, 10);
+        observed_ns = observed_ns.min(store_churn_observed_ns(unit, residents));
+    }
+    let naive_ns = store_churn_ns(mixed_unit_naive(capacity, residents, 10), residents);
+    let naive_observed_ns =
+        store_churn_observed_ns(mixed_unit_naive(capacity, residents, 10), residents);
+    (
+        case_line(
+            "store_churn",
+            residents,
+            plain_ns,
+            naive_ns,
+            bytes_per_resident,
+        ),
+        case_line(
+            "store_churn_observed",
+            residents,
+            observed_ns,
+            naive_observed_ns,
+            bytes_per_resident,
+        ),
+    )
+}
+
+fn case_line(
+    name: &str,
+    residents: u64,
+    indexed_ns: f64,
+    naive_ns: f64,
+    bytes_per_resident: f64,
+) -> String {
     let speedup = naive_ns / indexed_ns;
     println!(
         "{name:<18} {residents:>7} residents: indexed {indexed_ns:>12.1} ns/op, \
-         naive {naive_ns:>14.1} ns/op, speedup {speedup:>8.1}x"
+         naive {naive_ns:>14.1} ns/op, speedup {speedup:>8.1}x, \
+         {bytes_per_resident:>7.1} bytes/resident"
     );
     format!(
         "{{ \"case\": \"{name}\", \"residents\": {residents}, \
          \"indexed_ns_per_op\": {indexed_ns:.1}, \"naive_ns_per_op\": {naive_ns:.1}, \
-         \"speedup\": {speedup:.1} }}"
+         \"speedup\": {speedup:.1}, \"bytes_per_resident\": {bytes_per_resident:.1} }}"
     )
 }
 
@@ -126,21 +238,21 @@ fn store_churn_ns(mut unit: StorageUnit, residents: u64) -> f64 {
     start.elapsed().as_nanos() as f64 / ops as f64
 }
 
-/// `store_churn` with the full observability stack attached — a metrics
-/// registry, a daily series recorder, and a trace sink fanned out behind
-/// one handle. This is the instrumented cost `bench_gate` watches; under
-/// `obs-off` the attach compiles to nothing and this case collapses to
-/// `store_churn`, which is the zero-cost claim made measurable. The sink
-/// drains after calibration so the measured window pays steady-state
-/// buffer growth, not reallocation of a cold one.
+/// `store_churn` with the full observability stack attached — registry,
+/// daily series recorder, and trace role as one single-lock [`ObsStack`].
+/// This is the instrumented cost the obs-overhead CI gate compares to the
+/// plain `store_churn` row; under `obs-off` the attach compiles to nothing
+/// and this case collapses to `store_churn`, which is the zero-cost claim
+/// made measurable. The trace runs as a flight recorder bounded to the
+/// most recent 4k events — the steady-state configuration for a
+/// long-lived instrumented process, where capture cost must stay flat
+/// rather than grow with the run.
 fn store_churn_observed_ns(mut unit: StorageUnit, residents: u64) -> f64 {
-    let registry = Arc::new(MetricsRegistry::new());
-    let recorder = Arc::new(SeriesRecorder::new(SimDuration::DAY));
-    recorder.track_counter("engine.stores");
-    recorder.track_events("engine.evict", "importance_ppm", &[]);
-    let sink = Arc::new(TraceSink::new());
-    let sinks: Vec<Arc<dyn Observer>> = vec![registry, recorder, sink.clone()];
-    unit.set_observer(Obs::attached(Arc::new(Fanout::new(sinks))));
+    let stack = Arc::new(ObsStack::new(SimDuration::DAY));
+    stack.track_counter("engine.stores");
+    stack.track_events("engine.evict", "importance_ppm", &[]);
+    stack.limit_trace(4096);
+    unit.set_observer(Obs::attached(stack.clone()));
 
     let mut next_id = residents;
     let mut minute = 0u64;
@@ -154,7 +266,7 @@ fn store_churn_observed_ns(mut unit: StorageUnit, residents: u64) -> f64 {
     minute += 1;
     do_store(&mut unit, next_id, minute);
     let first = start.elapsed().as_nanos() as f64;
-    let _ = sink.take_jsonl();
+    let _ = stack.take_jsonl();
 
     let ops = calibrated_ops(first, residents / 2);
     let start = Instant::now();

@@ -4,24 +4,33 @@
 //!
 //! ```text
 //! bench_gate --baseline BENCH_engine.json --fresh fresh.json \
-//!            [--tolerance 0.25] [--min-delta-ns 100]
+//!            [--tolerance 0.25] [--min-delta-ns 100] \
+//!            [--residents N] [--max-obs-overhead 0.20]
 //! ```
 //!
 //! Exits 0 when every case of the fresh report is within `tolerance`
-//! (default 25%) of the baseline's `indexed_ns_per_op`, 1 when any case
-//! regressed (or disappeared), and 2 on usage or parse errors. Slowdowns
-//! whose absolute delta is below `--min-delta-ns` (default 100) are
-//! treated as shared-runner noise.
+//! (default 25%) of the baseline's `indexed_ns_per_op` and
+//! `bytes_per_resident`, 1 when any case regressed (or disappeared), and
+//! 2 on usage or parse errors. Slowdowns whose absolute delta is below
+//! `--min-delta-ns` (default 100) are treated as shared-runner noise.
+//!
+//! `--residents N` restricts both reports to one fixture size, matching a
+//! `bench_engine --residents N` run, so a CI matrix can gate sizes in
+//! parallel jobs. `--max-obs-overhead F` additionally fails the gate when
+//! the fresh report's instrumented churn (`store_churn_observed`) costs
+//! more than `F` (a fraction, e.g. `0.20`) over plain `store_churn`.
 
 use std::process::ExitCode;
 
-use bench_harness::gate::{compare, parse_report};
+use bench_harness::gate::{compare, obs_overheads, parse_report};
 
 struct Options {
     baseline: String,
     fresh: String,
     tolerance: f64,
     min_delta_ns: f64,
+    residents: Option<u64>,
+    max_obs_overhead: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,6 +39,8 @@ fn parse_args() -> Result<Options, String> {
         fresh: String::new(),
         tolerance: 0.25,
         min_delta_ns: 100.0,
+        residents: None,
+        max_obs_overhead: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,10 +60,25 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("invalid min delta '{raw}'"))?;
             }
+            "--residents" => {
+                let raw = value("--residents")?;
+                options.residents = Some(
+                    raw.parse()
+                        .map_err(|_| format!("invalid resident count '{raw}'"))?,
+                );
+            }
+            "--max-obs-overhead" => {
+                let raw = value("--max-obs-overhead")?;
+                options.max_obs_overhead = Some(
+                    raw.parse()
+                        .map_err(|_| format!("invalid obs overhead '{raw}'"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_gate --baseline BASE.json --fresh FRESH.json \
-                     [--tolerance 0.25] [--min-delta-ns 100]"
+                     [--tolerance 0.25] [--min-delta-ns 100] \
+                     [--residents N] [--max-obs-overhead 0.20]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +101,14 @@ fn main() -> ExitCode {
     };
     let load = |path: &str| -> Result<_, String> {
         let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        parse_report(&raw).map_err(|e| format!("{path}: {e}"))
+        let mut cases = parse_report(&raw).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(residents) = options.residents {
+            cases.retain(|c| c.residents == residents);
+            if cases.is_empty() {
+                return Err(format!("{path}: no cases at {residents} residents"));
+            }
+        }
+        Ok(cases)
     };
     let (baseline, fresh) = match (load(&options.baseline), load(&options.fresh)) {
         (Ok(b), Ok(f)) => (b, f),
@@ -91,12 +124,17 @@ fn main() -> ExitCode {
             .find(|b| b.key() == case.key())
             .map(|b| format!("{:.1}", b.indexed_ns_per_op))
             .unwrap_or_else(|| "-".to_string());
+        let memory = case
+            .bytes_per_resident
+            .map(|b| format!(", {b:.1} B/resident"))
+            .unwrap_or_default();
         println!(
-            "{:<18} {:>7} residents: {:>10.1} ns/op (baseline {versus})",
+            "{:<20} {:>7} residents: {:>10.1} ns/op (baseline {versus}){memory}",
             case.case, case.residents, case.indexed_ns_per_op
         );
     }
 
+    let mut failed = false;
     let regressions = compare(&baseline, &fresh, options.tolerance, options.min_delta_ns);
     if regressions.is_empty() {
         println!(
@@ -104,15 +142,42 @@ fn main() -> ExitCode {
             fresh.len(),
             options.tolerance * 100.0
         );
-        return ExitCode::SUCCESS;
+    } else {
+        failed = true;
+        eprintln!(
+            "bench gate: {} regression(s) beyond {:.0}% tolerance:",
+            regressions.len(),
+            options.tolerance * 100.0
+        );
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
     }
-    eprintln!(
-        "bench gate: {} regression(s) beyond {:.0}% tolerance:",
-        regressions.len(),
-        options.tolerance * 100.0
-    );
-    for regression in &regressions {
-        eprintln!("  {regression}");
+
+    if let Some(max) = options.max_obs_overhead {
+        let overheads = obs_overheads(&fresh);
+        if overheads.is_empty() {
+            eprintln!("bench gate: no store_churn / store_churn_observed pair to check");
+            return ExitCode::from(2);
+        }
+        for overhead in &overheads {
+            println!("{overhead}");
+            if overhead.overhead > max {
+                failed = true;
+                eprintln!(
+                    "bench gate: instrumentation overhead {:.0}% exceeds the {:.0}% budget \
+                     @ {} residents",
+                    overhead.overhead * 100.0,
+                    max * 100.0,
+                    overhead.residents
+                );
+            }
+        }
     }
-    ExitCode::FAILURE
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

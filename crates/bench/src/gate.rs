@@ -3,15 +3,20 @@
 //!
 //! The report format is the fixed shape `bench_engine` emits, so parsing
 //! is plain string extraction (the vendored `serde_json` is typed-only).
-//! Only `indexed_ns_per_op` gates: the naive oracle column documents the
-//! speedup but is not a performance promise.
+//! Two columns gate: `indexed_ns_per_op` (time per operation) and
+//! `bytes_per_resident` (fixture heap footprint — the memory side of the
+//! ID-arena layout). The naive oracle column documents the speedup but is
+//! not a performance promise. [`obs_overheads`] additionally derives the
+//! instrumentation cost from the fresh report alone, by comparing the
+//! `store_churn_observed` rows against their plain `store_churn` peers.
 
 use std::fmt;
 
 /// One measured case from a `BENCH_engine.json` report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCase {
-    /// Case name (`store_churn`, `peek_admission`, `density_sampling`).
+    /// Case name (`store_churn`, `peek_admission`, `density_sampling`,
+    /// `store_churn_observed`).
     pub case: String,
     /// Resident-object count of the fixture.
     pub residents: u64,
@@ -19,6 +24,9 @@ pub struct BenchCase {
     pub indexed_ns_per_op: f64,
     /// Nanoseconds per operation on the naive oracle.
     pub naive_ns_per_op: f64,
+    /// Net heap bytes per resident of the indexed fixture. Optional so
+    /// the gate still reads reports from before the memory column.
+    pub bytes_per_resident: Option<f64>,
 }
 
 impl BenchCase {
@@ -28,18 +36,21 @@ impl BenchCase {
     }
 }
 
-/// A detected slowdown of one case beyond the tolerance.
+/// A detected regression of one case beyond the tolerance, on either the
+/// time or the memory column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     /// The offending case.
     pub case: String,
     /// Its fixture size.
     pub residents: u64,
-    /// Baseline ns/op.
-    pub baseline_ns: f64,
-    /// Fresh ns/op.
-    pub fresh_ns: f64,
-    /// `fresh / baseline` (> 1 means slower).
+    /// Which column regressed (`"ns/op"` or `"bytes/resident"`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// `fresh / baseline` (> 1 means worse).
     pub ratio: f64,
 }
 
@@ -47,12 +58,13 @@ impl fmt::Display for Regression {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} @ {} residents: {:.1} ns/op -> {:.1} ns/op ({:.0}% slower)",
+            "{} @ {} residents: {:.1} {metric} -> {:.1} {metric} ({:.0}% worse)",
             self.case,
             self.residents,
-            self.baseline_ns,
-            self.fresh_ns,
-            (self.ratio - 1.0) * 100.0
+            self.baseline,
+            self.fresh,
+            (self.ratio - 1.0) * 100.0,
+            metric = self.metric,
         )
     }
 }
@@ -79,7 +91,7 @@ fn extract_num(line: &str, field: &str) -> Option<f64> {
 /// # Errors
 ///
 /// Returns a message naming the malformed line if any `"case"` line is
-/// missing a field, or if the report contains no cases at all.
+/// missing a required field, or if the report contains no cases at all.
 pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
     let mut cases = Vec::new();
     for line in json.lines() {
@@ -92,6 +104,7 @@ pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
                 residents: extract_num(line, "residents")? as u64,
                 indexed_ns_per_op: extract_num(line, "indexed_ns_per_op")?,
                 naive_ns_per_op: extract_num(line, "naive_ns_per_op")?,
+                bytes_per_resident: extract_num(line, "bytes_per_resident"),
             })
         })();
         match parsed {
@@ -105,27 +118,34 @@ pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
     Ok(cases)
 }
 
-/// Compares fresh measurements against the baseline.
+/// Compares fresh measurements against the baseline, on both gated
+/// columns.
 ///
-/// A case regresses when `fresh > baseline * (1 + tolerance)` **and** the
-/// absolute slowdown exceeds `min_delta_ns` (sub-100ns cases on shared CI
-/// runners jitter by more than 25% from noise alone). Baseline cases
-/// missing from the fresh report count as regressions — the gate must not
-/// pass because a case silently disappeared.
+/// A case's time regresses when `fresh > baseline * (1 + tolerance)`
+/// **and** the absolute slowdown exceeds `min_delta_ns` (sub-100ns cases
+/// on shared CI runners jitter by more than 25% from noise alone). The
+/// memory column gates with the same envelope against a 64-byte floor —
+/// the measurement is near-deterministic, but allocator rounding may move
+/// a few bytes between runs. Baseline cases missing from the fresh report
+/// count as regressions — the gate must not pass because a case silently
+/// disappeared. A baseline case without a memory column skips the memory
+/// check (pre-column reports stay comparable).
 pub fn compare(
     baseline: &[BenchCase],
     fresh: &[BenchCase],
     tolerance: f64,
     min_delta_ns: f64,
 ) -> Vec<Regression> {
+    const MIN_DELTA_BYTES: f64 = 64.0;
     let mut regressions = Vec::new();
     for base in baseline {
         let Some(new) = fresh.iter().find(|c| c.key() == base.key()) else {
             regressions.push(Regression {
                 case: base.case.clone(),
                 residents: base.residents,
-                baseline_ns: base.indexed_ns_per_op,
-                fresh_ns: f64::INFINITY,
+                metric: "ns/op",
+                baseline: base.indexed_ns_per_op,
+                fresh: f64::INFINITY,
                 ratio: f64::INFINITY,
             });
             continue;
@@ -136,13 +156,83 @@ pub fn compare(
             regressions.push(Regression {
                 case: base.case.clone(),
                 residents: base.residents,
-                baseline_ns: base.indexed_ns_per_op,
-                fresh_ns: new.indexed_ns_per_op,
+                metric: "ns/op",
+                baseline: base.indexed_ns_per_op,
+                fresh: new.indexed_ns_per_op,
                 ratio,
             });
         }
+        if let (Some(base_bytes), Some(new_bytes)) =
+            (base.bytes_per_resident, new.bytes_per_resident)
+        {
+            let ratio = new_bytes / base_bytes;
+            let delta = new_bytes - base_bytes;
+            if ratio > 1.0 + tolerance && delta > MIN_DELTA_BYTES {
+                regressions.push(Regression {
+                    case: base.case.clone(),
+                    residents: base.residents,
+                    metric: "bytes/resident",
+                    baseline: base_bytes,
+                    fresh: new_bytes,
+                    ratio,
+                });
+            }
+        }
     }
     regressions
+}
+
+/// The measured instrumentation cost of one fixture size: the
+/// `store_churn_observed` row against its plain `store_churn` peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverhead {
+    /// Resident-object count the pair was measured at.
+    pub residents: u64,
+    /// Plain `store_churn` ns/op.
+    pub plain_ns: f64,
+    /// Instrumented `store_churn_observed` ns/op.
+    pub observed_ns: f64,
+    /// `(observed - plain) / plain` — 0.15 means 15% overhead.
+    pub overhead: f64,
+}
+
+impl fmt::Display for ObsOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "obs overhead @ {} residents: {:.1} ns/op -> {:.1} ns/op ({:+.0}%)",
+            self.residents,
+            self.plain_ns,
+            self.observed_ns,
+            self.overhead * 100.0
+        )
+    }
+}
+
+/// Derives the observability overhead from one report: every fixture size
+/// carrying both a `store_churn` and a `store_churn_observed` row yields
+/// one [`ObsOverhead`], ordered by resident count. Sizes with only one of
+/// the rows contribute nothing — the caller decides whether an empty
+/// result is acceptable.
+pub fn obs_overheads(cases: &[BenchCase]) -> Vec<ObsOverhead> {
+    let mut out: Vec<ObsOverhead> = cases
+        .iter()
+        .filter(|c| c.case == "store_churn")
+        .filter_map(|plain| {
+            let observed = cases
+                .iter()
+                .find(|c| c.case == "store_churn_observed" && c.residents == plain.residents)?;
+            Some(ObsOverhead {
+                residents: plain.residents,
+                plain_ns: plain.indexed_ns_per_op,
+                observed_ns: observed.indexed_ns_per_op,
+                overhead: (observed.indexed_ns_per_op - plain.indexed_ns_per_op)
+                    / plain.indexed_ns_per_op,
+            })
+        })
+        .collect();
+    out.sort_by_key(|o| o.residents);
+    out
 }
 
 #[cfg(test)]
@@ -154,9 +244,10 @@ mod tests {
   "command": "cargo run --release -p bench-harness --bin bench_engine",
   "unit": "ns per operation",
   "cases": [
-    { "case": "store_churn", "residents": 10000, "indexed_ns_per_op": 2000.0, "naive_ns_per_op": 900000.0, "speedup": 450.0 },
-    { "case": "peek_admission", "residents": 10000, "indexed_ns_per_op": 800.0, "naive_ns_per_op": 800000.0, "speedup": 1000.0 },
-    { "case": "density_sampling", "residents": 100000, "indexed_ns_per_op": 40.0, "naive_ns_per_op": 1400000.0, "speedup": 35000.0 }
+    { "case": "store_churn", "residents": 10000, "indexed_ns_per_op": 2000.0, "naive_ns_per_op": 900000.0, "speedup": 450.0, "bytes_per_resident": 400.0 },
+    { "case": "peek_admission", "residents": 10000, "indexed_ns_per_op": 800.0, "naive_ns_per_op": 800000.0, "speedup": 1000.0, "bytes_per_resident": 400.0 },
+    { "case": "density_sampling", "residents": 100000, "indexed_ns_per_op": 40.0, "naive_ns_per_op": 1400000.0, "speedup": 35000.0, "bytes_per_resident": 380.0 },
+    { "case": "store_churn_observed", "residents": 10000, "indexed_ns_per_op": 2300.0, "naive_ns_per_op": 900000.0, "speedup": 391.3, "bytes_per_resident": 400.0 }
   ]
 }
 "#;
@@ -175,12 +266,20 @@ mod tests {
     #[test]
     fn parses_the_report_shape_bench_engine_emits() {
         let cases = parse_report(REPORT).unwrap();
-        assert_eq!(cases.len(), 3);
+        assert_eq!(cases.len(), 4);
         assert_eq!(cases[0].case, "store_churn");
         assert_eq!(cases[0].residents, 10_000);
         assert_eq!(cases[0].indexed_ns_per_op, 2000.0);
         assert_eq!(cases[0].naive_ns_per_op, 900_000.0);
+        assert_eq!(cases[0].bytes_per_resident, Some(400.0));
         assert_eq!(cases[2].key(), ("density_sampling", 100_000));
+    }
+
+    #[test]
+    fn reports_without_the_memory_column_still_parse() {
+        let legacy = r#"{ "case": "store_churn", "residents": 10000, "indexed_ns_per_op": 2000.0, "naive_ns_per_op": 900000.0, "speedup": 450.0 }"#;
+        let cases = parse_report(legacy).unwrap();
+        assert_eq!(cases[0].bytes_per_resident, None);
     }
 
     #[test]
@@ -188,12 +287,22 @@ mod tests {
         // The gate must keep understanding the real committed artifact.
         let committed = include_str!("../../../BENCH_engine.json");
         let cases = parse_report(committed).unwrap();
-        assert_eq!(cases.len(), 7, "committed baseline has 7 cases");
+        assert_eq!(cases.len(), 8, "committed baseline has 8 cases");
         assert!(cases.iter().all(|c| c.indexed_ns_per_op > 0.0));
         assert!(
-            cases.iter().any(|c| c.case == "store_churn_observed"),
-            "the observability-overhead case must stay in the baseline"
+            cases
+                .iter()
+                .all(|c| c.bytes_per_resident.unwrap_or(0.0) > 0.0),
+            "every baseline case must carry the memory column"
         );
+        for residents in [10_000, 100_000] {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.key() == ("store_churn_observed", residents)),
+                "the observability-overhead case must stay at {residents} residents"
+            );
+        }
     }
 
     #[test]
@@ -215,12 +324,13 @@ mod tests {
         let fresh = doctored(2.0);
         let regressions = compare(&baseline, &fresh, 0.25, 50.0);
         // density_sampling's 40 → 80 ns delta sits under the noise floor;
-        // the two macro cases must both trip the gate.
-        assert_eq!(regressions.len(), 2);
+        // the three macro cases must all trip the gate.
+        assert_eq!(regressions.len(), 3);
         assert!(regressions.iter().any(|r| r.case == "store_churn"));
         assert!(regressions.iter().any(|r| r.case == "peek_admission"));
+        assert!(regressions.iter().any(|r| r.case == "store_churn_observed"));
         assert!(regressions[0].ratio > 1.9 && regressions[0].ratio < 2.1);
-        assert!(regressions[0].to_string().contains("slower"));
+        assert!(regressions[0].to_string().contains("worse"));
     }
 
     #[test]
@@ -228,7 +338,7 @@ mod tests {
         let baseline = parse_report(REPORT).unwrap();
         let fresh = vec![baseline[0].clone()];
         let regressions = compare(&baseline, &fresh, 0.25, 50.0);
-        assert_eq!(regressions.len(), 2);
+        assert_eq!(regressions.len(), 3);
         assert!(regressions.iter().all(|r| r.ratio.is_infinite()));
     }
 
@@ -242,5 +352,44 @@ mod tests {
         // The same ratio past the floor trips.
         fresh[2].indexed_ns_per_op = 120.0;
         assert_eq!(compare(&baseline, &fresh, 0.25, 50.0).len(), 1);
+    }
+
+    #[test]
+    fn memory_column_gates_with_its_own_floor() {
+        let baseline = parse_report(REPORT).unwrap();
+        let mut fresh = baseline.clone();
+        // +15% memory: inside tolerance.
+        fresh[0].bytes_per_resident = Some(460.0);
+        assert!(compare(&baseline, &fresh, 0.25, 50.0).is_empty());
+        // +50% memory: trips, and reports the right column.
+        fresh[0].bytes_per_resident = Some(600.0);
+        let regressions = compare(&baseline, &fresh, 0.25, 50.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "bytes/resident");
+        assert!(regressions[0].to_string().contains("bytes/resident"));
+        // A big ratio on a tiny absolute base stays under the byte floor.
+        let mut tiny = baseline.clone();
+        tiny[1].bytes_per_resident = Some(20.0);
+        let mut tiny_fresh = tiny.clone();
+        tiny_fresh[1].bytes_per_resident = Some(60.0);
+        assert!(compare(&tiny, &tiny_fresh, 0.25, 50.0).is_empty());
+        // Baselines without the column skip the memory check entirely.
+        let mut legacy = baseline.clone();
+        legacy[0].bytes_per_resident = None;
+        fresh[0].bytes_per_resident = Some(10_000.0);
+        assert!(compare(&legacy, &fresh, 0.25, 50.0).is_empty());
+    }
+
+    #[test]
+    fn obs_overhead_pairs_observed_with_plain_rows() {
+        let cases = parse_report(REPORT).unwrap();
+        let overheads = obs_overheads(&cases);
+        assert_eq!(overheads.len(), 1);
+        assert_eq!(overheads[0].residents, 10_000);
+        assert!((overheads[0].overhead - 0.15).abs() < 1e-9);
+        assert!(overheads[0].to_string().contains("+15%"));
+        // An observed row without its plain peer contributes nothing.
+        let orphan = vec![cases[3].clone()];
+        assert!(obs_overheads(&orphan).is_empty());
     }
 }

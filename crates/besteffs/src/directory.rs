@@ -8,7 +8,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error, Serialize};
+use sim_core::fx::FxHashMap;
 use temporal_importance::ObjectId;
 
 use crate::overlay::NodeId;
@@ -89,6 +90,15 @@ pub struct VersionEntry {
 /// convenience; the real system distributes it, but nothing in the paper's
 /// evaluation depends on directory placement.
 ///
+/// Internally names are interned into dense slots: a hash lookup resolves
+/// a name to a `u32` slot once, and every history lives in a slot-indexed
+/// vector — the same arena discipline the storage engine uses for
+/// `ObjectId`s. Purging a failed node edits each history in place (no map
+/// nodes are deallocated and nothing is cloned per sweep); a slot whose
+/// history empties stays interned, and the name simply reads as absent
+/// until it is published again, which restarts at [`Version::FIRST`] —
+/// observationally identical to removing and re-inserting a map entry.
+///
 /// # Examples
 ///
 /// ```
@@ -103,9 +113,17 @@ pub struct VersionEntry {
 /// assert_eq!(v2, Version::FIRST.next());
 /// assert_eq!(dir.latest(&name).unwrap().object, ObjectId::new(11));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: BTreeMap<ObjectName, Vec<VersionEntry>>,
+    /// Interned name → slot. The map owns a clone of the name; `names`
+    /// keeps the iteration copy.
+    by_name: FxHashMap<ObjectName, u32>,
+    /// Slot → name.
+    names: Vec<ObjectName>,
+    /// Slot → version history, edited in place by purges.
+    histories: Vec<Vec<VersionEntry>>,
+    /// Slots whose history is non-empty (the directory's visible size).
+    live: usize,
 }
 
 impl Directory {
@@ -132,7 +150,20 @@ impl Directory {
         node: NodeId,
         incarnation: u64,
     ) -> Version {
-        let history = self.entries.entry(name).or_default();
+        let slot = match self.by_name.get(&name) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = self.names.len();
+                self.by_name.insert(name.clone(), slot as u32);
+                self.names.push(name);
+                self.histories.push(Vec::new());
+                slot
+            }
+        };
+        let history = &mut self.histories[slot];
+        if history.is_empty() {
+            self.live += 1;
+        }
         history.push(VersionEntry {
             object,
             node,
@@ -141,49 +172,125 @@ impl Directory {
         Version(history.len() as u32)
     }
 
+    /// The full version history of `name`, oldest first (empty if the
+    /// name is unknown or fully purged). Borrowed straight from the
+    /// slot's storage — reading a history allocates nothing.
+    pub fn versions(&self, name: &ObjectName) -> &[VersionEntry] {
+        self.by_name
+            .get(name)
+            .map(|&slot| self.histories[slot as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
     /// The latest version's entry, if the name exists.
     pub fn latest(&self, name: &ObjectName) -> Option<VersionEntry> {
-        self.entries.get(name).and_then(|h| h.last().copied())
+        self.versions(name).last().copied()
     }
 
     /// A specific version's entry.
     pub fn version(&self, name: &ObjectName, version: Version) -> Option<VersionEntry> {
         let index = version.0.checked_sub(1)? as usize;
-        self.entries.get(name).and_then(|h| h.get(index).copied())
+        self.versions(name).get(index).copied()
     }
 
     /// Number of versions recorded for `name` (zero if unknown).
     pub fn version_count(&self, name: &ObjectName) -> usize {
-        self.entries.get(name).map_or(0, Vec::len)
+        self.versions(name).len()
     }
 
     /// Iterates over all names in order.
     pub fn names(&self) -> impl Iterator<Item = &ObjectName> {
-        self.entries.keys()
+        let mut live: Vec<&ObjectName> = self
+            .names
+            .iter()
+            .zip(&self.histories)
+            .filter(|(_, history)| !history.is_empty())
+            .map(|(name, _)| name)
+            .collect();
+        live.sort_unstable();
+        live.into_iter()
     }
 
     /// Number of distinct names.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True if the directory is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Drops directory entries that point at a failed node (the objects
     /// are gone; Besteffs does not replicate). Returns how many version
     /// entries were dropped.
+    ///
+    /// Runs entirely in place over the slot arrays: surviving entries
+    /// shift down within their history's existing buffer, so a purge
+    /// sweep performs no allocation regardless of how many entries drop.
     pub fn purge_node(&mut self, node: NodeId) -> usize {
         let mut dropped = 0;
-        self.entries.retain(|_, history| {
+        for history in &mut self.histories {
+            if history.is_empty() {
+                continue;
+            }
             let before = history.len();
             history.retain(|e| e.node != node);
             dropped += before - history.len();
-            !history.is_empty()
-        });
+            if history.is_empty() {
+                self.live -= 1;
+            }
+        }
         dropped
+    }
+}
+
+/// Serializes as `{"entries": {name: [versions...]}}` with names in
+/// sorted order and fully-purged names omitted — byte-identical to the
+/// `BTreeMap<ObjectName, Vec<VersionEntry>>` layout this type had before
+/// names were interned, so stored snapshots keep working.
+impl Serialize for Directory {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(&ObjectName, &Vec<VersionEntry>)> = self
+            .names
+            .iter()
+            .zip(&self.histories)
+            .filter(|(_, history)| !history.is_empty())
+            .collect();
+        entries.sort_unstable_by_key(|&(name, _)| name);
+        let map = entries
+            .into_iter()
+            .map(|(name, history)| (name.0.clone(), history.to_content()))
+            .collect();
+        Content::Map(vec![("entries".to_string(), Content::Map(map))])
+    }
+}
+
+impl Deserialize for Directory {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let raw: BTreeMap<ObjectName, Vec<VersionEntry>> = match content {
+            Content::Map(fields) => match fields.iter().find(|(key, _)| key == "entries") {
+                Some((_, entries)) => Deserialize::deserialize(entries)?,
+                None => return Err(Error::custom("missing field `entries`")),
+            },
+            other => {
+                return Err(Error::custom(format!(
+                    "invalid type: expected object, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let mut dir = Directory::new();
+        for (name, history) in raw {
+            let slot = dir.names.len();
+            dir.by_name.insert(name.clone(), slot as u32);
+            dir.names.push(name);
+            if !history.is_empty() {
+                dir.live += 1;
+            }
+            dir.histories.push(history);
+        }
+        Ok(dir)
     }
 }
 
@@ -244,5 +351,84 @@ mod tests {
         assert_eq!(ObjectName::from("x").to_string(), "x");
         assert_eq!(Version::FIRST.to_string(), "v1");
         assert_eq!(Version::FIRST.next().number(), 2);
+    }
+
+    #[test]
+    fn republishing_a_fully_purged_name_restarts_versions() {
+        let mut dir = Directory::new();
+        let name = ObjectName::from("phoenix");
+        dir.publish(name.clone(), ObjectId::new(1), NodeId::new(0));
+        dir.publish(name.clone(), ObjectId::new(2), NodeId::new(0));
+        assert_eq!(dir.purge_node(NodeId::new(0)), 2);
+        assert!(dir.is_empty());
+        assert_eq!(dir.latest(&name), None);
+        assert!(dir.versions(&name).is_empty());
+        // The slot is reused, but the name behaves like a fresh insert.
+        assert_eq!(
+            dir.publish(name.clone(), ObjectId::new(3), NodeId::new(1)),
+            Version::FIRST
+        );
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.latest(&name).unwrap().object, ObjectId::new(3));
+    }
+
+    #[test]
+    fn versions_borrows_the_full_history() {
+        let mut dir = Directory::new();
+        let name = ObjectName::from("a");
+        dir.publish(name.clone(), ObjectId::new(1), NodeId::new(0));
+        dir.publish(name.clone(), ObjectId::new(2), NodeId::new(1));
+        let history = dir.versions(&name);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].object, ObjectId::new(1));
+        assert_eq!(history[1].object, ObjectId::new(2));
+        assert!(dir.versions(&ObjectName::from("missing")).is_empty());
+    }
+
+    #[test]
+    fn names_iterate_sorted_regardless_of_publish_order() {
+        let mut dir = Directory::new();
+        for name in ["zeta", "alpha", "mid"] {
+            dir.publish(ObjectName::from(name), ObjectId::new(1), NodeId::new(0));
+        }
+        let seen: Vec<&str> = dir.names().map(ObjectName::as_str).collect();
+        assert_eq!(seen, ["alpha", "mid", "zeta"]);
+    }
+
+    /// The interned layout must serialize exactly like the
+    /// `BTreeMap<ObjectName, Vec<VersionEntry>>` it replaced: sorted
+    /// names, purged names omitted, and `{"entries": ...}` framing.
+    #[test]
+    fn serde_format_matches_the_old_map_layout() {
+        let mut dir = Directory::new();
+        dir.publish(ObjectName::from("b"), ObjectId::new(2), NodeId::new(1));
+        dir.publish(ObjectName::from("a"), ObjectId::new(1), NodeId::new(0));
+        dir.publish(ObjectName::from("gone"), ObjectId::new(3), NodeId::new(2));
+        dir.purge_node(NodeId::new(2));
+
+        let json = serde_json::to_string(&dir).expect("serialize directory");
+        let a = json.find("\"a\"").expect("a serialized");
+        let b = json.find("\"b\"").expect("b serialized");
+        assert!(a < b, "names must serialize sorted: {json}");
+        assert!(
+            !json.contains("gone"),
+            "purged names must be omitted: {json}"
+        );
+        assert!(
+            json.starts_with("{\"entries\":{"),
+            "framing changed: {json}"
+        );
+
+        let back: Directory = serde_json::from_str(&json).expect("deserialize directory");
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.latest(&ObjectName::from("a")).unwrap().object,
+            ObjectId::new(1)
+        );
+        assert_eq!(
+            back.latest(&ObjectName::from("b")).unwrap().node,
+            NodeId::new(1)
+        );
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

@@ -1,0 +1,345 @@
+//! A generational slab arena assigning dense `u32` slots to stored objects.
+//!
+//! The engine's per-object bookkeeping used to live in `ObjectId`-keyed
+//! maps; every hot-path touch paid a hash or tree lookup. The arena gives
+//! each resident object a dense `u32` slot at admission, so the engine's
+//! indexes ([`dense`](crate::dense)) can address per-object metadata with
+//! a plain vector index. Slots are recycled through a free list, and each
+//! slot carries a generation counter bumped on removal: a stale
+//! [`ArenaIdx`] held across a recycle can never alias the new occupant
+//! (the ABA guard the arena property tests pin down).
+//!
+//! Serialization round-trips through exactly the same content tree as the
+//! `BTreeMap<ObjectId, StoredObject>` it replaced — an id-keyed object map
+//! in ascending id order — so persisted units remain byte-identical.
+
+use serde::{Content, Deserialize, Error, Serialize};
+use sim_core::fx::FxHashMap;
+
+use crate::{ObjectId, StoredObject};
+
+/// A generation-checked handle to an arena slot.
+///
+/// Resolving a handle after its object was removed (and even after the
+/// slot was recycled for a different object) yields `None` rather than
+/// the new occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaIdx {
+    slot: u32,
+    generation: u32,
+}
+
+impl ArenaIdx {
+    /// The dense slot index (valid only while the generation matches).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The slot generation this handle was issued under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    object: Option<StoredObject>,
+}
+
+/// A generational arena of [`StoredObject`]s with dense `u32` slots.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{ByteSize, SimTime};
+/// use temporal_importance::arena::ObjectArena;
+/// use temporal_importance::{ImportanceCurve, ObjectId, ObjectSpec, StoredObject};
+///
+/// let mut arena = ObjectArena::new();
+/// let spec = ObjectSpec::new(ObjectId::new(7), ByteSize::from_mib(1), ImportanceCurve::Persistent);
+/// let idx = arena.insert(StoredObject::from_spec(spec, SimTime::ZERO));
+/// assert_eq!(arena.resolve(idx).unwrap().id(), ObjectId::new(7));
+/// arena.remove(ObjectId::new(7));
+/// assert!(arena.resolve(idx).is_none(), "stale handles never alias");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    by_id: FxHashMap<ObjectId, u32>,
+    len: usize,
+}
+
+impl ObjectArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ObjectArena::default()
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no objects are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if an object with this id is resident.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Admits an object, assigning it a dense slot (recycled if any are
+    /// free, fresh otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an object with the same id is already resident; callers
+    /// check [`contains`](ObjectArena::contains) first.
+    pub fn insert(&mut self, object: StoredObject) -> ArenaIdx {
+        let id = object.id();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let entry = &mut self.slots[slot as usize];
+                debug_assert!(entry.object.is_none(), "free-listed slot is occupied");
+                entry.object = Some(object);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena slot overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    object: Some(object),
+                });
+                slot
+            }
+        };
+        // One hash probe covers both the duplicate check and the mapping.
+        let previous = self.by_id.insert(id, slot);
+        assert!(previous.is_none(), "duplicate object id {id}");
+        self.len += 1;
+        ArenaIdx {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        }
+    }
+
+    /// Removes an object by id, returning it.
+    pub fn remove(&mut self, id: ObjectId) -> Option<StoredObject> {
+        self.remove_entry(id).map(|(_, object)| object)
+    }
+
+    /// Removes an object by id, returning its slot and the object. The
+    /// slot's generation is bumped so existing handles go stale before the
+    /// slot is recycled.
+    pub(crate) fn remove_entry(&mut self, id: ObjectId) -> Option<(u32, StoredObject)> {
+        let slot = self.by_id.remove(&id)?;
+        let entry = &mut self.slots[slot as usize];
+        let object = entry.object.take().expect("mapped slot is occupied");
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        Some((slot, object))
+    }
+
+    /// The current handle for a resident id.
+    pub fn lookup(&self, id: ObjectId) -> Option<ArenaIdx> {
+        let slot = *self.by_id.get(&id)?;
+        Some(ArenaIdx {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        })
+    }
+
+    /// Resolves a handle, failing if the object was removed since the
+    /// handle was issued — even if the slot has been recycled.
+    pub fn resolve(&self, idx: ArenaIdx) -> Option<&StoredObject> {
+        let entry = self.slots.get(idx.slot as usize)?;
+        if entry.generation != idx.generation {
+            return None;
+        }
+        entry.object.as_ref()
+    }
+
+    /// Looks up a resident object by id.
+    pub fn get(&self, id: ObjectId) -> Option<&StoredObject> {
+        let slot = *self.by_id.get(&id)?;
+        self.slots[slot as usize].object.as_ref()
+    }
+
+    /// Mutable access by id, paired with the object's slot.
+    pub(crate) fn get_mut(&mut self, id: ObjectId) -> Option<(u32, &mut StoredObject)> {
+        let slot = *self.by_id.get(&id)?;
+        self.slots[slot as usize]
+            .object
+            .as_mut()
+            .map(|object| (slot, object))
+    }
+
+    /// The object occupying `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant — callers hold slots obtained from the
+    /// live index, which is kept in lockstep with the arena.
+    #[inline]
+    pub(crate) fn at(&self, slot: u32) -> &StoredObject {
+        self.slots[slot as usize]
+            .object
+            .as_ref()
+            .expect("indexed slot is vacant")
+    }
+
+    /// Resident objects in unspecified (slot) order.
+    pub(crate) fn values(&self) -> impl Iterator<Item = &StoredObject> {
+        self.slots.iter().filter_map(|slot| slot.object.as_ref())
+    }
+
+    /// Resident objects in ascending id order — the iteration order of the
+    /// `BTreeMap` this arena replaced, which ordered float accumulations
+    /// and trace output depend on. Sorts on demand: O(n log n), for
+    /// scan/rebuild paths only, never per-operation.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredObject> {
+        let mut refs: Vec<&StoredObject> = self.values().collect();
+        refs.sort_unstable_by_key(|object| object.id());
+        refs.into_iter()
+    }
+
+    /// Resident `(slot, object)` pairs in ascending id order (the rebuild
+    /// path, matching the insertion order of a fresh index).
+    pub(crate) fn entries_by_id(&self) -> impl Iterator<Item = (u32, &StoredObject)> {
+        let mut refs: Vec<(u32, &StoredObject)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| entry.object.as_ref().map(|o| (slot as u32, o)))
+            .collect();
+        refs.sort_unstable_by_key(|&(_, object)| object.id());
+        refs.into_iter()
+    }
+}
+
+impl Serialize for ObjectArena {
+    fn to_content(&self) -> Content {
+        // Identical to BTreeMap<ObjectId, StoredObject>: an object map
+        // keyed by decimal id in ascending order.
+        Content::Map(
+            self.iter()
+                .map(|object| (object.id().raw().to_string(), object.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for ObjectArena {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let entries = match content {
+            Content::Map(entries) => entries,
+            other => {
+                return Err(Error::custom(format!(
+                    "invalid type: expected object, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let mut arena = ObjectArena::new();
+        for (key, value) in entries {
+            key.parse::<u64>()
+                .map_err(|_| Error::custom(format!("invalid object id key `{key}`")))?;
+            let object = StoredObject::deserialize(value)?;
+            if arena.contains(object.id()) {
+                return Err(Error::custom(format!(
+                    "duplicate object id {}",
+                    object.id()
+                )));
+            }
+            arena.insert(object);
+        }
+        Ok(arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImportanceCurve, ObjectSpec};
+    use sim_core::{ByteSize, SimTime};
+    use std::collections::BTreeMap;
+
+    fn object(id: u64) -> StoredObject {
+        let spec = ObjectSpec::new(
+            ObjectId::new(id),
+            ByteSize::from_mib(1),
+            ImportanceCurve::Persistent,
+        );
+        StoredObject::from_spec(spec, SimTime::ZERO)
+    }
+
+    #[test]
+    fn slots_are_dense_and_recycled() {
+        let mut arena = ObjectArena::new();
+        let a = arena.insert(object(10));
+        let b = arena.insert(object(20));
+        assert_eq!((a.slot(), b.slot()), (0, 1));
+        arena.remove(ObjectId::new(10));
+        let c = arena.insert(object(30));
+        assert_eq!(c.slot(), 0, "freed slot is recycled");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn stale_handles_never_alias_recycled_slots() {
+        let mut arena = ObjectArena::new();
+        let a = arena.insert(object(10));
+        arena.remove(ObjectId::new(10));
+        assert!(arena.resolve(a).is_none());
+        let b = arena.insert(object(30));
+        assert_eq!(b.slot(), a.slot());
+        assert_ne!(b.generation(), a.generation());
+        assert!(arena.resolve(a).is_none(), "stale generation rejected");
+        assert_eq!(arena.resolve(b).unwrap().id(), ObjectId::new(30));
+    }
+
+    #[test]
+    fn iter_is_in_id_order_regardless_of_slot_order() {
+        let mut arena = ObjectArena::new();
+        arena.insert(object(5));
+        arena.insert(object(1));
+        arena.remove(ObjectId::new(5));
+        arena.insert(object(3)); // recycles slot 0
+        let ids: Vec<u64> = arena.iter().map(|o| o.id().raw()).collect();
+        assert_eq!(ids, vec![1, 3]);
+        let slots: Vec<u32> = arena.entries_by_id().map(|(slot, _)| slot).collect();
+        assert_eq!(slots, vec![1, 0]);
+    }
+
+    #[test]
+    fn serde_matches_the_btreemap_format() {
+        let mut arena = ObjectArena::new();
+        arena.insert(object(7));
+        arena.insert(object(2));
+        let mut map = BTreeMap::new();
+        map.insert(ObjectId::new(7), object(7));
+        map.insert(ObjectId::new(2), object(2));
+        assert_eq!(arena.to_content(), map.to_content());
+
+        let back = ObjectArena::deserialize(&arena.to_content()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(ObjectId::new(7)).unwrap().id(), ObjectId::new(7));
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_keys_and_duplicates() {
+        let bad_key = Content::Map(vec![("x".into(), object(1).to_content())]);
+        assert!(ObjectArena::deserialize(&bad_key).is_err());
+        let dup = Content::Map(vec![
+            ("1".into(), object(1).to_content()),
+            ("1".into(), object(1).to_content()),
+        ]);
+        assert!(ObjectArena::deserialize(&dup).is_err());
+        assert!(ObjectArena::deserialize(&Content::Null).is_err());
+    }
+}

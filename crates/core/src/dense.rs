@@ -1,0 +1,465 @@
+//! Dense, allocation-light index structures for the reclamation engine.
+//!
+//! The engine's hot indexes used to be `BTreeSet`s and `BTreeMap`s keyed
+//! by `ObjectId` tuples: pointer-chasing node trees with an allocation per
+//! insert. This module replaces them with two flat layouts over the
+//! arena's dense `u32` slots:
+//!
+//! * [`SortedList`] — a struct-of-arrays sorted associative list (parallel
+//!   key and payload vectors) with tombstone deletion, a dead-prefix head
+//!   pointer, and amortized compaction. Iteration yields live entries in
+//!   exactly the key order the old `BTreeSet`s produced, which the golden
+//!   trace pins.
+//! * [`TotalMap`] — a *total* map from arena slots to values: a dense
+//!   vector plus one default value that stands in for every slot the
+//!   vector has not materialized. Reads never miss and writes of the
+//!   default beyond the materialized tail cost nothing.
+
+/// Payload value marking a deleted [`SortedList`] entry.
+///
+/// Payloads are arena slots (at most `u32::MAX`) optionally packed with a
+/// small tag, so `u64::MAX` is never a live payload.
+pub const TOMBSTONE: u64 = u64::MAX;
+
+/// A sorted associative list `K -> u64` in struct-of-arrays layout.
+///
+/// Keys are kept sorted and unique in one vector with payloads in a
+/// parallel vector. Removal tombstones the payload in place (no memmove);
+/// re-inserting an exact tombstoned key resurrects the entry in place,
+/// which makes the engine's unregister/register cycles on an unchanged
+/// eviction key O(log n) with no element shifting. A head pointer skips
+/// the dead prefix that queue-like pop-front usage produces, and the list
+/// compacts once dead entries outnumber live ones, so space stays O(live)
+/// amortized.
+///
+/// # Examples
+///
+/// ```
+/// use temporal_importance::dense::SortedList;
+///
+/// let mut list = SortedList::new();
+/// list.insert((5u64, 1u64), 50);
+/// list.insert((3, 2), 30);
+/// list.insert((9, 0), 90);
+/// list.remove(&(3, 2));
+/// assert_eq!(list.first(), Some(((5, 1), 50)));
+/// let keys: Vec<_> = list.iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![(5, 1), (9, 0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedList<K> {
+    keys: Vec<K>,
+    payloads: Vec<u64>,
+    /// Index of the first live entry (== `keys.len()` when empty); every
+    /// position before it is a tombstone.
+    head: usize,
+    live: usize,
+}
+
+impl<K> Default for SortedList<K> {
+    fn default() -> Self {
+        SortedList {
+            keys: Vec::new(),
+            payloads: Vec::new(),
+            head: 0,
+            live: 0,
+        }
+    }
+}
+
+impl<K: Ord + Copy> SortedList<K> {
+    /// An empty list.
+    pub fn new() -> Self {
+        SortedList::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts `key -> payload`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `key` is already live or `payload` is
+    /// [`TOMBSTONE`]. Keys must be unique among live entries.
+    pub fn insert(&mut self, key: K, payload: u64) {
+        debug_assert_ne!(payload, TOMBSTONE, "TOMBSTONE is reserved");
+        // Fast path: engine keys are largely time-monotone, so most
+        // inserts append past the current maximum.
+        match self.keys.last() {
+            None => {
+                self.keys.push(key);
+                self.payloads.push(payload);
+                self.head = 0;
+                self.live = 1;
+                return;
+            }
+            Some(&last) if key > last => {
+                self.keys.push(key);
+                self.payloads.push(payload);
+                self.live += 1;
+                return;
+            }
+            Some(_) => {}
+        }
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                debug_assert_eq!(self.payloads[pos], TOMBSTONE, "duplicate live key");
+                self.payloads[pos] = payload;
+                self.live += 1;
+                if pos < self.head {
+                    self.head = pos;
+                }
+            }
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                self.payloads.insert(pos, payload);
+                self.live += 1;
+                if pos < self.head {
+                    self.head = pos;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its payload if it was live.
+    pub fn remove(&mut self, key: &K) -> Option<u64> {
+        // Fast path: evictions overwhelmingly take a stream's head (plans
+        // pop global minima from the merge), and the head is always live.
+        if self.head < self.keys.len() && self.keys[self.head] == *key {
+            let payload = self.payloads[self.head];
+            self.payloads[self.head] = TOMBSTONE;
+            self.live -= 1;
+            if self.live == 0 {
+                self.keys.clear();
+                self.payloads.clear();
+                self.head = 0;
+                return Some(payload);
+            }
+            self.head += 1;
+            while self.payloads[self.head] == TOMBSTONE {
+                self.head += 1;
+            }
+            self.maybe_compact();
+            return Some(payload);
+        }
+        let pos = self.keys.binary_search(key).ok()?;
+        let payload = self.payloads[pos];
+        if payload == TOMBSTONE {
+            return None;
+        }
+        self.payloads[pos] = TOMBSTONE;
+        self.live -= 1;
+        if self.live == 0 {
+            self.keys.clear();
+            self.payloads.clear();
+            self.head = 0;
+            return Some(payload);
+        }
+        if pos == self.head {
+            while self.payloads[self.head] == TOMBSTONE {
+                self.head += 1;
+            }
+        }
+        self.maybe_compact();
+        Some(payload)
+    }
+
+    /// The minimum live entry.
+    pub fn first(&self) -> Option<(K, u64)> {
+        (self.head < self.keys.len()).then(|| (self.keys[self.head], self.payloads[self.head]))
+    }
+
+    /// Removes and returns the minimum live entry.
+    pub fn pop_first(&mut self) -> Option<(K, u64)> {
+        let (key, payload) = self.first()?;
+        self.payloads[self.head] = TOMBSTONE;
+        self.live -= 1;
+        if self.live == 0 {
+            self.keys.clear();
+            self.payloads.clear();
+            self.head = 0;
+        } else {
+            self.head += 1;
+            while self.payloads[self.head] == TOMBSTONE {
+                self.head += 1;
+            }
+            self.maybe_compact();
+        }
+        Some((key, payload))
+    }
+
+    /// Live entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.keys[self.head..]
+            .iter()
+            .zip(&self.payloads[self.head..])
+            .filter(|&(_, &payload)| payload != TOMBSTONE)
+            .map(|(&key, &payload)| (key, payload))
+    }
+
+    /// Live entries with key `>= from`, in ascending key order.
+    pub fn iter_from(&self, from: K) -> impl Iterator<Item = (K, u64)> + '_ {
+        let start = self.keys.partition_point(|k| *k < from).max(self.head);
+        self.keys[start..]
+            .iter()
+            .zip(&self.payloads[start..])
+            .filter(|&(_, &payload)| payload != TOMBSTONE)
+            .map(|(&key, &payload)| (key, payload))
+    }
+
+    /// The cursor position of the first (possibly dead) stored entry —
+    /// feed it to [`next_live`](SortedList::next_live) to stream payloads
+    /// in key order without borrowing the key vector.
+    pub fn start(&self) -> usize {
+        self.head
+    }
+
+    /// The first live payload at a position `>= pos`, paired with the
+    /// position to resume from. Together with
+    /// [`start`](SortedList::start), this is a heap-friendly cursor: plan
+    /// merges keep `(payload, resume)` pairs in their binary heap instead
+    /// of boxed iterators.
+    pub fn next_live(&self, mut pos: usize) -> Option<(u64, usize)> {
+        while let Some(&payload) = self.payloads.get(pos) {
+            pos += 1;
+            if payload != TOMBSTONE {
+                return Some((payload, pos));
+            }
+        }
+        None
+    }
+
+    /// [`next_live`](SortedList::next_live) with the entry's key included —
+    /// for cursors whose consumers derive ordering information from the
+    /// key itself rather than the payload's referent.
+    pub fn next_live_kv(&self, mut pos: usize) -> Option<(K, u64, usize)> {
+        while let Some(&payload) = self.payloads.get(pos) {
+            pos += 1;
+            if payload != TOMBSTONE {
+                return Some((self.keys[pos - 1], payload, pos));
+            }
+        }
+        None
+    }
+
+    /// Drops tombstones once they outnumber live entries, keeping storage
+    /// O(live) with amortized O(1) cost per removal.
+    fn maybe_compact(&mut self) {
+        let dead = self.keys.len() - self.live;
+        if dead <= self.live || self.keys.len() < 64 {
+            return;
+        }
+        let mut write = 0;
+        for read in 0..self.keys.len() {
+            if self.payloads[read] != TOMBSTONE {
+                self.keys[write] = self.keys[read];
+                self.payloads[write] = self.payloads[read];
+                write += 1;
+            }
+        }
+        self.keys.truncate(write);
+        self.payloads.truncate(write);
+        self.head = 0;
+    }
+}
+
+/// A total map from dense `u32` indices to values.
+///
+/// Backed by a vector that only materializes up to the highest index
+/// actually written with a non-default value; every index beyond the tail
+/// reads as the shared default. This is the "commonality" idiom for
+/// sparse per-object metadata: the common value is stored once, and only
+/// uncommon values occupy memory.
+///
+/// # Examples
+///
+/// ```
+/// use temporal_importance::dense::TotalMap;
+///
+/// let mut ages = TotalMap::new(0u64);
+/// assert_eq!(*ages.get(1_000_000), 0); // never materialized
+/// ages.set(3, 7);
+/// assert_eq!(*ages.get(3), 7);
+/// assert_eq!(*ages.get(4), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TotalMap<V> {
+    default: V,
+    dense: Vec<V>,
+}
+
+impl<V: Clone + PartialEq> TotalMap<V> {
+    /// A total map where every index currently reads as `default`.
+    pub fn new(default: V) -> Self {
+        TotalMap {
+            default,
+            dense: Vec::new(),
+        }
+    }
+
+    /// The value at `index` (the default if unmaterialized).
+    #[inline]
+    pub fn get(&self, index: u32) -> &V {
+        self.dense.get(index as usize).unwrap_or(&self.default)
+    }
+
+    /// Sets the value at `index`. Writing the default past the
+    /// materialized tail is free.
+    pub fn set(&mut self, index: u32, value: V) {
+        let index = index as usize;
+        if index >= self.dense.len() {
+            if value == self.default {
+                return;
+            }
+            self.dense.resize(index + 1, self.default.clone());
+        }
+        self.dense[index] = value;
+    }
+
+    /// Replaces the value at `index` with the default, returning the old
+    /// value.
+    pub fn take(&mut self, index: u32) -> V {
+        let index = index as usize;
+        if index >= self.dense.len() {
+            return self.default.clone();
+        }
+        std::mem::replace(&mut self.dense[index], self.default.clone())
+    }
+
+    /// Number of materialized (dense) entries.
+    pub fn materialized(&self) -> usize {
+        self.dense.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_remove_first_matches_btree_order() {
+        let mut list = SortedList::new();
+        let mut model = BTreeMap::new();
+        for key in [5u64, 1, 9, 3, 7, 2, 8] {
+            list.insert(key, key * 10);
+            model.insert(key, key * 10);
+        }
+        list.remove(&1);
+        model.remove(&1);
+        list.remove(&9);
+        model.remove(&9);
+        assert_eq!(list.len(), model.len());
+        let flat: Vec<_> = list.iter().collect();
+        let expected: Vec<_> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(flat, expected);
+        assert_eq!(list.first(), Some((2, 20)));
+    }
+
+    #[test]
+    fn tombstone_resurrection_reuses_the_slot() {
+        let mut list = SortedList::new();
+        list.insert(4u64, 1);
+        list.insert(6, 2);
+        list.remove(&4);
+        assert_eq!(list.len(), 1);
+        list.insert(4, 3); // exact-key reinsert: no shifting
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.first(), Some((4, 3)));
+    }
+
+    #[test]
+    fn pop_first_drains_in_order() {
+        let mut list = SortedList::new();
+        for key in [3u64, 1, 2] {
+            list.insert(key, key);
+        }
+        assert_eq!(list.pop_first(), Some((1, 1)));
+        assert_eq!(list.pop_first(), Some((2, 2)));
+        assert_eq!(list.pop_first(), Some((3, 3)));
+        assert_eq!(list.pop_first(), None);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn iter_from_starts_at_the_bound() {
+        let mut list = SortedList::new();
+        for key in [10u64, 20, 30, 40] {
+            list.insert(key, key);
+        }
+        list.remove(&20);
+        let tail: Vec<_> = list.iter_from(20).map(|(k, _)| k).collect();
+        assert_eq!(tail, vec![30, 40]);
+        assert!(list.iter_from(41).next().is_none());
+    }
+
+    #[test]
+    fn cursor_streams_payloads_in_key_order() {
+        let mut list = SortedList::new();
+        for key in [2u64, 4, 6, 8] {
+            list.insert(key, key * 100);
+        }
+        list.remove(&4);
+        let mut pos = list.start();
+        let mut seen = Vec::new();
+        while let Some((payload, next)) = list.next_live(pos) {
+            seen.push(payload);
+            pos = next;
+        }
+        assert_eq!(seen, vec![200, 600, 800]);
+    }
+
+    #[test]
+    fn compaction_bounds_storage() {
+        let mut list = SortedList::new();
+        for key in 0..200u64 {
+            list.insert(key, key);
+        }
+        for key in 0..150u64 {
+            list.remove(&key);
+        }
+        assert_eq!(list.len(), 50);
+        // After compaction the dead cannot outnumber the live (for lists
+        // past the small-size threshold).
+        let stored = list.iter().count();
+        assert_eq!(stored, 50);
+        let remaining: Vec<_> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(remaining, (150..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emptied_lists_reset_storage() {
+        let mut list = SortedList::new();
+        list.insert(1u64, 1);
+        list.insert(2, 2);
+        list.remove(&2);
+        list.remove(&1);
+        assert!(list.is_empty());
+        assert_eq!(list.first(), None);
+        list.insert(5, 5);
+        assert_eq!(list.first(), Some((5, 5)));
+    }
+
+    #[test]
+    fn total_map_defaults_and_materialization() {
+        let mut map = TotalMap::new(0u32);
+        map.set(10, 0); // default past the tail: free
+        assert_eq!(map.materialized(), 0);
+        map.set(2, 9);
+        assert_eq!(map.materialized(), 3);
+        assert_eq!(*map.get(2), 9);
+        assert_eq!(*map.get(1), 0);
+        assert_eq!(*map.get(100), 0);
+        assert_eq!(map.take(2), 9);
+        assert_eq!(*map.get(2), 0);
+        assert_eq!(map.take(50), 0);
+    }
+}

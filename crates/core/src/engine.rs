@@ -26,18 +26,44 @@
 //!   a linear part (value at a reference time plus aggregate slope) and
 //!   per-half-life exponential parts, giving O(1) density reads.
 //!
+//! All of this is laid out over the unit's [`ObjectArena`] slots: the
+//! ordered structures are [`SortedList`]s mapping eviction keys to dense
+//! `u32` slots (struct-of-arrays, no per-entry allocation), and per-object
+//! classification state lives in slot-indexed [`TotalMap`] columns instead
+//! of an id-keyed hash map. Entry keys still end in `ObjectId` — ids are
+//! the §5.3 tiebreaker — but every lookup from a candidate back to its
+//! object is a vector index, not a hash probe. The iteration order of each
+//! list equals the `BTreeSet` ordering it replaced, which the golden trace
+//! pins.
+//!
 //! Preemption planning k-way merges the expired set, the settled set and
 //! the group cursors, lazily computing each head's exact eviction key, so
 //! it visits `O(victims + groups)` objects instead of all of them.
 //!
 //! [`StorageUnit`]: crate::StorageUnit
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
+use sim_core::fx::FxHashMap;
 use sim_core::{Obs, SimDuration, SimTime};
 
+use crate::arena::ObjectArena;
 use crate::curve::SegmentForm;
-use crate::{ImportanceCurve, ObjectId, StoredObject};
+use crate::dense::{SortedList, TotalMap};
+use crate::{EvictionPolicy, Importance, ImportanceCurve, ObjectId, StoredObject};
+
+/// The §5.3 eviction order as a total order: ascending current importance,
+/// then remaining lifetime with never-expiring objects last, then arrival,
+/// then id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EvictionKey {
+    pub(crate) importance: Importance,
+    pub(crate) never_expires: bool,
+    pub(crate) remaining: u64,
+    pub(crate) arrival: SimTime,
+    pub(crate) id: ObjectId,
+}
 
 /// Hashable identity of a curve's shape: two objects with the same
 /// `ShapeKey` have pointwise-identical curves (floats compared by bit
@@ -107,8 +133,10 @@ impl ShapeKey {
 /// Which ordered candidate structure an object currently lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Home {
+    /// Not indexed — the [`TotalMap`] default for unoccupied slots.
+    Absent,
     /// Shape group `groups[i]`, keyed by `(annotated_at, arrival, id)`.
-    Group(usize),
+    Group(u32),
     /// Never-expiring final constant segment, keyed by the value's bits.
     Settled(u64),
     /// Expired with importance zero, keyed by `(arrival, id)`.
@@ -143,17 +171,10 @@ pub(crate) enum EventKind {
     Finalize,
 }
 
-/// Per-object index entry, capturing the state the object was classified
-/// with so it can be unregistered exactly even after the object mutates.
-#[derive(Debug, Clone)]
-struct Entry {
-    ann: SimTime,
-    arrival: SimTime,
-    size_f: f64,
-    home: Home,
-    reg: Registered,
-    event: Option<SimTime>,
-}
+/// A pending breakpoint in the lazy event heap: `(fire time, id, slot)`.
+/// Min-ordered by `(fire, id)`; the slot rides along so a popped entry can
+/// be validated against the per-slot columns without a lookup.
+type EventEntry = Reverse<(SimTime, ObjectId, u32)>;
 
 /// Neumaier-compensated running sum: keeps the density accumulators
 /// accurate through millions of incremental add/remove/integrate steps.
@@ -293,82 +314,184 @@ impl DensityAccum {
 
 /// The incremental index over a unit's objects. Rebuilt from scratch after
 /// deserialization (every field is `#[serde(skip)]` on the unit).
-#[derive(Debug, Clone, Default)]
+///
+/// Ordered structures are [`SortedList`]s whose payloads are arena slots;
+/// per-object classification state lives in slot-indexed [`TotalMap`]
+/// columns (struct-of-arrays) so registering/unregistering an object never
+/// hashes its id.
+#[derive(Debug, Clone)]
 pub(crate) struct EngineIndex {
     /// The time the index is classified at; only moves forward.
     clock: SimTime,
-    entries: HashMap<ObjectId, Entry>,
-    /// Pending breakpoints, keyed `(fire time, id)`.
-    events: BTreeMap<(SimTime, ObjectId), EventKind>,
+    /// Number of indexed objects.
+    len: usize,
+    /// Per-slot ids of indexed objects (meaningful only while the slot's
+    /// `event` column is populated — it gates heap-entry validation).
+    ids: TotalMap<ObjectId>,
+    /// Per-slot annotation instants of indexed objects.
+    ann: TotalMap<SimTime>,
+    /// Per-slot arrival instants of indexed objects.
+    arrival: TotalMap<SimTime>,
+    /// Per-slot object sizes as floats (density weights).
+    size_f: TotalMap<f64>,
+    /// Per-slot candidate-structure membership.
+    home: TotalMap<Home>,
+    /// Per-slot density registrations.
+    reg: TotalMap<Registered>,
+    /// Per-slot pending breakpoint instant and kind — the authoritative
+    /// record a heap entry must match to be live.
+    event: TotalMap<Option<(SimTime, EventKind)>>,
+    /// Pending breakpoints as a min-heap with *lazy deletion*: cancelling
+    /// an event just clears the slot's `event` column, and stale heap
+    /// entries are discarded when they surface. Breakpoint re-registration
+    /// fire times are not monotone, so a sorted vector would pay an O(n)
+    /// memmove per event; the heap pays O(log n) with no ordering
+    /// assumption and still pops in exactly the `(fire, id)` order the
+    /// id-keyed map used to iterate in.
+    events: BinaryHeap<EventEntry>,
+    /// Live (non-cancelled) event count — the breakpoint-queue gauge.
+    events_live: usize,
+    /// Cancelled entries still buried in `events`; when they outnumber the
+    /// live ones the heap is rebuilt (amortized O(1) per cancel).
+    events_stale: usize,
+    /// The rare [`EventKind::Finalize`] breakpoints, keyed `(fire, id)` —
+    /// kept sorted so `finalize_pending`/`expired_ids` can range-scan one
+    /// minute without touching the heap.
+    finalizes: SortedList<(SimTime, ObjectId)>,
     /// Expired zero-importance objects in `(arrival, id)` eviction order.
-    expired: BTreeSet<(SimTime, ObjectId)>,
+    expired: SortedList<(SimTime, ObjectId)>,
     /// All objects in `(arrival, id)` order — the FIFO eviction order.
-    fifo: BTreeSet<(SimTime, ObjectId)>,
+    /// Maintained only when `track_fifo` is set.
+    fifo: SortedList<(SimTime, ObjectId)>,
+    /// Whether the FIFO list is kept up. Only the [`EvictionPolicy::Fifo`]
+    /// planner reads it, so preemptive units skip its per-operation
+    /// binary-search maintenance entirely.
+    ///
+    /// [`EvictionPolicy::Fifo`]: crate::EvictionPolicy::Fifo
+    track_fifo: bool,
     /// Never-expiring final-segment objects by `(value bits, arrival, id)`.
-    settled: BTreeSet<(u64, SimTime, ObjectId)>,
+    settled: SortedList<(u64, SimTime, ObjectId)>,
     /// Same-shape cohorts in `(annotated_at, arrival, id)` order.
-    groups: Vec<BTreeSet<(SimTime, SimTime, ObjectId)>>,
-    group_ids: HashMap<ShapeKey, usize>,
+    groups: Vec<SortedList<(SimTime, SimTime, ObjectId)>>,
+    /// One representative curve per group — pointwise identical to every
+    /// member's curve (the [`ShapeKey`] contract), so stream heads can
+    /// compute exact eviction keys without touching any `StoredObject`.
+    group_curves: Vec<ImportanceCurve>,
+    group_ids: FxHashMap<ShapeKey, u32>,
     density: DensityAccum,
 }
 
+impl Default for EngineIndex {
+    fn default() -> Self {
+        EngineIndex {
+            clock: SimTime::ZERO,
+            len: 0,
+            ids: TotalMap::new(ObjectId::new(0)),
+            ann: TotalMap::new(SimTime::ZERO),
+            arrival: TotalMap::new(SimTime::ZERO),
+            size_f: TotalMap::new(0.0),
+            home: TotalMap::new(Home::Absent),
+            reg: TotalMap::new(Registered::None),
+            event: TotalMap::new(None),
+            events: BinaryHeap::new(),
+            events_live: 0,
+            events_stale: 0,
+            finalizes: SortedList::new(),
+            expired: SortedList::new(),
+            fifo: SortedList::new(),
+            track_fifo: true,
+            settled: SortedList::new(),
+            groups: Vec::new(),
+            group_curves: Vec::new(),
+            group_ids: FxHashMap::default(),
+            density: DensityAccum::default(),
+        }
+    }
+}
+
 impl EngineIndex {
+    /// An empty index maintaining exactly the structures `policy` reads —
+    /// preemptive units skip FIFO-list upkeep.
+    pub(crate) fn for_policy(policy: EvictionPolicy) -> Self {
+        EngineIndex {
+            track_fifo: policy == EvictionPolicy::Fifo,
+            ..EngineIndex::default()
+        }
+    }
+
     pub(crate) fn clock(&self) -> SimTime {
         self.clock
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Number of pending curve breakpoints — the depth of the index's
     /// event queue, reported as an observability gauge.
     pub(crate) fn events_len(&self) -> usize {
-        self.events.len()
+        self.events_live
+    }
+
+    /// True if the heap entry `(t, id, slot)` is the slot's current pending
+    /// event (lazy deletion: cancelled entries fail this check).
+    fn event_entry_live(&self, t: SimTime, id: ObjectId, slot: u32) -> bool {
+        matches!(self.event.get(slot), Some((fire, _)) if *fire == t) && *self.ids.get(slot) == id
     }
 
     /// True when every breakpoint at or before `now` has been processed.
+    /// O(1) via the heap minimum. Conservative: a cancelled entry that has
+    /// not yet surfaced can only make this report `false` (sending a
+    /// read-only caller to the full scan), never `true`; `advance` pops
+    /// stale minima, so mutating call sites always see the exact answer.
     pub(crate) fn events_processed_through(&self, now: SimTime) -> bool {
-        self.events
-            .range(..=(now, ObjectId::new(u64::MAX)))
-            .next()
-            .is_none()
+        match self.events.peek() {
+            None => true,
+            Some(&Reverse((t, _, _))) => t > now,
+        }
     }
 
     /// True when a [`EventKind::Finalize`] is pending for the minute after
     /// `now`, i.e. some expired object still carries positive importance.
     pub(crate) fn finalize_pending(&self, now: SimTime) -> bool {
         let at = now + SimDuration::MINUTE;
-        self.events
-            .range((at, ObjectId::new(0))..=(at, ObjectId::new(u64::MAX)))
-            .any(|(_, kind)| *kind == EventKind::Finalize)
+        self.finalizes
+            .iter_from((at, ObjectId::new(0)))
+            .take_while(|&((t, _), _)| t == at)
+            .next()
+            .is_some()
     }
 
-    /// Ids of every expired object (importance zero *or* positive at the
-    /// expiry-minute boundary), in ascending id order — the order the
-    /// naive full-scan sweep evicts in.
-    pub(crate) fn expired_ids(&self, now: SimTime) -> Vec<ObjectId> {
-        let mut ids: Vec<ObjectId> = self.expired.iter().map(|&(_, id)| id).collect();
+    /// Collects into `out` the id of every expired object (importance zero
+    /// *or* positive at the expiry-minute boundary), in ascending id order
+    /// — the order the naive full-scan sweep evicts in. Callers pass a
+    /// reusable buffer so idle sweeps allocate nothing.
+    pub(crate) fn expired_ids(&self, now: SimTime, out: &mut Vec<ObjectId>) {
+        out.clear();
+        out.extend(self.expired.iter().map(|((_, id), _)| id));
         let at = now + SimDuration::MINUTE;
-        ids.extend(
-            self.events
-                .range((at, ObjectId::new(0))..=(at, ObjectId::new(u64::MAX)))
-                .filter(|(_, kind)| **kind == EventKind::Finalize)
-                .map(|(&(_, id), _)| id),
+        out.extend(
+            self.finalizes
+                .iter_from((at, ObjectId::new(0)))
+                .take_while(|&((t, _), _)| t == at)
+                .map(|((_, id), _)| id),
         );
-        ids.sort_unstable();
-        ids
+        out.sort_unstable();
     }
 
     /// Rebuilds the whole index at `now` (post-deserialization path).
-    pub(crate) fn rebuild(&mut self, objects: &BTreeMap<ObjectId, StoredObject>, now: SimTime) {
+    /// Objects are inserted in ascending id order — the same order the
+    /// id-keyed map this arena replaced iterated in — so group numbering
+    /// and accumulator arithmetic match a freshly grown index.
+    pub(crate) fn rebuild(&mut self, objects: &ObjectArena, now: SimTime, track_fifo: bool) {
         *self = EngineIndex {
             clock: self.clock.max(now),
+            track_fifo,
             ..EngineIndex::default()
         };
         self.density.at = self.clock;
-        for object in objects.values() {
-            self.insert(object);
+        for (slot, object) in objects.entries_by_id() {
+            self.insert(slot, object);
         }
     }
 
@@ -377,28 +500,30 @@ impl EngineIndex {
     /// processed breakpoint is reported to `obs` as an `engine.breakpoint`
     /// event keyed by the breakpoint's own instant, so traces expose an
     /// object's full importance-curve lifecycle.
-    pub(crate) fn advance(
-        &mut self,
-        objects: &BTreeMap<ObjectId, StoredObject>,
-        now: SimTime,
-        obs: &Obs,
-    ) {
-        if now <= self.clock {
-            return;
-        }
-        while let Some((&(t, id), &kind)) =
-            self.events.range(..=(now, ObjectId::new(u64::MAX))).next()
-        {
+    pub(crate) fn advance(&mut self, objects: &ObjectArena, now: SimTime, obs: &Obs) {
+        while let Some(&Reverse((t, id, slot))) = self.events.peek() {
+            if !self.event_entry_live(t, id, slot) {
+                // Cancelled under lazy deletion; discard on surfacing.
+                self.events.pop();
+                self.events_stale -= 1;
+                continue;
+            }
+            if t > now {
+                break;
+            }
             self.density.integrate_to(t);
             self.clock = t;
-            self.events.remove(&(t, id));
-            self.entries
-                .get_mut(&id)
-                .expect("event for unindexed object")
-                .event = None;
-            let object = objects.get(&id).expect("event for missing object");
-            self.unregister(id);
-            self.register(object);
+            self.events.pop();
+            self.events_live -= 1;
+            let (_, kind) = self
+                .event
+                .take(slot)
+                .expect("live event has a column entry");
+            if kind == EventKind::Finalize {
+                self.finalizes.remove(&(t, id));
+            }
+            self.unregister(slot, id);
+            self.register(slot, objects.at(slot));
             obs.event(
                 t,
                 "engine.breakpoint",
@@ -408,37 +533,45 @@ impl EngineIndex {
                 ],
             );
         }
-        self.density.integrate_to(now);
-        self.clock = now;
+        if now > self.clock {
+            self.density.integrate_to(now);
+            self.clock = now;
+        }
     }
 
     /// Indexes a newly stored object (classified at the current clock).
-    pub(crate) fn insert(&mut self, object: &StoredObject) {
-        self.fifo.insert((object.arrival(), object.id()));
-        self.register(object);
+    pub(crate) fn insert(&mut self, slot: u32, object: &StoredObject) {
+        if self.track_fifo {
+            self.fifo
+                .insert((object.arrival(), object.id()), u64::from(slot));
+        }
+        self.register(slot, object);
     }
 
     /// Drops an object from the index entirely (eviction/removal). A no-op
-    /// if the object was never indexed (pre-rebuild state).
-    pub(crate) fn remove(&mut self, id: ObjectId) {
-        if let Some(entry) = self.entries.get(&id) {
-            let arrival = entry.arrival;
-            self.unregister(id);
+    /// if the slot was never indexed (pre-rebuild state).
+    pub(crate) fn remove(&mut self, slot: u32, id: ObjectId) {
+        if *self.home.get(slot) == Home::Absent {
+            return;
+        }
+        let arrival = *self.arrival.get(slot);
+        self.unregister(slot, id);
+        if self.track_fifo {
             self.fifo.remove(&(arrival, id));
         }
     }
 
     /// Re-indexes an object after its annotation changed in place.
-    pub(crate) fn reannotate(&mut self, object: &StoredObject) {
-        if self.entries.contains_key(&object.id()) {
-            self.unregister(object.id());
-            self.register(object);
+    pub(crate) fn reannotate(&mut self, slot: u32, object: &StoredObject) {
+        if *self.home.get(slot) != Home::Absent {
+            self.unregister(slot, object.id());
+            self.register(slot, object);
         }
     }
 
     /// Classifies `object` at the current clock and adds it to its home
     /// structure, the density accumulators and (if needed) the event queue.
-    fn register(&mut self, object: &StoredObject) {
+    fn register(&mut self, slot: u32, object: &StoredObject) {
         let id = object.id();
         let ann = object.annotated_at();
         let arrival = object.arrival();
@@ -459,72 +592,102 @@ impl EngineIndex {
                 // the expired set at the next one.
                 let fire = ann + segment.next.expect("step boundary has a next breakpoint");
                 let group = self.group_of(object.curve());
-                self.groups[group].insert((ann, arrival, id));
-                self.events.insert((fire, id), EventKind::Finalize);
-                (Home::Group(group), reg, Some(fire))
+                self.groups[group as usize].insert((ann, arrival, id), u64::from(slot));
+                self.events.push(Reverse((fire, id, slot)));
+                self.events_live += 1;
+                self.finalizes.insert((fire, id), u64::from(slot));
+                (Home::Group(group), reg, Some((fire, EventKind::Finalize)))
             } else if segment.next.is_none() && matches!(segment.form, SegmentForm::Constant(_)) {
                 // Final constant segment of a never-expiring curve: its
                 // importance is frozen, so order by the value itself.
                 let bits = value.to_bits();
-                self.settled.insert((bits, arrival, id));
+                self.settled.insert((bits, arrival, id), u64::from(slot));
                 (Home::Settled(bits), reg, None)
             } else {
                 let group = self.group_of(object.curve());
-                self.groups[group].insert((ann, arrival, id));
-                let fire = segment.next.map(|next| ann + next);
-                if let Some(fire) = fire {
-                    self.events.insert((fire, id), EventKind::Segment);
-                }
-                (Home::Group(group), reg, fire)
+                self.groups[group as usize].insert((ann, arrival, id), u64::from(slot));
+                let event = segment.next.map(|next| {
+                    let fire = ann + next;
+                    self.events.push(Reverse((fire, id, slot)));
+                    self.events_live += 1;
+                    (fire, EventKind::Segment)
+                });
+                (Home::Group(group), reg, event)
             }
         };
         if home == Home::Expired {
-            self.expired.insert((arrival, id));
+            self.expired.insert((arrival, id), u64::from(slot));
         }
         self.density.signed_update(&reg, size_f, ann, 1.0);
-        self.entries.insert(
-            id,
-            Entry {
-                ann,
-                arrival,
-                size_f,
-                home,
-                reg,
-                event,
-            },
-        );
+        self.ids.set(slot, id);
+        self.ann.set(slot, ann);
+        self.arrival.set(slot, arrival);
+        self.size_f.set(slot, size_f);
+        self.home.set(slot, home);
+        self.reg.set(slot, reg);
+        self.event.set(slot, event);
+        self.len += 1;
     }
 
     /// Removes an object from its home structure, the density accumulators
     /// and the event queue, using the state captured at registration.
-    fn unregister(&mut self, id: ObjectId) {
-        let entry = self.entries.remove(&id).expect("unregister unindexed id");
-        match entry.home {
+    fn unregister(&mut self, slot: u32, id: ObjectId) {
+        let ann = *self.ann.get(slot);
+        let arrival = *self.arrival.get(slot);
+        match *self.home.get(slot) {
+            Home::Absent => panic!("unregister unindexed slot"),
             Home::Group(group) => {
-                self.groups[group].remove(&(entry.ann, entry.arrival, id));
+                self.groups[group as usize].remove(&(ann, arrival, id));
             }
             Home::Settled(bits) => {
-                self.settled.remove(&(bits, entry.arrival, id));
+                self.settled.remove(&(bits, arrival, id));
             }
             Home::Expired => {
-                self.expired.remove(&(entry.arrival, id));
+                self.expired.remove(&(arrival, id));
             }
         }
-        if let Some(fire) = entry.event {
-            self.events.remove(&(fire, id));
+        self.home.set(slot, Home::Absent);
+        if let Some((fire, kind)) = self.event.take(slot) {
+            // Lazy deletion: the heap entry stays buried until it surfaces
+            // (or the heap is compacted); clearing the column kills it.
+            self.events_live -= 1;
+            self.events_stale += 1;
+            if kind == EventKind::Finalize {
+                self.finalizes.remove(&(fire, id));
+            }
+            self.maybe_compact_events();
         }
+        let reg = self.reg.take(slot);
         self.density
-            .signed_update(&entry.reg, entry.size_f, entry.ann, -1.0);
+            .signed_update(&reg, *self.size_f.get(slot), ann, -1.0);
+        self.len -= 1;
     }
 
-    fn group_of(&mut self, curve: &ImportanceCurve) -> usize {
+    /// Rebuilds the event heap without its cancelled entries once they
+    /// outnumber the live ones — O(live) with the stale majority dropped,
+    /// so amortized O(1) per cancellation.
+    fn maybe_compact_events(&mut self) {
+        if self.events_stale > self.events_live && self.events.len() >= 64 {
+            let mut entries = std::mem::take(&mut self.events).into_vec();
+            let (event, ids) = (&self.event, &self.ids);
+            entries.retain(|&Reverse((t, id, slot))| {
+                matches!(event.get(slot), Some((fire, _)) if *fire == t) && *ids.get(slot) == id
+            });
+            self.events = BinaryHeap::from(entries);
+            self.events_stale = 0;
+        }
+    }
+
+    fn group_of(&mut self, curve: &ImportanceCurve) -> u32 {
         let groups = &mut self.groups;
+        let group_curves = &mut self.group_curves;
         *self
             .group_ids
             .entry(ShapeKey::of(curve))
             .or_insert_with(|| {
-                groups.push(BTreeSet::new());
-                groups.len() - 1
+                groups.push(SortedList::new());
+                group_curves.push(curve.clone());
+                (groups.len() - 1) as u32
             })
     }
 
@@ -533,28 +696,91 @@ impl EngineIndex {
         self.density.value_at(now)
     }
 
-    /// Candidate streams for preemption planning: the expired set, the
-    /// settled set and every non-empty group, each yielding ids in that
-    /// structure's eviction order.
-    pub(crate) fn candidate_streams(&self) -> Vec<Box<dyn Iterator<Item = ObjectId> + '_>> {
-        let mut streams: Vec<Box<dyn Iterator<Item = ObjectId> + '_>> = Vec::new();
-        if !self.expired.is_empty() {
-            streams.push(Box::new(self.expired.iter().map(|&(_, id)| id)));
-        }
-        if !self.settled.is_empty() {
-            streams.push(Box::new(self.settled.iter().map(|&(_, _, id)| id)));
-        }
-        for group in &self.groups {
-            if !group.is_empty() {
-                streams.push(Box::new(group.iter().map(|&(_, _, id)| id)));
-            }
-        }
-        streams
+    /// Number of candidate streams for preemption planning: the expired
+    /// set, the settled set and every shape group (possibly empty — the
+    /// merge skips empty streams by getting no first entry from them).
+    pub(crate) fn stream_count(&self) -> usize {
+        2 + self.groups.len()
     }
 
-    /// The FIFO eviction order, `(arrival, id)` ascending.
-    pub(crate) fn fifo_order(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.fifo.iter().map(|&(_, id)| id)
+    /// The head of stream `sid` in eviction order, as `(key, expired,
+    /// slot, resume)`. The exact [`EvictionKey`] (and expiry status) is
+    /// computed from the stream's own sort key plus the group's
+    /// representative curve — candidate objects are never dereferenced, so
+    /// a plan touches object memory only for its actual victims' sizes.
+    pub(crate) fn stream_head(
+        &self,
+        sid: usize,
+        now: SimTime,
+    ) -> Option<(EvictionKey, bool, u32, usize)> {
+        let start = match sid {
+            0 => self.expired.start(),
+            1 => self.settled.start(),
+            g => self.groups[g - 2].start(),
+        };
+        self.stream_next_head(sid, start, now)
+    }
+
+    /// [`stream_head`](EngineIndex::stream_head) continued from cursor
+    /// `pos`. Cursors stay valid while the index is not mutated — plan
+    /// merges keep `(sid, resume)` in their heap instead of boxed
+    /// iterators.
+    pub(crate) fn stream_next_head(
+        &self,
+        sid: usize,
+        pos: usize,
+        now: SimTime,
+    ) -> Option<(EvictionKey, bool, u32, usize)> {
+        match sid {
+            0 => {
+                // Expired home: importance already waned to zero (and stays
+                // there — curves are non-increasing), expiry is in the past.
+                let ((arrival, id), payload, resume) = self.expired.next_live_kv(pos)?;
+                let key = EvictionKey {
+                    importance: Importance::ZERO,
+                    never_expires: false,
+                    remaining: 0,
+                    arrival,
+                    id,
+                };
+                Some((key, true, payload as u32, resume))
+            }
+            1 => {
+                // Settled home: frozen positive importance on a final
+                // constant segment of a curve that never reaches zero.
+                let ((bits, arrival, id), payload, resume) = self.settled.next_live_kv(pos)?;
+                let key = EvictionKey {
+                    importance: Importance::new_clamped(f64::from_bits(bits)),
+                    never_expires: true,
+                    remaining: 0,
+                    arrival,
+                    id,
+                };
+                Some((key, false, payload as u32, resume))
+            }
+            g => {
+                let ((ann, arrival, id), payload, resume) = self.groups[g - 2].next_live_kv(pos)?;
+                let curve = &self.group_curves[g - 2];
+                let age = now.saturating_since(ann);
+                let (never_expires, remaining, expired) = match curve.expiry() {
+                    Some(e) => (false, e.saturating_sub(age).as_minutes(), age >= e),
+                    None => (true, 0, false),
+                };
+                let key = EvictionKey {
+                    importance: curve.importance_at(age),
+                    never_expires,
+                    remaining,
+                    arrival,
+                    id,
+                };
+                Some((key, expired, payload as u32, resume))
+            }
+        }
+    }
+
+    /// The FIFO eviction order, `(arrival, id)` ascending, yielding slots.
+    pub(crate) fn fifo_order(&self) -> impl Iterator<Item = u32> + '_ {
+        self.fifo.iter().map(|(_, payload)| payload as u32)
     }
 }
 

@@ -71,6 +71,9 @@ mod policy;
 mod records;
 mod unit;
 
+pub mod arena;
+pub mod dense;
+
 pub use advisor::{Advisor, Forecast};
 pub use curve::{ImportanceCurve, PiecewiseCurve};
 pub use density::DensitySnapshot;

@@ -185,7 +185,11 @@ pub struct StoredObject {
 }
 
 impl StoredObject {
-    pub(crate) fn from_spec(spec: ObjectSpec, now: SimTime) -> Self {
+    /// The resident state a [`StorageUnit`](crate::StorageUnit) records
+    /// when admitting `spec` at `now`: arrival and annotation age both
+    /// start at the store instant. Public so arena tooling and property
+    /// tests can mint residents without driving a whole unit.
+    pub fn from_spec(spec: ObjectSpec, now: SimTime) -> Self {
         StoredObject {
             id: spec.id,
             size: spec.size,

@@ -1,12 +1,10 @@
 //! A single storage unit with the temporal-importance reclamation engine.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-
 use serde::{Deserialize, Serialize};
 use sim_core::{ByteSize, Obs, SimTime};
 
-use crate::engine::EngineIndex;
+use crate::arena::ObjectArena;
+use crate::engine::{EngineIndex, EvictionKey};
 use crate::error::{RejuvenateError, StoreError};
 use crate::records::{
     Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
@@ -48,7 +46,7 @@ pub struct StorageUnit {
     capacity: ByteSize,
     used: ByteSize,
     policy: EvictionPolicy,
-    objects: BTreeMap<ObjectId, StoredObject>,
+    objects: ObjectArena,
     stats: UnitStats,
     evictions: Vec<EvictionRecord>,
     rejections: Vec<RejectionRecord>,
@@ -57,6 +55,15 @@ pub struct StorageUnit {
     /// demand after deserialization.
     #[serde(skip)]
     index: EngineIndex,
+    /// Reusable planning/sweep buffers so steady-state churn allocates
+    /// nothing per operation.
+    #[serde(skip)]
+    scratch: PlanScratch,
+    /// Last `engine.breakpoint_queue` depth reported; the gauge is a level,
+    /// so repeats are elided (observationally identical, far fewer sink
+    /// touches under churn).
+    #[serde(skip)]
+    last_queue_depth: Option<u64>,
     /// When set, the unit bypasses the indexes and answers every query by
     /// scanning all objects — the reference oracle for differential tests.
     #[serde(skip)]
@@ -133,22 +140,40 @@ impl StorageUnitBuilder {
             capacity: self.capacity,
             used: ByteSize::ZERO,
             policy: self.policy,
-            objects: BTreeMap::new(),
+            objects: ObjectArena::new(),
             stats: UnitStats::default(),
             evictions: Vec::new(),
             rejections: Vec::new(),
             recording: self.recording,
-            index: EngineIndex::default(),
+            index: EngineIndex::for_policy(self.policy),
+            scratch: PlanScratch::default(),
+            last_queue_depth: None,
             naive: self.naive,
             obs: self.obs.unwrap_or_else(Obs::global),
         }
     }
 }
 
-/// A preemption plan computed by [`StorageUnit::plan`].
+/// Reusable buffers for planning and sweeping. Victim lists and the k-way
+/// merge heap live here across operations, so a steady churn of stores
+/// reuses their capacity instead of allocating per call.
+///
+/// Merge entries are `(key, expired, stream, resume, slot)`. With a dozen
+/// or so candidate streams and most plans consuming one or two victims, a
+/// flat array scanned for its minimum beats a binary heap: seeding is
+/// plain appends and each extraction is a short, branch-predictable pass
+/// over one cache line per stream.
+#[derive(Debug, Clone, Default)]
+struct PlanScratch {
+    victims: Vec<ObjectId>,
+    heads: Vec<(EvictionKey, bool, usize, usize, u32)>,
+    sweep_ids: Vec<ObjectId>,
+}
+
+/// A preemption plan computed by [`StorageUnit::plan`]; the victim ids live
+/// in the [`PlanScratch`] the plan was computed into.
 #[derive(Debug)]
 struct Plan {
-    victims: Vec<ObjectId>,
     freed: ByteSize,
     highest: Option<Importance>,
 }
@@ -165,18 +190,11 @@ enum PlanResult {
     },
 }
 
-/// The §5.3 eviction order as a total order: ascending current importance,
-/// then remaining lifetime with never-expiring objects last, then arrival,
-/// then id.
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct EvictionKey {
-    importance: Importance,
-    never_expires: bool,
-    remaining: u64,
-    arrival: SimTime,
-    id: ObjectId,
-}
-
+/// The exact [`EvictionKey`] of `object` at `now`, computed from the
+/// object itself. Indexed plans derive the same keys from the engine's
+/// dense columns instead of dereferencing objects; this direct form is the
+/// oracle the key-parity test checks them against.
+#[cfg(test)]
 fn eviction_key(object: &StoredObject, now: SimTime) -> EvictionKey {
     let (never_expires, remaining) = match object.remaining_lifetime(now) {
         Some(left) => (false, left.as_minutes()),
@@ -236,6 +254,9 @@ impl StorageUnit {
     /// trace sink to an already-populated unit).
     pub fn set_observer(&mut self, obs: Obs) {
         self.obs = obs;
+        // A newly attached observer has seen no levels yet; report the
+        // queue depth afresh on the next advance.
+        self.last_queue_depth = None;
     }
 
     /// Processes every curve breakpoint at or before `now`, bringing the
@@ -254,12 +275,16 @@ impl StorageUnit {
             return;
         }
         if self.index.len() != self.objects.len() {
-            self.index.rebuild(&self.objects, now);
+            self.index
+                .rebuild(&self.objects, now, self.policy == EvictionPolicy::Fifo);
         } else {
             self.index.advance(&self.objects, now, &self.obs);
         }
-        self.obs
-            .gauge("engine.breakpoint_queue", self.index.events_len() as u64);
+        let depth = self.index.events_len() as u64;
+        if self.last_queue_depth != Some(depth) {
+            self.obs.gauge("engine.breakpoint_queue", depth);
+            self.last_queue_depth = Some(depth);
+        }
     }
 
     /// True when the index answers queries at `now` exactly: it covers all
@@ -309,17 +334,17 @@ impl StorageUnit {
 
     /// Looks up a stored object.
     pub fn get(&self, id: ObjectId) -> Option<&StoredObject> {
-        self.objects.get(&id)
+        self.objects.get(id)
     }
 
     /// True if an object with this id is stored.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.objects.contains_key(&id)
+        self.objects.contains(id)
     }
 
     /// Iterates over stored objects in id order.
     pub fn iter(&self) -> impl Iterator<Item = &StoredObject> {
-        self.objects.values()
+        self.objects.iter()
     }
 
     /// Enables or disables eviction/rejection record keeping.
@@ -365,18 +390,20 @@ impl StorageUnit {
                 capacity: self.capacity,
             });
         }
-        if self.objects.contains_key(&spec.id()) {
+        if self.objects.contains(spec.id()) {
             return Err(StoreError::DuplicateId(spec.id()));
         }
         self.advance(now);
 
         let incoming = spec.curve().initial_importance();
-        let plan = match self.plan(spec.size(), incoming, now) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let plan = match self.plan(spec.size(), incoming, now, &mut scratch) {
             PlanResult::Admit(plan) => plan,
             PlanResult::Full {
                 blocking,
                 reclaimable,
             } => {
+                self.scratch = scratch;
                 self.stats.rejections_full += 1;
                 self.obs.counter("engine.rejections_full", 1);
                 self.obs.event(
@@ -408,31 +435,32 @@ impl StorageUnit {
 
         self.obs.counter("engine.plans", 1);
         self.obs
-            .record("engine.plan_victims", plan.victims.len() as u64);
+            .record("engine.plan_victims", scratch.victims.len() as u64);
         self.obs.event(
             now,
             "engine.store",
             &[
                 ("id", spec.id().raw()),
                 ("size", spec.size().as_bytes()),
-                ("victims", plan.victims.len() as u64),
+                ("victims", scratch.victims.len() as u64),
                 ("freed", plan.freed.as_bytes()),
             ],
         );
-        let mut evicted = Vec::with_capacity(plan.victims.len());
-        for victim in plan.victims {
+        let mut evicted = Vec::with_capacity(scratch.victims.len());
+        for victim in scratch.victims.drain(..) {
             let record = self.evict(victim, now, EvictionReason::Preempted);
             evicted.push(record);
         }
+        self.scratch = scratch;
         debug_assert!(self.free() >= spec.size());
 
         let id = spec.id();
         self.used += spec.size();
         self.stats.stores_accepted += 1;
         self.stats.bytes_accepted += spec.size().as_bytes();
-        self.objects.insert(id, StoredObject::from_spec(spec, now));
+        let idx = self.objects.insert(StoredObject::from_spec(spec, now));
         if !self.naive {
-            self.index.insert(&self.objects[&id]);
+            self.index.insert(idx.slot(), self.objects.at(idx.slot()));
         }
 
         Ok(StoreOutcome {
@@ -453,15 +481,16 @@ impl StorageUnit {
         if size.is_zero() || size > self.capacity {
             return Admission::TooLarge;
         }
-        match self.plan(size, incoming, now) {
+        let mut scratch = PlanScratch::default();
+        match self.plan(size, incoming, now, &mut scratch) {
             PlanResult::Admit(plan) => match plan.highest {
                 Some(h) if !h.is_zero() => Admission::Preempting {
                     highest: h,
-                    victims: plan.victims.len(),
+                    victims: scratch.victims.len(),
                     freed: plan.freed,
                 },
                 _ => Admission::Fits {
-                    victims: plan.victims.len(),
+                    victims: scratch.victims.len(),
                 },
             },
             PlanResult::Full { blocking, .. } => Admission::Full { blocking },
@@ -471,7 +500,7 @@ impl StorageUnit {
     /// Explicitly removes an object (e.g. user deletion), returning its
     /// eviction record.
     pub fn remove(&mut self, id: ObjectId, now: SimTime) -> Option<EvictionRecord> {
-        if !self.objects.contains_key(&id) {
+        if !self.objects.contains(id) {
             return None;
         }
         self.advance(now);
@@ -488,22 +517,28 @@ impl StorageUnit {
     pub fn sweep_expired(&mut self, now: SimTime) -> Vec<EvictionRecord> {
         let _span = self.obs.span("span.engine.sweep");
         self.advance(now);
-        let expired: Vec<ObjectId> = if self.index_fresh(now) {
-            self.index.expired_ids(now)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if self.index_fresh(now) {
+            self.index.expired_ids(now, &mut scratch.sweep_ids);
         } else {
-            self.objects
-                .values()
-                .filter(|o| o.is_expired(now))
-                .map(|o| o.id())
-                .collect()
-        };
+            scratch.sweep_ids.clear();
+            scratch.sweep_ids.extend(
+                self.objects
+                    .iter()
+                    .filter(|o| o.is_expired(now))
+                    .map(|o| o.id()),
+            );
+        }
         self.obs.counter("engine.sweeps", 1);
         self.obs
-            .record("engine.sweep_reclaimed", expired.len() as u64);
-        expired
-            .into_iter()
+            .record("engine.sweep_reclaimed", scratch.sweep_ids.len() as u64);
+        let records = scratch
+            .sweep_ids
+            .drain(..)
             .map(|id| self.evict(id, now, EvictionReason::Expired))
-            .collect()
+            .collect();
+        self.scratch = scratch;
+        records
     }
 
     /// Replaces a stored object's annotation with a fresh curve — the
@@ -522,9 +557,9 @@ impl StorageUnit {
         now: SimTime,
     ) -> Result<(), RejuvenateError> {
         self.advance(now);
-        let object = self
+        let (slot, object) = self
             .objects
-            .get_mut(&id)
+            .get_mut(id)
             .ok_or(RejuvenateError::NotFound(id))?;
         let current = object.current_importance(now);
         let proposed = curve.initial_importance();
@@ -533,7 +568,7 @@ impl StorageUnit {
         }
         object.rejuvenate(curve, now);
         if !self.naive {
-            self.index.reannotate(&self.objects[&id]);
+            self.index.reannotate(slot, self.objects.at(slot));
         }
         Ok(())
     }
@@ -552,24 +587,24 @@ impl StorageUnit {
         now: SimTime,
     ) -> Result<(), RejuvenateError> {
         self.advance(now);
-        let object = self
+        let (slot, object) = self
             .objects
-            .get_mut(&id)
+            .get_mut(id)
             .ok_or(RejuvenateError::NotFound(id))?;
         object.rejuvenate(curve, now);
         if !self.naive {
-            self.index.reannotate(&self.objects[&id]);
+            self.index.reannotate(slot, self.objects.at(slot));
         }
         Ok(())
     }
 
     fn evict(&mut self, id: ObjectId, now: SimTime, reason: EvictionReason) -> EvictionRecord {
-        let object = self
+        let (slot, object) = self
             .objects
-            .remove(&id)
+            .remove_entry(id)
             .expect("evict called with resident id");
         if !self.naive {
-            self.index.remove(id);
+            self.index.remove(slot, id);
         }
         self.used -= object.size();
         match reason {
@@ -617,22 +652,29 @@ impl StorageUnit {
     }
 
     /// Computes the set of victims needed to fit `size` bytes for an
-    /// object entering with importance `incoming`.
-    fn plan(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+    /// object entering with importance `incoming`. Victim ids accumulate
+    /// into `scratch.victims` (cleared first).
+    fn plan(
+        &self,
+        size: ByteSize,
+        incoming: Importance,
+        now: SimTime,
+        scratch: &mut PlanScratch,
+    ) -> PlanResult {
+        scratch.victims.clear();
         if self.free() >= size {
             return PlanResult::Admit(Plan {
-                victims: Vec::new(),
                 freed: ByteSize::ZERO,
                 highest: None,
             });
         }
         if self.index_fresh(now) {
             match self.policy {
-                EvictionPolicy::Preemptive => self.plan_indexed(size, incoming, now),
-                EvictionPolicy::Fifo => self.plan_indexed_fifo(size, incoming, now),
+                EvictionPolicy::Preemptive => self.plan_indexed(size, incoming, now, scratch),
+                EvictionPolicy::Fifo => self.plan_indexed_fifo(size, incoming, now, scratch),
             }
         } else {
-            self.plan_naive(size, incoming, now)
+            self.plan_naive(size, incoming, now, scratch)
         }
     }
 
@@ -641,13 +683,17 @@ impl StorageUnit {
     /// already in eviction order, stopping as soon as enough bytes are
     /// freed. Visits `O(victims + streams)` objects instead of all of
     /// them.
-    fn plan_indexed(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
-        let mut streams = self.index.candidate_streams();
-        let mut heap: BinaryHeap<Reverse<(EvictionKey, usize)>> =
-            BinaryHeap::with_capacity(streams.len());
-        for (i, stream) in streams.iter_mut().enumerate() {
-            if let Some(id) = stream.next() {
-                heap.push(Reverse((eviction_key(&self.objects[&id], now), i)));
+    fn plan_indexed(
+        &self,
+        size: ByteSize,
+        incoming: Importance,
+        now: SimTime,
+        scratch: &mut PlanScratch,
+    ) -> PlanResult {
+        scratch.heads.clear();
+        for sid in 0..self.index.stream_count() {
+            if let Some((key, expired, slot, resume)) = self.index.stream_head(sid, now) {
+                scratch.heads.push((key, expired, sid, resume, slot));
             }
         }
 
@@ -658,25 +704,35 @@ impl StorageUnit {
         let scan_past_blockers = self.index.finalize_pending(now);
 
         let free = self.free();
-        let mut victims = Vec::new();
         let mut freed = ByteSize::ZERO;
         let mut highest: Option<Importance> = None;
         let mut blocking: Option<Importance> = None;
         while free + freed < size {
-            let Some(Reverse((key, i))) = heap.pop() else {
+            let Some(best) = scratch
+                .heads
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.cmp(&b.0))
+                .map(|(i, _)| i)
+            else {
                 // Every candidate consumed and still not enough room.
                 return PlanResult::Full {
                     blocking,
                     reclaimable: freed,
                 };
             };
-            if let Some(next) = streams[i].next() {
-                heap.push(Reverse((eviction_key(&self.objects[&next], now), i)));
+            let (key, expired, sid, resume, slot) = scratch.heads[best];
+            match self.index.stream_next_head(sid, resume, now) {
+                Some((next_key, next_expired, next_slot, next_resume)) => {
+                    scratch.heads[best] = (next_key, next_expired, sid, next_resume, next_slot);
+                }
+                None => {
+                    scratch.heads.swap_remove(best);
+                }
             }
-            let object = &self.objects[&key.id];
-            if key.importance < incoming || object.is_expired(now) {
-                victims.push(key.id);
-                freed += object.size();
+            if key.importance < incoming || expired {
+                scratch.victims.push(key.id);
+                freed += self.objects.at(slot).size();
                 highest = Some(match highest {
                     Some(h) => h.max(key.importance),
                     None => key.importance,
@@ -695,25 +751,26 @@ impl StorageUnit {
                 }
             }
         }
-        PlanResult::Admit(Plan {
-            victims,
-            freed,
-            highest,
-        })
+        PlanResult::Admit(Plan { freed, highest })
     }
 
     /// FIFO planning over the always-maintained `(arrival, id)` index.
-    fn plan_indexed_fifo(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+    fn plan_indexed_fifo(
+        &self,
+        size: ByteSize,
+        incoming: Importance,
+        now: SimTime,
+        scratch: &mut PlanScratch,
+    ) -> PlanResult {
         let free = self.free();
-        let mut victims = Vec::new();
         let mut freed = ByteSize::ZERO;
         let mut highest: Option<Importance> = None;
-        for id in self.index.fifo_order() {
+        for slot in self.index.fifo_order() {
             if free + freed >= size {
                 break;
             }
-            let object = &self.objects[&id];
-            victims.push(id);
+            let object = self.objects.at(slot);
+            scratch.victims.push(object.id());
             freed += object.size();
             let imp = object.current_importance(now);
             highest = Some(match highest {
@@ -722,18 +779,14 @@ impl StorageUnit {
             });
         }
         if free + freed >= size {
-            PlanResult::Admit(Plan {
-                victims,
-                freed,
-                highest,
-            })
+            PlanResult::Admit(Plan { freed, highest })
         } else {
             // Unreachable through the public API (anything at most the
             // capacity always fits under FIFO), but kept equivalent to the
             // scan engine for completeness.
             let blocking = self
                 .objects
-                .values()
+                .iter()
                 .filter(|o| !(o.current_importance(now) < incoming || o.is_expired(now)))
                 .map(|o| o.current_importance(now))
                 .min();
@@ -745,11 +798,17 @@ impl StorageUnit {
     }
 
     /// The full-scan reference implementation of planning.
-    fn plan_naive(&self, size: ByteSize, incoming: Importance, now: SimTime) -> PlanResult {
+    fn plan_naive(
+        &self,
+        size: ByteSize,
+        incoming: Importance,
+        now: SimTime,
+        scratch: &mut PlanScratch,
+    ) -> PlanResult {
         // Candidate victims in eviction order.
         let mut candidates: Vec<(&StoredObject, Importance)> = self
             .objects
-            .values()
+            .iter()
             .filter_map(|o| {
                 let imp = o.current_importance(now);
                 let preemptible = match self.policy {
@@ -798,14 +857,13 @@ impl StorageUnit {
             }
         }
 
-        let mut victims = Vec::new();
         let mut freed = ByteSize::ZERO;
         let mut highest: Option<Importance> = None;
         for (object, imp) in &candidates {
             if self.free() + freed >= size {
                 break;
             }
-            victims.push(object.id());
+            scratch.victims.push(object.id());
             freed += object.size();
             highest = Some(match highest {
                 Some(h) => h.max(*imp),
@@ -814,11 +872,7 @@ impl StorageUnit {
         }
 
         if self.free() + freed >= size {
-            PlanResult::Admit(Plan {
-                victims,
-                freed,
-                highest,
-            })
+            PlanResult::Admit(Plan { freed, highest })
         } else {
             // Not enough even after preempting everything eligible: the
             // unit is full for this importance level. Report the lowest
@@ -826,7 +880,7 @@ impl StorageUnit {
             // total candidate bytes as the reclaimable estimate.
             let blocking = self
                 .objects
-                .values()
+                .iter()
                 .filter(|o| !(o.current_importance(now) < incoming || o.is_expired(now)))
                 .map(|o| o.current_importance(now))
                 .min();
@@ -881,6 +935,59 @@ mod tests {
                 expiry: days(expiry_days),
             },
         )
+    }
+
+    /// Every stream-head key the index derives from its dense columns must
+    /// equal the key computed directly from the stored object — across
+    /// expired, settled and shape-group homes, including rejuvenated
+    /// annotations (`annotated_at != arrival`).
+    #[test]
+    fn index_derived_keys_match_the_object_oracle() {
+        let now = SimTime::ZERO + days(20);
+        let mut unit = StorageUnit::new(mib(1000));
+        let two_step = |id: u64| {
+            ObjectSpec::new(
+                ObjectId::new(id),
+                mib(1),
+                ImportanceCurve::two_step(imp(0.8), days(15), days(15)),
+            )
+        };
+        unit.store(fixed_spec(1, mib(1), 0.9, 10), SimTime::ZERO)
+            .unwrap(); // expired by day 20
+        unit.store(fixed_spec(2, mib(1), 0.9, 3650), SimTime::ZERO)
+            .unwrap(); // mid-plateau group member
+        unit.store(two_step(3), SimTime::ZERO).unwrap(); // mid-wane
+        unit.store(two_step(4), SimTime::ZERO + days(2)).unwrap();
+        unit.store(
+            ObjectSpec::new(ObjectId::new(5), mib(1), ImportanceCurve::Persistent),
+            SimTime::ZERO,
+        )
+        .unwrap(); // settled
+        unit.store(
+            ObjectSpec::new(ObjectId::new(6), mib(1), ImportanceCurve::Ephemeral),
+            SimTime::ZERO,
+        )
+        .unwrap(); // expired immediately
+        unit.rejuvenate(
+            ObjectId::new(4),
+            ImportanceCurve::two_step(imp(0.8), days(15), days(15)),
+            SimTime::ZERO + days(10),
+        )
+        .unwrap(); // annotated_at != arrival
+        unit.advance(now);
+
+        let mut seen = 0;
+        for sid in 0..unit.index.stream_count() {
+            let mut cursor = unit.index.stream_head(sid, now);
+            while let Some((key, expired, slot, resume)) = cursor {
+                let object = unit.objects.at(slot);
+                assert_eq!(key, eviction_key(object, now), "stream {sid}");
+                assert_eq!(expired, object.is_expired(now), "stream {sid}");
+                seen += 1;
+                cursor = unit.index.stream_next_head(sid, resume, now);
+            }
+        }
+        assert_eq!(seen, unit.len(), "every resident visited exactly once");
     }
 
     #[test]

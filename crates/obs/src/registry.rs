@@ -1,6 +1,5 @@
 //! The metrics registry: counters, high-watermark gauges, log₂ histograms.
 
-use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use sim_core::observe::Observer;
@@ -166,11 +165,144 @@ impl Default for Histogram {
 /// their metrics statically, and the registry never allocates per event.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<&'static str, u64>>,
-    gauges: Mutex<BTreeMap<&'static str, u64>>,
-    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
-    events: Mutex<BTreeMap<&'static str, u64>>,
-    spans: Mutex<BTreeMap<&'static str, SpanSummary>>,
+    inner: Mutex<RegistryCore>,
+}
+
+/// A tiny name-keyed table for `&'static str` metric names: a linear scan
+/// with a pointer-equality fast path. Emission sites pass the same string
+/// literal on every call, so the fat-pointer comparison short-circuits
+/// without reading the name's bytes, and a process only ever uses a
+/// handful of distinct names — the scan beats hashing the string on every
+/// emission. The content-equality fallback keeps two call sites with
+/// equal (but differently located) literals on one row.
+#[derive(Debug, Default)]
+struct NameTable<V> {
+    entries: Vec<(&'static str, V)>,
+}
+
+impl<V: Default> NameTable<V> {
+    fn entry(&mut self, name: &'static str) -> &mut V {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(k, _)| std::ptr::eq(k, name) || k == name);
+        let pos = match pos {
+            Some(pos) => pos,
+            None => {
+                self.entries.push((name, V::default()));
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[pos].1
+    }
+
+    fn find(&self, name: &str) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|&&(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&'static str, &V)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+/// The lock-free body of a [`MetricsRegistry`]: linear name tables with a
+/// pointer-equality fast path (see [`NameTable`]) and deterministic,
+/// sorted output produced at snapshot time instead of per emission.
+/// [`MetricsRegistry`] wraps it in a mutex; the single-lock composite
+/// stack embeds it directly.
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+#[derive(Debug, Default)]
+pub(crate) struct RegistryCore {
+    counters: NameTable<u64>,
+    gauges: NameTable<u64>,
+    histograms: NameTable<Histogram>,
+    events: NameTable<u64>,
+    spans: NameTable<SpanSummary>,
+}
+
+impl RegistryCore {
+    pub(crate) fn counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name) += delta;
+    }
+
+    pub(crate) fn gauge(&mut self, name: &'static str, value: u64) {
+        let slot = self.gauges.entry(name);
+        *slot = (*slot).max(value);
+    }
+
+    pub(crate) fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).record(value);
+    }
+
+    pub(crate) fn event(&mut self, kind: &'static str) {
+        *self.events.entry(kind) += 1;
+    }
+
+    pub(crate) fn span(&mut self, name: &'static str, wall_nanos: u64, sim_minutes: u64) {
+        // Wall-clock distribution goes into the log₂ histogram like any
+        // magnitude; the span table keeps the simulated-time correlation.
+        self.record(name, wall_nanos);
+        let summary = self.spans.entry(name);
+        summary.count += 1;
+        summary.wall_nanos = summary.wall_nanos.saturating_add(wall_nanos);
+        summary.sim_minutes = summary.sim_minutes.saturating_add(sim_minutes);
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        self.counters.find(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges.find(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.find(name).cloned()
+    }
+
+    pub(crate) fn event_count(&self, kind: &str) -> u64 {
+        self.events.find(kind).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn span_summary(&self, name: &str) -> SpanSummary {
+        self.spans.find(name).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        // Collecting into the snapshot's BTreeMaps restores the sorted,
+        // deterministic order the insertion-ordered tables gave up.
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summarize()))
+                .collect(),
+            events: self
+                .events
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
 }
 
 fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -187,17 +319,17 @@ impl MetricsRegistry {
 
     /// Current value of a counter (zero if never bumped).
     pub fn counter_value(&self, name: &str) -> u64 {
-        locked(&self.counters).get(name).copied().unwrap_or(0)
+        locked(&self.inner).counter_value(name)
     }
 
     /// High watermark of a gauge (zero if never set).
     pub fn gauge_value(&self, name: &str) -> u64 {
-        locked(&self.gauges).get(name).copied().unwrap_or(0)
+        locked(&self.inner).gauge_value(name)
     }
 
     /// A copy of a histogram, if any samples were recorded under `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        locked(&self.histograms).get(name).cloned()
+        locked(&self.inner).histogram(name)
     }
 
     /// Number of trace events seen per kind (the registry counts events
@@ -205,72 +337,39 @@ impl MetricsRegistry {
     ///
     /// [`TraceSink`]: crate::TraceSink
     pub fn event_count(&self, kind: &str) -> u64 {
-        locked(&self.events).get(kind).copied().unwrap_or(0)
+        locked(&self.inner).event_count(kind)
     }
 
     /// Aggregates for a phase span (zero summary if never reported).
     pub fn span_summary(&self, name: &str) -> SpanSummary {
-        locked(&self.spans).get(name).copied().unwrap_or_default()
+        locked(&self.inner).span_summary(name)
     }
 
-    /// A point-in-time copy of every metric.
+    /// A point-in-time copy of every metric, deterministically ordered.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            counters: locked(&self.counters)
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            gauges: locked(&self.gauges)
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            histograms: locked(&self.histograms)
-                .iter()
-                .map(|(&k, h)| (k.to_string(), h.summarize()))
-                .collect(),
-            events: locked(&self.events)
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-            spans: locked(&self.spans)
-                .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
-                .collect(),
-        }
+        locked(&self.inner).snapshot()
     }
 }
 
 impl Observer for MetricsRegistry {
     fn counter(&self, name: &'static str, delta: u64) {
-        *locked(&self.counters).entry(name).or_insert(0) += delta;
+        locked(&self.inner).counter(name, delta);
     }
 
     fn gauge(&self, name: &'static str, value: u64) {
-        let mut gauges = locked(&self.gauges);
-        let slot = gauges.entry(name).or_insert(0);
-        *slot = (*slot).max(value);
+        locked(&self.inner).gauge(name, value);
     }
 
     fn record(&self, name: &'static str, value: u64) {
-        locked(&self.histograms)
-            .entry(name)
-            .or_default()
-            .record(value);
+        locked(&self.inner).record(name, value);
     }
 
     fn event(&self, _at: SimTime, kind: &'static str, _fields: &[(&'static str, u64)]) {
-        *locked(&self.events).entry(kind).or_insert(0) += 1;
+        locked(&self.inner).event(kind);
     }
 
     fn span(&self, name: &'static str, wall_nanos: u64, sim_minutes: u64) {
-        // Wall-clock distribution goes into the log₂ histogram like any
-        // magnitude; the span table keeps the simulated-time correlation.
-        self.record(name, wall_nanos);
-        let mut spans = locked(&self.spans);
-        let summary = spans.entry(name).or_default();
-        summary.count += 1;
-        summary.wall_nanos = summary.wall_nanos.saturating_add(wall_nanos);
-        summary.sim_minutes = summary.sim_minutes.saturating_add(sim_minutes);
+        locked(&self.inner).span(name, wall_nanos, sim_minutes);
     }
 }
 

@@ -15,7 +15,6 @@
 //! event stream itself (or explicit [`advance_to`](SeriesRecorder::advance_to)
 //! calls), so attaching one cannot perturb a run.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -81,29 +80,222 @@ impl SeriesBuf {
     }
 }
 
-/// How one event kind maps onto series.
+/// A tracked scalar (counter or gauge): its running value plus a cached
+/// index into the buffer table, so grid samples skip the name lookup.
 #[derive(Debug, Clone)]
-struct EventSpec {
-    value_field: &'static str,
-    label_fields: Vec<&'static str>,
+struct ScalarTrack {
+    name: &'static str,
+    value: u64,
+    buf: Option<usize>,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
+/// How one event kind maps onto series. `base_name` is the precomputed
+/// `kind.value_field` series name; for label-less specs `base_buf` caches
+/// the buffer index so the per-event hot path is a direct vector index —
+/// no allocation, no string formatting.
+#[derive(Debug, Clone)]
+struct EventTrack {
+    kind: &'static str,
+    value_field: &'static str,
+    label_fields: Vec<&'static str>,
+    base_name: String,
+    base_buf: Option<usize>,
+}
+
+/// The lock-free body of a [`SeriesRecorder`]. Tracked names number a
+/// handful per run, so registrations live in plain vectors scanned
+/// linearly (mostly by pointer equality on static names) and captured
+/// buffers in an append-only table addressed by cached index; name-sorted
+/// views are produced at read time. [`SeriesRecorder`] wraps it in a
+/// mutex; the single-lock composite stack embeds it directly.
+#[derive(Debug)]
+pub(crate) struct SeriesCore {
+    cadence: u64,
+    capacity: usize,
     /// Tracked counters: running totals, sampled on the cadence grid.
-    counters: BTreeMap<&'static str, u64>,
+    counters: Vec<ScalarTrack>,
     /// Tracked gauges: latest reported level (the trajectory, not the
     /// registry's high watermark), sampled on the cadence grid.
-    gauges: BTreeMap<&'static str, u64>,
+    gauges: Vec<ScalarTrack>,
     /// Tracked event kinds.
-    events: BTreeMap<&'static str, EventSpec>,
-    /// Captured series by name.
-    series: BTreeMap<String, SeriesBuf>,
+    events: Vec<EventTrack>,
+    /// Captured series, in creation order; readers sort by name.
+    bufs: Vec<(String, SeriesBuf)>,
     /// Next cadence-grid instant to sample scalars at (minutes).
     next_sample: u64,
     /// Latest simulated instant seen (minutes); the grid only moves
     /// forward.
     last_seen: u64,
+}
+
+impl SeriesCore {
+    pub(crate) fn new(cadence: SimDuration, capacity: usize) -> Self {
+        assert!(
+            cadence.as_minutes() > 0,
+            "series cadence must be a positive duration"
+        );
+        SeriesCore {
+            cadence: cadence.as_minutes(),
+            capacity: capacity.max(4),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            events: Vec::new(),
+            bufs: Vec::new(),
+            next_sample: 0,
+            last_seen: 0,
+        }
+    }
+
+    pub(crate) fn track_counter(&mut self, name: &'static str) {
+        if !self.counters.iter().any(|t| t.name == name) {
+            self.counters.push(ScalarTrack {
+                name,
+                value: 0,
+                buf: None,
+            });
+        }
+    }
+
+    pub(crate) fn track_gauge(&mut self, name: &'static str) {
+        if !self.gauges.iter().any(|t| t.name == name) {
+            self.gauges.push(ScalarTrack {
+                name,
+                value: 0,
+                buf: None,
+            });
+        }
+    }
+
+    pub(crate) fn track_events(
+        &mut self,
+        kind: &'static str,
+        value_field: &'static str,
+        label_fields: &[&'static str],
+    ) {
+        let track = EventTrack {
+            kind,
+            value_field,
+            label_fields: label_fields.to_vec(),
+            base_name: format!("{kind}.{value_field}"),
+            base_buf: None,
+        };
+        match self.events.iter_mut().find(|t| t.kind == kind) {
+            Some(existing) => *existing = track,
+            None => self.events.push(track),
+        }
+    }
+
+    fn buf_index(bufs: &mut Vec<(String, SeriesBuf)>, name: &str) -> usize {
+        match bufs.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                bufs.push((name.to_string(), SeriesBuf::new()));
+                bufs.len() - 1
+            }
+        }
+    }
+
+    pub(crate) fn counter(&mut self, name: &'static str, delta: u64) {
+        if let Some(track) = self.counters.iter_mut().find(|t| t.name == name) {
+            track.value = track.value.saturating_add(delta);
+        }
+    }
+
+    pub(crate) fn gauge(&mut self, name: &'static str, value: u64) {
+        if let Some(track) = self.gauges.iter_mut().find(|t| t.name == name) {
+            track.value = value;
+        }
+    }
+
+    pub(crate) fn advance_to(&mut self, at: SimTime) {
+        let minutes = at.as_minutes();
+        if minutes < self.last_seen {
+            return;
+        }
+        self.last_seen = minutes;
+        while self.next_sample <= minutes {
+            let t = self.next_sample;
+            for track in self.counters.iter_mut().chain(self.gauges.iter_mut()) {
+                let i = *track
+                    .buf
+                    .get_or_insert_with(|| Self::buf_index(&mut self.bufs, track.name));
+                self.bufs[i].1.push(self.capacity, t, track.value);
+            }
+            self.next_sample = t + self.cadence;
+        }
+    }
+
+    pub(crate) fn event(
+        &mut self,
+        at: SimTime,
+        kind: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        self.advance_to(at);
+        let Some(track) = self.events.iter_mut().find(|t| t.kind == kind) else {
+            return;
+        };
+        let lookup = |field: &str| fields.iter().find(|(k, _)| *k == field).map(|&(_, v)| v);
+        let Some(value) = lookup(track.value_field) else {
+            return;
+        };
+        let i = if track.label_fields.is_empty() {
+            // Hot path: label-less series resolve to a cached index.
+            *track
+                .base_buf
+                .get_or_insert_with(|| Self::buf_index(&mut self.bufs, &track.base_name))
+        } else {
+            let mut name = track.base_name.clone();
+            let labels: Vec<String> = track
+                .label_fields
+                .iter()
+                .filter_map(|&field| lookup(field).map(|v| format!("{field}={v}")))
+                .collect();
+            if !labels.is_empty() {
+                name.push('{');
+                name.push_str(&labels.join(","));
+                name.push('}');
+            }
+            Self::buf_index(&mut self.bufs, &name)
+        };
+        self.bufs[i].1.push(self.capacity, at.as_minutes(), value);
+    }
+
+    pub(crate) fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.bufs.iter().map(|(n, _)| n.clone()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub(crate) fn samples(&self, name: &str) -> Option<Vec<(SimTime, u64)>> {
+        self.bufs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, buf)| buf.samples())
+    }
+
+    pub(crate) fn last_values(&self) -> Vec<(&str, u64)> {
+        let mut out: Vec<(&str, u64)> = self
+            .bufs
+            .iter()
+            .filter_map(|(n, buf)| buf.last.map(|(_, v)| (n.as_str(), v)))
+            .collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.bufs.clear();
+        self.next_sample = 0;
+        self.last_seen = 0;
+        for track in self.counters.iter_mut().chain(self.gauges.iter_mut()) {
+            track.value = 0;
+            track.buf = None;
+        }
+        for track in &mut self.events {
+            track.base_buf = None;
+        }
+    }
 }
 
 /// Records named time series from the observer stream into bounded
@@ -146,12 +338,11 @@ struct Inner {
 /// ```
 #[derive(Debug)]
 pub struct SeriesRecorder {
-    inner: Mutex<Inner>,
+    inner: Mutex<SeriesCore>,
     cadence: SimDuration,
-    capacity: usize,
 }
 
-fn locked(mutex: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+fn locked(mutex: &Mutex<SeriesCore>) -> MutexGuard<'_, SeriesCore> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -172,14 +363,9 @@ impl SeriesRecorder {
     ///
     /// Panics if `cadence` is zero.
     pub fn with_capacity(cadence: SimDuration, capacity: usize) -> Self {
-        assert!(
-            cadence.as_minutes() > 0,
-            "series cadence must be a positive duration"
-        );
         SeriesRecorder {
-            inner: Mutex::default(),
+            inner: Mutex::new(SeriesCore::new(cadence, capacity)),
             cadence,
-            capacity: capacity.max(4),
         }
     }
 
@@ -193,14 +379,14 @@ impl SeriesRecorder {
     ///
     /// [`reset`]: SeriesRecorder::reset
     pub fn track_counter(&self, name: &'static str) {
-        locked(&self.inner).counters.entry(name).or_insert(0);
+        locked(&self.inner).track_counter(name);
     }
 
     /// Registers a gauge to sample. Unlike the registry's high-watermark
     /// aggregation, the series keeps the *latest* reported level — the
     /// trajectory is the point of a series.
     pub fn track_gauge(&self, name: &'static str) {
-        locked(&self.inner).gauges.entry(name).or_insert(0);
+        locked(&self.inner).track_gauge(name);
     }
 
     /// Registers an event kind to capture: every `kind` event contributes
@@ -215,13 +401,7 @@ impl SeriesRecorder {
         value_field: &'static str,
         label_fields: &[&'static str],
     ) {
-        locked(&self.inner).events.insert(
-            kind,
-            EventSpec {
-                value_field,
-                label_fields: label_fields.to_vec(),
-            },
-        );
+        locked(&self.inner).track_events(kind, value_field, label_fields);
     }
 
     /// Advances the sampling clock to `at`, recording scalar samples at
@@ -233,43 +413,17 @@ impl SeriesRecorder {
     ///
     /// [`reset`]: SeriesRecorder::reset
     pub fn advance_to(&self, at: SimTime) {
-        let mut inner = locked(&self.inner);
-        self.advance_locked(&mut inner, at);
-    }
-
-    fn advance_locked(&self, inner: &mut Inner, at: SimTime) {
-        let minutes = at.as_minutes();
-        if minutes < inner.last_seen {
-            return;
-        }
-        inner.last_seen = minutes;
-        while inner.next_sample <= minutes {
-            let t = inner.next_sample;
-            let scalars: Vec<(String, u64)> = inner
-                .counters
-                .iter()
-                .chain(inner.gauges.iter())
-                .map(|(&name, &value)| (name.to_string(), value))
-                .collect();
-            for (name, value) in scalars {
-                inner
-                    .series
-                    .entry(name)
-                    .or_insert_with(SeriesBuf::new)
-                    .push(self.capacity, t, value);
-            }
-            inner.next_sample = t + self.cadence.as_minutes();
-        }
+        locked(&self.inner).advance_to(at);
     }
 
     /// Names of every captured series, in lexicographic order.
     pub fn names(&self) -> Vec<String> {
-        locked(&self.inner).series.keys().cloned().collect()
+        locked(&self.inner).names()
     }
 
     /// The captured points of a series, time-ordered.
     pub fn series(&self, name: &str) -> Option<Vec<(SimTime, u64)>> {
-        locked(&self.inner).series.get(name).map(SeriesBuf::samples)
+        locked(&self.inner).samples(name)
     }
 
     /// One series as a `t_minutes,value` CSV table.
@@ -299,14 +453,13 @@ impl SeriesRecorder {
     /// ordered by series name.
     pub fn render_prometheus(&self) -> String {
         let inner = locked(&self.inner);
-        if inner.series.is_empty() {
+        let last = inner.last_values();
+        if last.is_empty() {
             return String::new();
         }
         let mut out = String::from("# TYPE tempimp_series gauge\n");
-        for (name, buf) in &inner.series {
-            if let Some((_, value)) = buf.last {
-                let _ = writeln!(out, "tempimp_series{{series=\"{name}\"}} {value}");
-            }
+        for (name, value) in last {
+            let _ = writeln!(out, "tempimp_series{{series=\"{name}\"}} {value}");
         }
         out
     }
@@ -316,62 +469,23 @@ impl SeriesRecorder {
     /// back-to-back runs (e.g. per experiment in `repro`) so each run's
     /// series starts at `t = 0`.
     pub fn reset(&self) {
-        let mut inner = locked(&self.inner);
-        inner.series.clear();
-        inner.next_sample = 0;
-        inner.last_seen = 0;
-        for value in inner.counters.values_mut() {
-            *value = 0;
-        }
-        for value in inner.gauges.values_mut() {
-            *value = 0;
-        }
+        locked(&self.inner).reset();
     }
 }
 
 impl Observer for SeriesRecorder {
     fn counter(&self, name: &'static str, delta: u64) {
-        let mut inner = locked(&self.inner);
-        if let Some(value) = inner.counters.get_mut(name) {
-            *value = value.saturating_add(delta);
-        }
+        locked(&self.inner).counter(name, delta);
     }
 
     fn gauge(&self, name: &'static str, value: u64) {
-        let mut inner = locked(&self.inner);
-        if let Some(slot) = inner.gauges.get_mut(name) {
-            *slot = value;
-        }
+        locked(&self.inner).gauge(name, value);
     }
 
     fn record(&self, _name: &'static str, _value: u64) {}
 
     fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
-        let mut inner = locked(&self.inner);
-        self.advance_locked(&mut inner, at);
-        let Some(spec) = inner.events.get(kind) else {
-            return;
-        };
-        let lookup = |field: &str| fields.iter().find(|(k, _)| *k == field).map(|&(_, v)| v);
-        let Some(value) = lookup(spec.value_field) else {
-            return;
-        };
-        let mut name = format!("{kind}.{}", spec.value_field);
-        let labels: Vec<String> = spec
-            .label_fields
-            .iter()
-            .filter_map(|&field| lookup(field).map(|v| format!("{field}={v}")))
-            .collect();
-        if !labels.is_empty() {
-            name.push('{');
-            name.push_str(&labels.join(","));
-            name.push('}');
-        }
-        inner
-            .series
-            .entry(name)
-            .or_insert_with(SeriesBuf::new)
-            .push(self.capacity, at.as_minutes(), value);
+        locked(&self.inner).event(at, kind, fields);
     }
 }
 

@@ -40,13 +40,84 @@ use sim_core::SimTime;
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceSink {
-    lines: Mutex<TraceBuf>,
+    lines: Mutex<TraceCore>,
 }
 
-#[derive(Debug, Default)]
-struct TraceBuf {
-    text: String,
-    count: usize,
+/// The lock-free body of a [`TraceSink`]: capture is a structured append
+/// (two `Vec` pushes — no formatting, no per-event allocation), and the
+/// JSONL text is rendered on demand. [`TraceSink`] wraps it in a mutex;
+/// the single-lock composite stack embeds it directly.
+///
+/// By default capture is unbounded (full-fidelity traces back the golden
+/// file). [`set_limit`](TraceCore::set_limit) turns the core into a
+/// flight recorder: when the window fills, it is dropped and capture
+/// restarts in the same buffers — steady state never allocates, so
+/// arbitrarily long instrumented runs keep a flat per-event cost.
+#[derive(Debug)]
+pub(crate) struct TraceCore {
+    /// One `(t_minutes, kind, fields offset, fields len)` row per event.
+    events: Vec<(u64, &'static str, usize, usize)>,
+    /// Flat field storage shared by all captured events.
+    fields: Vec<(&'static str, u64)>,
+    /// Maximum retained events before the window restarts.
+    limit: usize,
+}
+
+impl Default for TraceCore {
+    fn default() -> Self {
+        TraceCore {
+            events: Vec::new(),
+            fields: Vec::new(),
+            limit: usize::MAX,
+        }
+    }
+}
+
+impl TraceCore {
+    pub(crate) fn push(&mut self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
+        debug_assert!(
+            !kind.contains(['"', '\\']) && fields.iter().all(|(k, _)| !k.contains(['"', '\\'])),
+            "event kinds and field names are static identifiers; escaping is not supported"
+        );
+        if self.events.len() >= self.limit {
+            // Flight-recorder wraparound: drop the filled window but keep
+            // the buffer capacity, so the push below never reallocates.
+            self.events.clear();
+            self.fields.clear();
+        }
+        let start = self.fields.len();
+        self.fields.extend_from_slice(fields);
+        self.events
+            .push((at.as_minutes(), kind, start, fields.len()));
+    }
+
+    pub(crate) fn set_limit(&mut self, limit: usize) {
+        self.limit = limit.max(1);
+    }
+
+    pub(crate) fn render(&self) -> String {
+        let mut text = String::with_capacity(self.events.len() * 48);
+        for &(t, kind, start, len) in &self.events {
+            write!(text, "{{\"t\":{t},\"kind\":\"{kind}\",\"fields\":{{").expect("write to String");
+            for (i, (key, value)) in self.fields[start..start + len].iter().enumerate() {
+                let comma = if i == 0 { "" } else { "," };
+                write!(text, "{comma}\"{key}\":{value}").expect("write to String");
+            }
+            text.push_str("}}\n");
+        }
+        text
+    }
+
+    pub(crate) fn drain(&mut self) -> String {
+        let text = self.render();
+        self.events.clear();
+        self.fields.clear();
+        text
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
 }
 
 impl TraceSink {
@@ -55,25 +126,24 @@ impl TraceSink {
         TraceSink::default()
     }
 
-    /// The captured trace as one JSONL string.
+    /// The captured trace as one JSONL string (rendered on demand; capture
+    /// itself never formats).
     pub fn to_jsonl(&self) -> String {
-        self.buf().text.clone()
+        self.buf().render()
     }
 
     /// Drains the captured trace, returning it and leaving the sink empty.
     ///
     /// Long-running instrumented loops (benchmarks, the `repro` binary)
-    /// use this to bound the sink's memory: take the accumulated text,
-    /// write it out, and keep tracing into the same sink.
+    /// use this to bound the sink's memory: take the accumulated events,
+    /// write them out, and keep tracing into the same sink.
     pub fn take_jsonl(&self) -> String {
-        let mut buf = self.buf();
-        buf.count = 0;
-        std::mem::take(&mut buf.text)
+        self.buf().drain()
     }
 
     /// Number of events captured.
     pub fn len(&self) -> usize {
-        self.buf().count
+        self.buf().len()
     }
 
     /// True if no events were captured.
@@ -81,7 +151,7 @@ impl TraceSink {
         self.len() == 0
     }
 
-    fn buf(&self) -> std::sync::MutexGuard<'_, TraceBuf> {
+    fn buf(&self) -> std::sync::MutexGuard<'_, TraceCore> {
         self.lines.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -92,24 +162,7 @@ impl Observer for TraceSink {
     fn record(&self, _name: &'static str, _value: u64) {}
 
     fn event(&self, at: SimTime, kind: &'static str, fields: &[(&'static str, u64)]) {
-        debug_assert!(
-            !kind.contains(['"', '\\']) && fields.iter().all(|(k, _)| !k.contains(['"', '\\'])),
-            "event kinds and field names are static identifiers; escaping is not supported"
-        );
-        let mut buf = self.buf();
-        let line = &mut buf.text;
-        write!(
-            line,
-            "{{\"t\":{},\"kind\":\"{kind}\",\"fields\":{{",
-            at.as_minutes()
-        )
-        .expect("write to String");
-        for (i, (key, value)) in fields.iter().enumerate() {
-            let comma = if i == 0 { "" } else { "," };
-            write!(line, "{comma}\"{key}\":{value}").expect("write to String");
-        }
-        line.push_str("}}\n");
-        buf.count += 1;
+        self.buf().push(at, kind, fields);
     }
 }
 

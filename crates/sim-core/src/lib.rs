@@ -36,6 +36,7 @@ mod queue;
 mod time;
 
 pub mod driver;
+pub mod fx;
 pub mod observe;
 pub mod rng;
 pub mod schedule;
