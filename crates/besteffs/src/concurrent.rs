@@ -11,8 +11,11 @@
 
 use parking_lot::Mutex;
 use rand::Rng;
-use sim_core::{ByteSize, SimTime};
+use sim_core::{ByteSize, Obs, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use temporal_importance::protocol::{
+    DensityInfo, ObjectInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+};
 use temporal_importance::{Importance, ObjectSpec, StorageUnit};
 
 use crate::cluster::{PlacementConfig, PlacementError};
@@ -63,18 +66,25 @@ impl SharedStats {
 }
 
 /// A cluster whose nodes are individually locked, supporting concurrent
-/// `place` calls from many threads.
+/// `place` calls from many threads. Built with
+/// [`ClusterBuilder::build_shared`](crate::ClusterBuilder::build_shared).
+///
+/// Beyond the §5.3 random-walk [`place`](SharedCluster::place) path, the
+/// cluster speaks the [`StoreApi`] protocol: each node doubles as a shard
+/// under the workspace-wide [`ShardRouter`] hash mapping, so the same
+/// generic drivers exercise a `SharedCluster` and a `tempimpd` service.
+/// Protocol requests to a failed node answer with
+/// [`Error::ShardUnavailable`](temporal_importance::Error::ShardUnavailable).
 ///
 /// # Examples
 ///
 /// ```
-/// use besteffs::concurrent::SharedCluster;
-/// use besteffs::PlacementConfig;
+/// use besteffs::Besteffs;
 /// use sim_core::{rng, ByteSize, SimDuration, SimTime};
 /// use temporal_importance::{Importance, ImportanceCurve, ObjectId, ObjectSpec};
 ///
 /// let mut rand = rng::seeded(5);
-/// let cluster = SharedCluster::new(20, ByteSize::from_mib(100), PlacementConfig::default(), &mut rand);
+/// let cluster = Besteffs::builder(20, ByteSize::from_mib(100)).build_shared(&mut rand);
 /// let spec = ObjectSpec::new(
 ///     ObjectId::new(1),
 ///     ByteSize::from_mib(10),
@@ -93,26 +103,51 @@ pub struct SharedCluster {
     overlay: Overlay,
     config: PlacementConfig,
     stats: SharedStats,
+    /// Object-to-node mapping for the [`StoreApi`] protocol verbs.
+    router: ShardRouter,
+    /// Forwarded to replacement units when failed nodes are emptied.
+    obs: Obs,
 }
 
 impl SharedCluster {
     /// Creates a shared cluster of `nodes` units of equal `capacity`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes < 3` (the overlay needs a ring).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Besteffs::builder(nodes, capacity).build_shared(rng)"
+    )]
     pub fn new<R: Rng>(
         nodes: usize,
         capacity: ByteSize,
         config: PlacementConfig,
         rng: &mut R,
     ) -> Self {
+        SharedCluster::from_parts(nodes, capacity, config, Obs::global(), rng)
+    }
+
+    /// The construction path shared by the builder terminal and the
+    /// deprecated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 3` (the overlay needs a ring).
+    pub(crate) fn from_parts<R: Rng>(
+        nodes: usize,
+        capacity: ByteSize,
+        config: PlacementConfig,
+        obs: Obs,
+        rng: &mut R,
+    ) -> Self {
         let degree = 6.min(nodes - 1).max(2);
         let overlay = Overlay::random(nodes, degree, rng);
         let units = (0..nodes)
             .map(|_| {
-                let mut unit = StorageUnit::new(capacity);
-                unit.set_recording(false);
+                // Concurrent clusters keep aggregate stats only; per-event
+                // record vectors under multi-threaded churn would grow
+                // without bound.
+                let unit = StorageUnit::builder(capacity)
+                    .recording(false)
+                    .observer(obs.clone())
+                    .build();
                 Mutex::new(unit)
             })
             .collect();
@@ -122,6 +157,8 @@ impl SharedCluster {
             overlay,
             config,
             stats: SharedStats::default(),
+            router: ShardRouter::new(nodes as u32),
+            obs,
         }
     }
 
@@ -181,9 +218,10 @@ impl SharedCluster {
         let lost = {
             let mut unit = self.units[i].lock();
             let lost = unit.len() as u64;
-            let mut fresh = StorageUnit::new(unit.capacity());
-            fresh.set_recording(false);
-            *unit = fresh;
+            *unit = StorageUnit::builder(unit.capacity())
+                .recording(false)
+                .observer(self.obs.clone())
+                .build();
             lost
         };
         self.stats.failed_nodes.fetch_add(1, Ordering::Relaxed);
@@ -281,6 +319,110 @@ impl SharedCluster {
         self.stats.rejected.fetch_add(1, Ordering::Relaxed);
         Err(PlacementError::ClusterFull { probed, incoming })
     }
+
+    /// The node a protocol-keyed request routes to, or
+    /// `Error::ShardUnavailable` if it has failed.
+    fn live_shard(
+        &self,
+        id: temporal_importance::ObjectId,
+    ) -> Result<NodeId, temporal_importance::Error> {
+        let shard = self.router.route(id);
+        let node = NodeId::new(shard as usize);
+        if self.is_alive(node) {
+            Ok(node)
+        } else {
+            Err(temporal_importance::Error::ShardUnavailable { shard })
+        }
+    }
+}
+
+/// The protocol view of the cluster: every node is a shard under the
+/// workspace-wide hash routing. Keyed verbs go to the owning node under
+/// its lock; `Density` and `Stats` aggregate over the *live* membership
+/// in node order (a failed node contributes neither capacity nor bytes).
+impl StoreApi for SharedCluster {
+    fn call(&mut self, now: SimTime, request: Request) -> Response {
+        match request {
+            Request::Put {
+                id,
+                bytes,
+                curve,
+                class,
+            } => Response::Put(self.live_shard(id).and_then(|node| {
+                let spec = ObjectSpec::new(id, bytes, curve).with_class(class);
+                self.with_node(node, |unit| unit.store(spec, now))
+                    .map_err(temporal_importance::Error::from)
+            })),
+            Request::Get { id } => Response::Get(self.live_shard(id).map(|node| {
+                self.with_node(node, |unit| {
+                    unit.advance(now);
+                    unit.get(id).map(|object| ObjectInfo {
+                        id: object.id(),
+                        size: object.size(),
+                        arrival: object.arrival(),
+                        importance: object.current_importance(now),
+                        expired: object.is_expired(now),
+                    })
+                })
+            })),
+            Request::Advise {
+                id,
+                bytes,
+                incoming,
+            } => Response::Advise(self.live_shard(id).map(|node| {
+                self.with_node(node, |unit| {
+                    unit.advance(now);
+                    unit.peek_admission(bytes, incoming, now)
+                })
+            })),
+            Request::Density => {
+                let mut weighted = 0.0f64;
+                let mut capacity = ByteSize::ZERO;
+                let mut used = ByteSize::ZERO;
+                for index in 0..self.units.len() {
+                    let node = NodeId::new(index);
+                    if !self.is_alive(node) {
+                        continue;
+                    }
+                    self.with_node(node, |unit| {
+                        unit.advance(now);
+                        weighted +=
+                            unit.importance_density(now) * unit.capacity().as_bytes() as f64;
+                        capacity += unit.capacity();
+                        used += unit.used();
+                    });
+                }
+                let density = if capacity.is_zero() {
+                    0.0
+                } else {
+                    weighted / capacity.as_bytes() as f64
+                };
+                Response::Density(Ok(DensityInfo {
+                    density,
+                    capacity,
+                    used,
+                }))
+            }
+            Request::Stats => {
+                let mut total = StoreStats::default();
+                for index in 0..self.units.len() {
+                    let node = NodeId::new(index);
+                    if !self.is_alive(node) {
+                        continue;
+                    }
+                    self.with_node(node, |unit| {
+                        total.absorb(&StoreStats {
+                            unit: *unit.stats(),
+                            used: unit.used(),
+                            capacity: unit.capacity(),
+                            objects: unit.len() as u64,
+                        });
+                    });
+                }
+                Response::Stats(Ok(total))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,12 +445,7 @@ mod tests {
     #[test]
     fn single_threaded_placement_works() {
         let mut rand = rng::seeded(1);
-        let cluster = SharedCluster::new(
-            10,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = crate::Besteffs::builder(10, ByteSize::from_mib(100)).build_shared(&mut rand);
         for i in 0..10 {
             cluster
                 .place(spec(i, 20, 1.0), SimTime::ZERO, &mut rand)
@@ -323,12 +460,7 @@ mod tests {
     #[test]
     fn concurrent_placements_account_exactly() {
         let mut rand = rng::seeded(2);
-        let cluster = SharedCluster::new(
-            50,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = crate::Besteffs::builder(50, ByteSize::from_mib(100)).build_shared(&mut rand);
         let threads = 8;
         let per_thread = 50u64;
 
@@ -365,16 +497,13 @@ mod tests {
     #[test]
     fn full_cluster_rejects_equal_importance_under_concurrency() {
         let mut rand = rng::seeded(3);
-        let cluster = SharedCluster::new(
-            10,
-            ByteSize::from_mib(20),
-            PlacementConfig {
+        let cluster = crate::Besteffs::builder(10, ByteSize::from_mib(20))
+            .placement(PlacementConfig {
                 candidates_per_try: 10,
                 max_tries: 2,
                 walk_steps: 6,
-            },
-            &mut rand,
-        );
+            })
+            .build_shared(&mut rand);
         // Fill completely at 0.5.
         for i in 0..10 {
             cluster.with_node(NodeId::new(i), |unit| {
@@ -400,14 +529,57 @@ mod tests {
     }
 
     #[test]
+    fn protocol_verbs_route_by_shard_and_respect_membership() {
+        let mut rand = rng::seeded(6);
+        let mut cluster =
+            crate::Besteffs::builder(10, ByteSize::from_mib(100)).build_shared(&mut rand);
+        let curve = ImportanceCurve::fixed_lifetime(SimDuration::from_days(30));
+        for i in 0..20u64 {
+            cluster
+                .put(
+                    ObjectId::new(i),
+                    ByteSize::from_mib(1),
+                    curve.clone(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+        let stats = cluster.store_stats(SimTime::ZERO).unwrap();
+        assert_eq!(stats.objects, 20);
+        assert_eq!(stats.unit.stores_accepted, 20);
+        assert_eq!(stats.capacity, ByteSize::from_mib(1000));
+
+        // Objects live on the node the workspace-wide router picks.
+        let id = ObjectId::new(3);
+        let node = NodeId::new(cluster.router.route(id) as usize);
+        assert!(cluster.with_node(node, |unit| unit.contains(id)));
+        assert!(cluster.get_info(id, SimTime::ZERO).unwrap().is_some());
+
+        // A failed node answers keyed verbs with ShardUnavailable and
+        // drops out of the aggregates.
+        cluster.fail_node(node);
+        let err = cluster.get_info(id, SimTime::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            temporal_importance::Error::ShardUnavailable { .. }
+        ));
+        let err = cluster
+            .put(id, ByteSize::from_mib(1), curve, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            temporal_importance::Error::ShardUnavailable { .. }
+        ));
+        let stats = cluster.store_stats(SimTime::ZERO).unwrap();
+        assert_eq!(stats.capacity, ByteSize::from_mib(900));
+        let density = cluster.density_info(SimTime::ZERO).unwrap();
+        assert_eq!(density.capacity, ByteSize::from_mib(900));
+    }
+
+    #[test]
     fn fail_and_rejoin_are_idempotent_and_accounted() {
         let mut rand = rng::seeded(4);
-        let cluster = SharedCluster::new(
-            10,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = crate::Besteffs::builder(10, ByteSize::from_mib(100)).build_shared(&mut rand);
         let node = cluster
             .place(spec(1, 10, 1.0), SimTime::ZERO, &mut rand)
             .unwrap();
@@ -428,12 +600,7 @@ mod tests {
     #[test]
     fn placements_survive_concurrent_churn() {
         let mut rand = rng::seeded(5);
-        let cluster = SharedCluster::new(
-            30,
-            ByteSize::from_mib(100),
-            PlacementConfig::default(),
-            &mut rand,
-        );
+        let cluster = crate::Besteffs::builder(30, ByteSize::from_mib(100)).build_shared(&mut rand);
         let threads = 4;
         let per_thread = 40u64;
 

@@ -73,6 +73,7 @@ mod unit;
 
 pub mod arena;
 pub mod dense;
+pub mod protocol;
 
 pub use advisor::{Advisor, Forecast};
 pub use curve::{ImportanceCurve, PiecewiseCurve};

@@ -1,0 +1,518 @@
+//! The unified `StoreApi` request/response protocol.
+//!
+//! Every front-end to the reclamation engine — a single in-process
+//! [`StorageUnit`], the lock-per-node `SharedCluster` in `besteffs`, and
+//! the sharded `tempimpd` service — speaks the same five-verb protocol:
+//! **put**, **get**, **advise**, **density**, **stats**. The verbs are
+//! reified as the [`Request`] and [`Response`] enums so they can cross
+//! thread boundaries (the `tempimpd` ingest queues carry exactly these
+//! values), be recorded to a replayable request log, and be dispatched
+//! through one generic entry point.
+//!
+//! The [`StoreApi`] trait has a single required method,
+//! [`call`](StoreApi::call), which takes a request envelope and returns
+//! the matching response; the verb methods ([`put`](StoreApi::put),
+//! [`get`](StoreApi::get), …) are provided on top of it. Load generators
+//! and differential tests are written against `StoreApi`, so the same
+//! driver exercises a bare unit and a sharded service without change.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{ByteSize, SimDuration, SimTime};
+//! use temporal_importance::protocol::StoreApi;
+//! use temporal_importance::{ImportanceCurve, ObjectId, StorageUnit};
+//!
+//! let mut unit = StorageUnit::new(ByteSize::from_gib(1));
+//! let curve = ImportanceCurve::fixed_lifetime(SimDuration::from_days(30));
+//! let outcome = unit.put(ObjectId::new(1), ByteSize::from_mib(100), curve, SimTime::ZERO)?;
+//! assert!(outcome.evicted.is_empty());
+//!
+//! let info = unit.get_info(ObjectId::new(1), SimTime::ZERO)?.expect("stored");
+//! assert_eq!(info.size, ByteSize::from_mib(100));
+//! let stats = unit.store_stats(SimTime::ZERO)?;
+//! assert_eq!(stats.objects, 1);
+//! # Ok::<(), temporal_importance::Error>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sim_core::fx::FxHasher;
+use sim_core::{ByteSize, SimTime};
+use std::hash::Hasher;
+
+use crate::{
+    Admission, Error, Importance, ImportanceCurve, ObjectClass, ObjectId, ObjectSpec, StorageUnit,
+    StoreOutcome, UnitStats,
+};
+
+/// One protocol request. `Put`, `Get` and `Advise` are keyed by an
+/// [`ObjectId`] and route to a single shard in sharded implementations;
+/// `Density` and `Stats` are whole-store queries that fan out and
+/// aggregate.
+///
+/// Requests are serializable so a serving layer can keep a replayable
+/// request log — the differential determinism tests record the per-shard
+/// logs of a concurrent run and replay them single-threaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Store `bytes` under `id` with the given lifetime annotation.
+    Put {
+        /// The object id (also the routing key).
+        id: ObjectId,
+        /// The object's size.
+        bytes: ByteSize,
+        /// The temporal-importance annotation.
+        curve: ImportanceCurve,
+        /// The application-class tag.
+        class: ObjectClass,
+    },
+    /// Look up an object's metadata.
+    Get {
+        /// The object id to look up.
+        id: ObjectId,
+    },
+    /// Preview the admission decision for an object of this size and
+    /// incoming importance, without mutating anything — the §5.3
+    /// placement probe as a protocol verb. The id is the routing key: a
+    /// sharded store answers for the shard the object *would* land on.
+    Advise {
+        /// The id the object would be stored under.
+        id: ObjectId,
+        /// The object's size.
+        bytes: ByteSize,
+        /// The importance it would enter with.
+        incoming: Importance,
+    },
+    /// The storage importance density metric (§5.2), aggregated across
+    /// shards weighted by capacity.
+    Density,
+    /// Lifetime counters and occupancy, aggregated across shards.
+    Stats,
+}
+
+/// The metadata view of one stored object answered by [`Request::Get`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectInfo {
+    /// The object's id.
+    pub id: ObjectId,
+    /// Its stored size.
+    pub size: ByteSize,
+    /// When it entered the store.
+    pub arrival: SimTime,
+    /// Its current importance at the request's effective time.
+    pub importance: Importance,
+    /// True if the annotation has expired at the request's effective time.
+    pub expired: bool,
+}
+
+/// Aggregate occupancy and lifetime counters answered by
+/// [`Request::Stats`]. For sharded stores every field is summed across
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Summed per-unit lifetime counters.
+    pub unit: UnitStats,
+    /// Bytes currently resident.
+    pub used: ByteSize,
+    /// Total capacity.
+    pub capacity: ByteSize,
+    /// Objects currently resident.
+    pub objects: u64,
+}
+
+impl StoreStats {
+    /// Folds another shard's stats into this aggregate.
+    pub fn absorb(&mut self, other: &StoreStats) {
+        let a = &mut self.unit;
+        let b = &other.unit;
+        a.stores_attempted += b.stores_attempted;
+        a.stores_accepted += b.stores_accepted;
+        a.rejections_full += b.rejections_full;
+        a.rejections_too_large += b.rejections_too_large;
+        a.evictions_preempted += b.evictions_preempted;
+        a.evictions_expired += b.evictions_expired;
+        a.removals += b.removals;
+        a.bytes_accepted += b.bytes_accepted;
+        a.bytes_evicted += b.bytes_evicted;
+        self.used += other.used;
+        self.capacity += other.capacity;
+        self.objects += other.objects;
+    }
+}
+
+/// The storage importance density answered by [`Request::Density`],
+/// carried with the occupancy it was computed over so sharded stores can
+/// aggregate exactly (capacity-weighted mean).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityInfo {
+    /// The density value in `[0, 1]`.
+    pub density: f64,
+    /// The capacity it is normalized by.
+    pub capacity: ByteSize,
+    /// Bytes resident when it was sampled.
+    pub used: ByteSize,
+}
+
+/// One protocol response. Every variant carries a `Result` because a
+/// serving layer can fail any request for reasons the engine never sees —
+/// a dead shard, a full ingest queue, a disconnected worker — and those
+/// failures surface as the service variants of [`Error`].
+#[derive(Debug)]
+pub enum Response {
+    /// Answer to [`Request::Put`].
+    Put(Result<StoreOutcome, Error>),
+    /// Answer to [`Request::Get`].
+    Get(Result<Option<ObjectInfo>, Error>),
+    /// Answer to [`Request::Advise`].
+    Advise(Result<Admission, Error>),
+    /// Answer to [`Request::Density`].
+    Density(Result<DensityInfo, Error>),
+    /// Answer to [`Request::Stats`].
+    Stats(Result<StoreStats, Error>),
+}
+
+impl Response {
+    /// Builds the failure response matching `request`'s variant, so a
+    /// transport error surfaces through the same shape a success would.
+    pub fn failed(request: &Request, error: Error) -> Response {
+        match request {
+            Request::Put { .. } => Response::Put(Err(error)),
+            Request::Get { .. } => Response::Get(Err(error)),
+            Request::Advise { .. } => Response::Advise(Err(error)),
+            Request::Density => Response::Density(Err(error)),
+            Request::Stats => Response::Stats(Err(error)),
+        }
+    }
+}
+
+/// The unified store interface: one [`call`](StoreApi::call) entry point
+/// dispatching [`Request`]s, with typed verb methods provided on top.
+///
+/// Implementations must answer each request variant with the matching
+/// response variant; the verb methods panic on a mismatch, which is a
+/// protocol bug in the implementation, never a runtime condition.
+pub trait StoreApi {
+    /// Dispatches one request at simulated instant `now`.
+    ///
+    /// Serving layers may coalesce `now` forward (never backward) to a
+    /// batch drain time; callers must treat `now` as a lower bound on the
+    /// effective time of the operation.
+    fn call(&mut self, now: SimTime, request: Request) -> Response;
+
+    /// Stores `bytes` under `id` with the given annotation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Store`] when the engine refuses the object, or a service
+    /// variant when the serving layer cannot reach the shard.
+    fn put(
+        &mut self,
+        id: ObjectId,
+        bytes: ByteSize,
+        curve: ImportanceCurve,
+        now: SimTime,
+    ) -> Result<StoreOutcome, Error> {
+        let request = Request::Put {
+            id,
+            bytes,
+            curve,
+            class: ObjectClass::GENERIC,
+        };
+        match self.call(now, request) {
+            Response::Put(result) => result,
+            other => panic!("protocol violation: Put answered with {other:?}"),
+        }
+    }
+
+    /// Looks up an object's metadata; `Ok(None)` means not stored.
+    ///
+    /// # Errors
+    ///
+    /// A service variant of [`Error`] when the shard is unreachable.
+    fn get_info(&mut self, id: ObjectId, now: SimTime) -> Result<Option<ObjectInfo>, Error> {
+        match self.call(now, Request::Get { id }) {
+            Response::Get(result) => result,
+            other => panic!("protocol violation: Get answered with {other:?}"),
+        }
+    }
+
+    /// Previews the admission decision for an object of this size and
+    /// incoming importance, routed as `id` would be.
+    ///
+    /// # Errors
+    ///
+    /// A service variant of [`Error`] when the shard is unreachable.
+    fn advise(
+        &mut self,
+        id: ObjectId,
+        bytes: ByteSize,
+        incoming: Importance,
+        now: SimTime,
+    ) -> Result<Admission, Error> {
+        match self.call(
+            now,
+            Request::Advise {
+                id,
+                bytes,
+                incoming,
+            },
+        ) {
+            Response::Advise(result) => result,
+            other => panic!("protocol violation: Advise answered with {other:?}"),
+        }
+    }
+
+    /// The storage importance density, aggregated across shards.
+    ///
+    /// # Errors
+    ///
+    /// A service variant of [`Error`] when any shard is unreachable.
+    fn density_info(&mut self, now: SimTime) -> Result<DensityInfo, Error> {
+        match self.call(now, Request::Density) {
+            Response::Density(result) => result,
+            other => panic!("protocol violation: Density answered with {other:?}"),
+        }
+    }
+
+    /// Aggregate lifetime counters and occupancy.
+    ///
+    /// # Errors
+    ///
+    /// A service variant of [`Error`] when any shard is unreachable.
+    fn store_stats(&mut self, now: SimTime) -> Result<StoreStats, Error> {
+        match self.call(now, Request::Stats) {
+            Response::Stats(result) => result,
+            other => panic!("protocol violation: Stats answered with {other:?}"),
+        }
+    }
+}
+
+/// Deterministic, total object-to-shard routing shared by every sharded
+/// [`StoreApi`] implementor.
+///
+/// The raw id is mixed through [`FxHasher`] before the modulo so that
+/// sequentially allocated ids (the common case — [`crate::ObjectIdGen`]
+/// counts up) spread across shards instead of striping, and the mapping is
+/// a pure function of `(id, shards)`: two routers with the same shard
+/// count agree on every id, across processes and across runs.
+///
+/// # Examples
+///
+/// ```
+/// use temporal_importance::protocol::ShardRouter;
+/// use temporal_importance::ObjectId;
+///
+/// let router = ShardRouter::new(8);
+/// let shard = router.route(ObjectId::new(42));
+/// assert!(shard < 8);
+/// assert_eq!(shard, ShardRouter::new(8).route(ObjectId::new(42)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards > 0, "a store needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard `id` lives on: always in `0..shards()`.
+    pub fn route(&self, id: ObjectId) -> u32 {
+        let mut hasher = FxHasher::default();
+        hasher.write_u64(id.raw());
+        (hasher.finish() % u64::from(self.shards)) as u32
+    }
+}
+
+impl StoreApi for StorageUnit {
+    fn call(&mut self, now: SimTime, request: Request) -> Response {
+        match request {
+            Request::Put {
+                id,
+                bytes,
+                curve,
+                class,
+            } => {
+                let spec = ObjectSpec::new(id, bytes, curve).with_class(class);
+                Response::Put(self.store(spec, now).map_err(Error::from))
+            }
+            Request::Get { id } => {
+                self.advance(now);
+                let info = self.get(id).map(|object| ObjectInfo {
+                    id: object.id(),
+                    size: object.size(),
+                    arrival: object.arrival(),
+                    importance: object.current_importance(now),
+                    expired: object.is_expired(now),
+                });
+                Response::Get(Ok(info))
+            }
+            Request::Advise {
+                id: _,
+                bytes,
+                incoming,
+            } => {
+                // A single unit is its own shard; the routing key is moot.
+                self.advance(now);
+                Response::Advise(Ok(self.peek_admission(bytes, incoming, now)))
+            }
+            Request::Density => {
+                self.advance(now);
+                Response::Density(Ok(DensityInfo {
+                    density: self.importance_density(now),
+                    capacity: self.capacity(),
+                    used: self.used(),
+                }))
+            }
+            Request::Stats => Response::Stats(Ok(StoreStats {
+                unit: *self.stats(),
+                used: self.used(),
+                capacity: self.capacity(),
+                objects: self.len() as u64,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn curve(days: u64) -> ImportanceCurve {
+        ImportanceCurve::fixed_lifetime(SimDuration::from_days(days))
+    }
+
+    #[test]
+    fn unit_speaks_the_protocol_end_to_end() {
+        let mut unit = StorageUnit::new(ByteSize::from_mib(100));
+        let outcome = unit
+            .put(
+                ObjectId::new(1),
+                ByteSize::from_mib(60),
+                curve(30),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(outcome.evicted.is_empty());
+
+        let info = unit
+            .get_info(ObjectId::new(1), SimTime::ZERO)
+            .unwrap()
+            .expect("stored");
+        assert_eq!(info.size, ByteSize::from_mib(60));
+        assert_eq!(info.importance, Importance::FULL);
+        assert!(!info.expired);
+        assert!(unit
+            .get_info(ObjectId::new(2), SimTime::ZERO)
+            .unwrap()
+            .is_none());
+
+        let advice = unit
+            .advise(
+                ObjectId::new(2),
+                ByteSize::from_mib(30),
+                Importance::FULL,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(advice.is_admitted());
+
+        let density = unit.density_info(SimTime::ZERO).unwrap();
+        assert!(density.density > 0.0);
+        assert_eq!(density.used, ByteSize::from_mib(60));
+
+        let stats = unit.store_stats(SimTime::ZERO).unwrap();
+        assert_eq!(stats.objects, 1);
+        assert_eq!(stats.unit.stores_accepted, 1);
+        assert_eq!(stats.capacity, ByteSize::from_mib(100));
+    }
+
+    #[test]
+    fn engine_refusals_surface_as_store_errors() {
+        let mut unit = StorageUnit::new(ByteSize::from_mib(10));
+        unit.put(
+            ObjectId::new(1),
+            ByteSize::from_mib(10),
+            curve(30),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let err = unit
+            .put(
+                ObjectId::new(2),
+                ByteSize::from_mib(10),
+                curve(30),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Store(crate::StoreError::Full { .. })));
+    }
+
+    #[test]
+    fn failed_builds_the_matching_variant() {
+        let req = Request::Get {
+            id: ObjectId::new(1),
+        };
+        match Response::failed(&req, Error::Disconnected) {
+            Response::Get(Err(Error::Disconnected)) => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match Response::failed(&Request::Density, Error::Disconnected) {
+            Response::Density(Err(Error::Disconnected)) => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn router_is_total_and_deterministic() {
+        let router = ShardRouter::new(8);
+        for raw in 0..10_000u64 {
+            let shard = router.route(ObjectId::new(raw));
+            assert!(shard < 8);
+            assert_eq!(shard, router.route(ObjectId::new(raw)));
+        }
+        // Sequential ids spread rather than stripe: all shards populated
+        // well before 10k ids.
+        let mut seen = vec![0u64; 8];
+        for raw in 0..64u64 {
+            seen[router.route(ObjectId::new(raw)) as usize] += 1;
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "64 ids left a shard empty: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn stats_absorb_sums_every_field() {
+        let mut unit = StorageUnit::new(ByteSize::from_mib(50));
+        unit.put(
+            ObjectId::new(1),
+            ByteSize::from_mib(10),
+            curve(30),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let one = unit.store_stats(SimTime::ZERO).unwrap();
+        let mut total = StoreStats::default();
+        total.absorb(&one);
+        total.absorb(&one);
+        assert_eq!(total.objects, 2);
+        assert_eq!(total.unit.stores_accepted, 2);
+        assert_eq!(total.used, ByteSize::from_mib(20));
+        assert_eq!(total.capacity, ByteSize::from_mib(100));
+    }
+}

@@ -1,0 +1,228 @@
+//! The per-shard execution engine: one [`StorageUnit`] advanced along a
+//! shard-local monotonic clock, with periodic expiry sweeps.
+//!
+//! This is deliberately the *only* code path that applies protocol
+//! requests to a shard, shared verbatim between the live worker threads
+//! of [`Tempimpd`](crate::Tempimpd) and the single-threaded
+//! [`replay`] used by the differential determinism tests: a shard's final
+//! state is a pure function of its effective request log, by construction.
+
+use sim_core::{ByteSize, Obs, ShardClock, SimDuration, SimTime};
+use temporal_importance::protocol::{Request, Response, StoreApi};
+use temporal_importance::{EvictionPolicy, StorageUnit};
+
+/// One shard's engine: storage unit + monotonic clock + sweep cadence.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{ByteSize, SimDuration, SimTime};
+/// use tempimpd::ShardEngine;
+/// use temporal_importance::protocol::StoreApi;
+/// use temporal_importance::{EvictionPolicy, ImportanceCurve, ObjectId};
+///
+/// let mut shard = ShardEngine::new(
+///     ByteSize::from_gib(1),
+///     EvictionPolicy::Preemptive,
+///     SimDuration::DAY,
+/// );
+/// let curve = ImportanceCurve::fixed_lifetime(SimDuration::from_days(7));
+/// shard
+///     .put(ObjectId::new(1), ByteSize::from_mib(10), curve, SimTime::ZERO)
+///     .unwrap();
+/// assert_eq!(shard.unit().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardEngine {
+    unit: StorageUnit,
+    clock: ShardClock,
+    last_sweep: SimTime,
+    sweep_every: SimDuration,
+}
+
+impl ShardEngine {
+    /// An empty shard with the given capacity, policy, and expiry-sweep
+    /// cadence. Eviction/rejection record keeping is off — a serving shard
+    /// reports through aggregate stats and the observer, not per-event
+    /// record vectors that would grow without bound.
+    pub fn new(capacity: ByteSize, policy: EvictionPolicy, sweep_every: SimDuration) -> Self {
+        ShardEngine::with_observer(capacity, policy, sweep_every, Obs::none())
+    }
+
+    /// [`ShardEngine::new`] with an explicit observer on the unit.
+    /// Observation never feeds back into state, so observed and silent
+    /// shards stay byte-identical — replay always uses a silent one.
+    pub fn with_observer(
+        capacity: ByteSize,
+        policy: EvictionPolicy,
+        sweep_every: SimDuration,
+        obs: Obs,
+    ) -> Self {
+        let unit = StorageUnit::builder(capacity)
+            .policy(policy)
+            .recording(false)
+            .observer(obs)
+            .build();
+        ShardEngine {
+            unit,
+            clock: ShardClock::new(),
+            last_sweep: SimTime::ZERO,
+            sweep_every,
+        }
+    }
+
+    /// Folds a request timestamp into the shard clock without applying
+    /// anything — workers call this once per drained batch with the
+    /// latest timestamp in the batch, so every request in the batch is
+    /// processed at one effective instant and breakpoint/expiry work is
+    /// paid once per batch instead of once per request.
+    pub fn observe(&mut self, at: SimTime) -> SimTime {
+        self.clock.observe(at)
+    }
+
+    /// The latest effective instant this shard has processed.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The shard's storage unit.
+    pub fn unit(&self) -> &StorageUnit {
+        &self.unit
+    }
+
+    /// Consumes the engine, returning the final unit state.
+    pub fn into_unit(self) -> StorageUnit {
+        self.unit
+    }
+}
+
+impl StoreApi for ShardEngine {
+    /// Applies one request at `max(at, clock)` — time never moves
+    /// backwards on a shard — running an expired-object sweep first
+    /// whenever at least the sweep cadence has elapsed since the last one.
+    ///
+    /// Both the sweep decision and the effective timestamp depend only on
+    /// the sequence of `(at, request)` pairs this engine has seen, which
+    /// is what makes single-threaded replay of a recorded log reproduce a
+    /// live shard exactly.
+    fn call(&mut self, at: SimTime, request: Request) -> Response {
+        let now = self.clock.observe(at);
+        if now.saturating_since(self.last_sweep) >= self.sweep_every {
+            self.unit.sweep_expired(now);
+            self.last_sweep = now;
+        }
+        self.unit.call(now, request)
+    }
+}
+
+/// Replays an effective request log single-threaded into a fresh shard,
+/// returning the resulting engine for state comparison.
+///
+/// The log is what a [`Tempimpd`](crate::Tempimpd) worker records when
+/// built with request logging: timestamps are the *effective* (batch-
+/// coalesced, monotone) instants, in the shard's processing order. Because
+/// this drives the same [`ShardEngine`] code path as the live worker, a
+/// replayed shard must end up byte-identical to the live one — the
+/// differential tests serialize both and compare.
+pub fn replay(
+    capacity: ByteSize,
+    policy: EvictionPolicy,
+    sweep_every: SimDuration,
+    log: &[(SimTime, Request)],
+) -> ShardEngine {
+    let mut engine = ShardEngine::new(capacity, policy, sweep_every);
+    for (at, request) in log {
+        engine.call(*at, request.clone());
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_importance::{Importance, ImportanceCurve, ObjectId};
+
+    fn ephemeral_curve() -> ImportanceCurve {
+        ImportanceCurve::fixed_lifetime(SimDuration::from_days(1))
+    }
+
+    #[test]
+    fn sweeps_run_on_cadence_and_free_expired_bytes() {
+        let mut shard = ShardEngine::new(
+            ByteSize::from_mib(100),
+            EvictionPolicy::Preemptive,
+            SimDuration::DAY,
+        );
+        shard
+            .put(
+                ObjectId::new(1),
+                ByteSize::from_mib(10),
+                ephemeral_curve(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(shard.unit().used(), ByteSize::from_mib(10));
+
+        // Two days later any request triggers the sweep first; the expired
+        // object is reclaimed even though nothing touched it directly.
+        let later = SimTime::from_days(2);
+        let stats = shard.store_stats(later).unwrap();
+        assert_eq!(stats.used, ByteSize::ZERO);
+        assert_eq!(stats.unit.evictions_expired, 1);
+        assert_eq!(shard.now(), later);
+    }
+
+    #[test]
+    fn stragglers_do_not_rewind_the_shard() {
+        let mut shard = ShardEngine::new(
+            ByteSize::from_mib(100),
+            EvictionPolicy::Preemptive,
+            SimDuration::DAY,
+        );
+        shard
+            .put(
+                ObjectId::new(1),
+                ByteSize::from_mib(10),
+                ephemeral_curve(),
+                SimTime::from_days(3),
+            )
+            .unwrap();
+        // A straggler stamped at day 1 is processed at the shard's day-3
+        // clock: the object it queries is still fresh relative to day 3.
+        let info = shard
+            .get_info(ObjectId::new(1), SimTime::from_days(1))
+            .unwrap()
+            .expect("stored");
+        assert!(!info.expired);
+        assert_eq!(shard.now(), SimTime::from_days(3));
+    }
+
+    #[test]
+    fn replay_of_a_recorded_log_reproduces_state() {
+        let capacity = ByteSize::from_mib(64);
+        let sweep = SimDuration::HOUR;
+        let mut live = ShardEngine::new(capacity, EvictionPolicy::Preemptive, sweep);
+        let mut log = Vec::new();
+        for i in 0..200u64 {
+            let at = SimTime::from_hours(i / 2);
+            let request = Request::Put {
+                id: ObjectId::new(i),
+                bytes: ByteSize::from_mib(1 + i % 7),
+                curve: ImportanceCurve::two_step(
+                    Importance::FULL,
+                    SimDuration::from_hours(6 + i % 30),
+                    SimDuration::from_hours(12),
+                ),
+                class: temporal_importance::ObjectClass::GENERIC,
+            };
+            let effective = live.now().max(at);
+            log.push((effective, request.clone()));
+            live.call(at, request);
+        }
+        let replayed = replay(capacity, EvictionPolicy::Preemptive, sweep, &log);
+        let live_json = serde_json::to_string(live.unit()).unwrap();
+        let replay_json = serde_json::to_string(replayed.unit()).unwrap();
+        assert_eq!(live_json, replay_json);
+        assert_eq!(live.unit().stats(), replayed.unit().stats());
+    }
+}

@@ -1,0 +1,76 @@
+//! `tempimpd` — a sharded, concurrently-writable serving layer over the
+//! temporal-importance reclamation engine.
+//!
+//! The core engine ([`temporal_importance::StorageUnit`]) is
+//! single-threaded by design: its indexes advance along one monotonic
+//! clock. This crate scales it out the way a log-structured store shards
+//! an LSM tree: objects hash to one of N **shards**
+//! ([`ShardRouter`]), each shard is an independent `StorageUnit` owned
+//! exclusively by a worker thread, and requests travel to the owner over
+//! a bounded MPSC ingest queue as the typed
+//! [`Request`]/[`Response`] messages of the
+//! [`StoreApi`](temporal_importance::protocol::StoreApi) protocol. No
+//! locks, no shared state: concurrency comes from ownership transfer,
+//! and each shard remains exactly as deterministic as the engine it
+//! wraps.
+//!
+//! Three properties the design guarantees:
+//!
+//! * **Batch-amortized time.** A worker drains its queue in batches and
+//!   processes the whole batch at the batch's latest timestamp, so
+//!   breakpoint advancement and expiry sweeps are paid per batch, not
+//!   per request ([`ShardEngine`]).
+//! * **Replayable shards.** Each shard's final state is a pure function
+//!   of its effective request log; a log recorded live and replayed
+//!   single-threaded through [`replay`] yields a byte-identical unit —
+//!   the differential determinism tests hold the service to this.
+//! * **Typed backpressure.** A full ingest queue surfaces as
+//!   [`Error::QueueFull`](temporal_importance::Error::QueueFull) on the
+//!   non-blocking path, a dead worker as
+//!   [`Error::Disconnected`](temporal_importance::Error::Disconnected);
+//!   blocking clients simply wait.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sim_core::{ByteSize, SimDuration, SimTime};
+//! use tempimpd::Tempimpd;
+//! use temporal_importance::protocol::StoreApi;
+//! use temporal_importance::{ImportanceCurve, ObjectId};
+//!
+//! let service = Tempimpd::builder()
+//!     .shards(4)
+//!     .shard_capacity(ByteSize::from_mib(512))
+//!     .spawn();
+//!
+//! let mut client = service.client();
+//! let curve = ImportanceCurve::two_step(
+//!     temporal_importance::Importance::FULL,
+//!     SimDuration::from_days(15),
+//!     SimDuration::from_days(15),
+//! );
+//! client
+//!     .put(ObjectId::new(7), ByteSize::from_mib(64), curve, SimTime::ZERO)?;
+//! assert!(client
+//!     .get_info(ObjectId::new(7), SimTime::ZERO)?
+//!     .is_some());
+//!
+//! drop(client); // workers exit once every client is gone
+//! let reports = service.shutdown();
+//! assert_eq!(reports.iter().map(|r| r.unit.len()).sum::<usize>(), 1);
+//! # Ok::<(), temporal_importance::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engine;
+mod service;
+
+pub use engine::{replay, ShardEngine};
+pub use service::{Pending, ServeClient, ShardReport, Tempimpd, TempimpdBuilder};
+
+// The routing function lives in the protocol module so `besteffs` can use
+// the identical mapping; re-exported here because it is part of this
+// crate's vocabulary.
+pub use temporal_importance::protocol::ShardRouter;

@@ -1,0 +1,871 @@
+//! The sharded serving front-end: worker threads, ingest queues, clients.
+//!
+//! A [`Tempimpd`] owns N worker threads, each running a private
+//! [`ShardEngine`] fed by a bounded MPSC ingest queue. [`ServeClient`]s
+//! hash every keyed request to its shard ([`ShardRouter`]), enqueue it
+//! with the client's timestamp, and block on a per-request reply channel;
+//! whole-store queries (`Density`, `Stats`) fan out to every shard and
+//! aggregate in shard order. Workers drain requests in batches and
+//! process each batch at a single effective instant — see
+//! [`ShardEngine`] for why that keeps shards deterministically replayable.
+
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use sim_core::{ByteSize, Obs, SimDuration, SimTime};
+use temporal_importance::protocol::{
+    DensityInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+};
+use temporal_importance::{Error, EvictionPolicy, StorageUnit};
+
+use crate::engine::ShardEngine;
+
+/// One queued request: the client's timestamp, the request, and where to
+/// send the answer.
+struct Job {
+    at: SimTime,
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Which protocol verb a request was, kept so a transport failure after
+/// the request has been moved into a queue can still build the matching
+/// [`Response`] variant.
+#[derive(Debug, Clone, Copy)]
+enum Verb {
+    Put,
+    Get,
+    Advise,
+    Density,
+    Stats,
+}
+
+impl Verb {
+    fn of(request: &Request) -> Verb {
+        match request {
+            Request::Put { .. } => Verb::Put,
+            Request::Get { .. } => Verb::Get,
+            Request::Advise { .. } => Verb::Advise,
+            Request::Density => Verb::Density,
+            Request::Stats => Verb::Stats,
+        }
+    }
+
+    fn span_name(self) -> &'static str {
+        match self {
+            Verb::Put => "span.serve.put",
+            Verb::Get => "span.serve.get",
+            Verb::Advise => "span.serve.advise",
+            Verb::Density => "span.serve.density",
+            Verb::Stats => "span.serve.stats",
+        }
+    }
+
+    fn failed(self, error: Error) -> Response {
+        match self {
+            Verb::Put => Response::Put(Err(error)),
+            Verb::Get => Response::Get(Err(error)),
+            Verb::Advise => Response::Advise(Err(error)),
+            Verb::Density => Response::Density(Err(error)),
+            Verb::Stats => Response::Stats(Err(error)),
+        }
+    }
+}
+
+/// Configures and spawns a [`Tempimpd`]. Obtained from
+/// [`Tempimpd::builder`].
+#[derive(Debug, Clone)]
+#[must_use = "call .spawn() to start the service"]
+pub struct TempimpdBuilder {
+    shards: u32,
+    shard_capacity: ByteSize,
+    policy: EvictionPolicy,
+    queue_depth: usize,
+    batch_max: usize,
+    sweep_every: SimDuration,
+    record_log: bool,
+    obs: Option<Obs>,
+}
+
+impl TempimpdBuilder {
+    /// Number of independent shards / worker threads (default 8).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Capacity of each shard's storage unit (default 1 GiB). Total
+    /// service capacity is `shards × shard_capacity`.
+    pub fn shard_capacity(mut self, capacity: ByteSize) -> Self {
+        self.shard_capacity = capacity;
+        self
+    }
+
+    /// Eviction policy for every shard (default
+    /// [`EvictionPolicy::Preemptive`], the paper's mechanism).
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bound of each shard's ingest queue (default 1024). A full queue is
+    /// the backpressure signal: blocking sends wait, non-blocking sends
+    /// fail with [`Error::QueueFull`].
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Most requests a worker drains into one batch (default 64). Every
+    /// request in a batch is processed at the batch's latest timestamp,
+    /// so larger batches amortize more breakpoint/expiry work.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// How much simulated time may elapse on a shard between
+    /// expired-object sweeps (default one day).
+    pub fn sweep_every(mut self, cadence: SimDuration) -> Self {
+        self.sweep_every = cadence;
+        self
+    }
+
+    /// When true, every worker records its effective request log and
+    /// returns it in its [`ShardReport`] — the input to
+    /// [`replay`](crate::replay) in the differential determinism tests
+    /// (default off; the log grows with every request).
+    pub fn record_log(mut self, record: bool) -> Self {
+        self.record_log = record;
+        self
+    }
+
+    /// Attaches an explicit observer shared by all shards and clients.
+    /// Without this, the service observes into [`Obs::global`].
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Spawns the worker threads and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `queue_depth`, or `batch_max` is zero, or if
+    /// the OS refuses to spawn a thread.
+    pub fn spawn(self) -> Tempimpd {
+        assert!(self.shards > 0, "a service needs at least one shard");
+        assert!(self.queue_depth > 0, "ingest queues need capacity");
+        assert!(self.batch_max > 0, "batches must hold at least one request");
+        let obs = self.obs.unwrap_or_else(Obs::global);
+        let mut ingests = Vec::with_capacity(self.shards as usize);
+        let mut workers = Vec::with_capacity(self.shards as usize);
+        for shard in 0..self.shards {
+            let (tx, rx) = mpsc::sync_channel(self.queue_depth);
+            let worker = Worker {
+                shard,
+                capacity: self.shard_capacity,
+                policy: self.policy,
+                sweep_every: self.sweep_every,
+                batch_max: self.batch_max,
+                record_log: self.record_log,
+                obs: obs.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("tempimpd-shard-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn shard worker");
+            ingests.push(tx);
+            workers.push(handle);
+        }
+        Tempimpd {
+            router: ShardRouter::new(self.shards),
+            ingests,
+            workers,
+            obs,
+            shard_capacity: self.shard_capacity,
+            policy: self.policy,
+            sweep_every: self.sweep_every,
+        }
+    }
+}
+
+/// What one shard worker hands back when the service shuts down.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: u32,
+    /// The shard's final storage unit state.
+    pub unit: StorageUnit,
+    /// The shard's final effective instant.
+    pub final_now: SimTime,
+    /// Requests the shard processed.
+    pub requests: u64,
+    /// Batches the shard drained.
+    pub batches: u64,
+    /// The effective request log, if the service was built with
+    /// [`record_log`](TempimpdBuilder::record_log). Feeding this to
+    /// [`replay`](crate::replay) must reproduce `unit` exactly.
+    pub log: Vec<(SimTime, Request)>,
+}
+
+/// Per-shard worker state; `run` consumes it on the shard thread.
+struct Worker {
+    shard: u32,
+    capacity: ByteSize,
+    policy: EvictionPolicy,
+    sweep_every: SimDuration,
+    batch_max: usize,
+    record_log: bool,
+    obs: Obs,
+}
+
+impl Worker {
+    fn run(self, ingest: Receiver<Job>) -> ShardReport {
+        let mut engine = ShardEngine::with_observer(
+            self.capacity,
+            self.policy,
+            self.sweep_every,
+            self.obs.clone(),
+        );
+        let mut log = Vec::new();
+        let mut batch: Vec<Job> = Vec::with_capacity(self.batch_max);
+        let mut requests = 0u64;
+        let mut batches = 0u64;
+        // Block for the first request of a batch, then drain greedily up
+        // to batch_max. The whole batch is processed at its latest
+        // timestamp: one clock advance, at most one sweep, then every
+        // request applies at the same instant.
+        while let Ok(first) = ingest.recv() {
+            batch.push(first);
+            while batch.len() < self.batch_max {
+                match ingest.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+            let latest = batch
+                .iter()
+                .map(|job| job.at)
+                .max()
+                .expect("non-empty batch");
+            let now = engine.observe(latest);
+            let drained = batch.len() as u64;
+            let mut span = self.obs.span("span.serve.shard_batch");
+            span.sim_to(now);
+            for job in batch.drain(..) {
+                if self.record_log {
+                    log.push((now, job.request.clone()));
+                }
+                let response = engine.call(now, job.request);
+                // A client that gave up on the reply is not an error.
+                let _ = job.reply.send(response);
+            }
+            drop(span);
+            requests += drained;
+            batches += 1;
+            self.obs.counter("serve.requests", drained);
+            self.obs.counter("serve.batches", 1);
+            self.obs.record("serve.batch_fill", drained);
+            self.obs.event(
+                now,
+                "serve.batch",
+                &[("shard", u64::from(self.shard)), ("drained", drained)],
+            );
+        }
+        let final_now = engine.now();
+        ShardReport {
+            shard: self.shard,
+            unit: engine.into_unit(),
+            final_now,
+            requests,
+            batches,
+            log,
+        }
+    }
+}
+
+/// A running sharded serving layer.
+///
+/// Hand out connections with [`client`](Tempimpd::client); when every
+/// client has been dropped, [`shutdown`](Tempimpd::shutdown) joins the
+/// workers and returns their final state.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{ByteSize, SimDuration, SimTime};
+/// use tempimpd::Tempimpd;
+/// use temporal_importance::protocol::StoreApi;
+/// use temporal_importance::{ImportanceCurve, ObjectId};
+///
+/// let service = Tempimpd::builder()
+///     .shards(2)
+///     .shard_capacity(ByteSize::from_mib(256))
+///     .spawn();
+/// let mut client = service.client();
+///
+/// let curve = ImportanceCurve::fixed_lifetime(SimDuration::from_days(7));
+/// client
+///     .put(ObjectId::new(1), ByteSize::from_mib(10), curve, SimTime::ZERO)
+///     .unwrap();
+/// let stats = client.store_stats(SimTime::ZERO).unwrap();
+/// assert_eq!(stats.objects, 1);
+///
+/// drop(client);
+/// let reports = service.shutdown();
+/// assert_eq!(reports.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Tempimpd {
+    router: ShardRouter,
+    ingests: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<ShardReport>>,
+    obs: Obs,
+    shard_capacity: ByteSize,
+    policy: EvictionPolicy,
+    sweep_every: SimDuration,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("at", &self.at).finish()
+    }
+}
+
+impl Tempimpd {
+    /// Starts configuring a service; see [`TempimpdBuilder`].
+    pub fn builder() -> TempimpdBuilder {
+        TempimpdBuilder {
+            shards: 8,
+            shard_capacity: ByteSize::from_gib(1),
+            policy: EvictionPolicy::Preemptive,
+            queue_depth: 1024,
+            batch_max: 64,
+            sweep_every: SimDuration::DAY,
+            record_log: false,
+            obs: None,
+        }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// Each shard's capacity (replay needs it to rebuild identical units).
+    pub fn shard_capacity(&self) -> ByteSize {
+        self.shard_capacity
+    }
+
+    /// The shards' eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// The shards' expiry-sweep cadence.
+    pub fn sweep_every(&self) -> SimDuration {
+        self.sweep_every
+    }
+
+    /// A new connection to the service. Clients are cheap to clone and
+    /// `Send`, so load generators hand one to each thread.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            router: self.router,
+            ingests: self.ingests.clone(),
+            obs: self.obs.clone(),
+        }
+    }
+
+    /// Stops the workers and returns one [`ShardReport`] per shard, in
+    /// shard order.
+    ///
+    /// Workers exit when their ingest queue has no senders left, so every
+    /// [`ServeClient`] must be dropped first — joining while clients are
+    /// alive would wait forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn shutdown(mut self) -> Vec<ShardReport> {
+        self.ingests.clear();
+        self.workers
+            .drain(..)
+            .map(|worker| worker.join().expect("shard worker panicked"))
+            .collect()
+    }
+}
+
+/// A connection to a [`Tempimpd`]: implements [`StoreApi`] by enqueueing
+/// requests to the owning shard and blocking on the reply.
+///
+/// Keyed verbs (`put`/`get`/`advise`) touch exactly one shard; `density`
+/// and `stats` fan out to all shards and aggregate in shard order. The
+/// non-blocking [`try_call`](ServeClient::try_call) surfaces a full
+/// ingest queue as [`Error::QueueFull`] instead of waiting.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    router: ShardRouter,
+    ingests: Vec<SyncSender<Job>>,
+    obs: Obs,
+}
+
+impl ServeClient {
+    /// The shard count.
+    pub fn shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// Like [`StoreApi::call`], but a full ingest queue fails fast with
+    /// [`Error::QueueFull`] instead of blocking — the caller's
+    /// backpressure signal.
+    pub fn try_call(&self, now: SimTime, request: Request) -> Response {
+        self.dispatch(now, request, false)
+    }
+
+    /// Routes `request` to its shard(s) and returns without waiting for
+    /// the reply. The returned [`Pending`] is the claim ticket; redeem it
+    /// with [`Pending::wait`].
+    ///
+    /// This is the pipelining primitive: a client that keeps a window of
+    /// submissions in flight amortizes the thread wake-ups of the
+    /// request channels over the whole window, where [`StoreApi::call`]
+    /// pays a round trip per request. Replies still arrive in per-shard
+    /// FIFO order, so per-shard effects of earlier submissions are
+    /// visible to later ones regardless of when the replies are
+    /// collected.
+    ///
+    /// Fails with [`Error::Disconnected`] if a target worker is gone.
+    /// The blocking send waits while an ingest queue is full; use
+    /// [`try_call`](ServeClient::try_call) for fail-fast backpressure.
+    pub fn submit(&self, now: SimTime, request: Request) -> Result<Pending, Error> {
+        self.submit_inner(now, request, true)
+    }
+
+    fn submit_inner(
+        &self,
+        now: SimTime,
+        request: Request,
+        blocking: bool,
+    ) -> Result<Pending, Error> {
+        let verb = Verb::of(&request);
+        let replies = match &request {
+            Request::Put { id, .. } | Request::Get { id } | Request::Advise { id, .. } => {
+                let shard = self.router.route(*id);
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let job = Job {
+                    at: now,
+                    request,
+                    reply: reply_tx,
+                };
+                enqueue(&self.ingests[shard as usize], job, shard, blocking)?;
+                Replies::One(reply_rx)
+            }
+            // Fan-out: every shard gets the request, each with its own
+            // reply channel, kept in shard order so aggregation is
+            // deterministic (float summation order never depends on
+            // which worker answers first).
+            Request::Density | Request::Stats => {
+                let mut replies = Vec::with_capacity(self.ingests.len());
+                for (shard, queue) in self.ingests.iter().enumerate() {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    let job = Job {
+                        at: now,
+                        request: request.clone(),
+                        reply: reply_tx,
+                    };
+                    enqueue(queue, job, shard as u32, blocking)?;
+                    replies.push(reply_rx);
+                }
+                Replies::FanOut(replies)
+            }
+        };
+        Ok(Pending { verb, replies })
+    }
+
+    /// Blocking calls span the full round trip under the verb's
+    /// `span.serve.*` name; pipelined submissions don't (the client
+    /// decides when to collect, so submit-to-wait covers its own
+    /// scheduling, not the service — callers wanting pipelined latency
+    /// time their own windows).
+    fn dispatch(&self, now: SimTime, request: Request, blocking: bool) -> Response {
+        let verb = Verb::of(&request);
+        let mut span = self.obs.span(verb.span_name());
+        span.sim_to(now);
+        match self.submit_inner(now, request, blocking) {
+            Ok(pending) => pending.wait(),
+            Err(error) => verb.failed(error),
+        }
+    }
+}
+
+fn enqueue(queue: &SyncSender<Job>, job: Job, shard: u32, blocking: bool) -> Result<(), Error> {
+    if blocking {
+        queue.send(job).map_err(|_| Error::Disconnected)
+    } else {
+        match queue.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(Error::QueueFull { shard }),
+            Err(TrySendError::Disconnected(_)) => Err(Error::Disconnected),
+        }
+    }
+}
+
+/// A submitted request whose reply has not been collected yet — the
+/// other half of [`ServeClient::submit`].
+///
+/// Holds the per-request reply channel(s); [`wait`](Pending::wait)
+/// collects the response. Dropping a `Pending` abandons the reply — the
+/// worker still processes the request (it may already have), only the
+/// answer is discarded.
+pub struct Pending {
+    verb: Verb,
+    replies: Replies,
+}
+
+enum Replies {
+    One(Receiver<Response>),
+    FanOut(Vec<Receiver<Response>>),
+}
+
+impl fmt::Debug for Pending {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let outstanding = match &self.replies {
+            Replies::One(_) => 1,
+            Replies::FanOut(replies) => replies.len(),
+        };
+        f.debug_struct("Pending")
+            .field("verb", &self.verb)
+            .field("outstanding", &outstanding)
+            .finish()
+    }
+}
+
+impl Pending {
+    /// Blocks until the reply arrives (all shard replies, for a fan-out
+    /// verb) and returns it. A worker that died before answering yields
+    /// the verb's response variant carrying [`Error::Disconnected`].
+    pub fn wait(self) -> Response {
+        let Pending { verb, replies } = self;
+        match replies {
+            Replies::One(reply_rx) => reply_rx
+                .recv()
+                .unwrap_or_else(|_| verb.failed(Error::Disconnected)),
+            Replies::FanOut(reply_rxs) => {
+                let mut responses = Vec::with_capacity(reply_rxs.len());
+                for reply_rx in reply_rxs {
+                    match reply_rx.recv() {
+                        Ok(response) => responses.push(response),
+                        Err(_) => return verb.failed(Error::Disconnected),
+                    }
+                }
+                aggregate(verb, responses)
+            }
+        }
+    }
+}
+
+/// Folds per-shard answers to a whole-store query into one response.
+fn aggregate(verb: Verb, responses: Vec<Response>) -> Response {
+    match verb {
+        Verb::Stats => {
+            let mut total = StoreStats::default();
+            for response in responses {
+                match response {
+                    Response::Stats(Ok(stats)) => total.absorb(&stats),
+                    Response::Stats(Err(error)) => return Response::Stats(Err(error)),
+                    other => panic!("protocol violation: Stats answered with {other:?}"),
+                }
+            }
+            Response::Stats(Ok(total))
+        }
+        Verb::Density => {
+            let mut weighted = 0.0f64;
+            let mut capacity = ByteSize::ZERO;
+            let mut used = ByteSize::ZERO;
+            for response in responses {
+                match response {
+                    Response::Density(Ok(info)) => {
+                        weighted += info.density * info.capacity.as_bytes() as f64;
+                        capacity += info.capacity;
+                        used += info.used;
+                    }
+                    Response::Density(Err(error)) => return Response::Density(Err(error)),
+                    other => panic!("protocol violation: Density answered with {other:?}"),
+                }
+            }
+            let density = if capacity.is_zero() {
+                0.0
+            } else {
+                weighted / capacity.as_bytes() as f64
+            };
+            Response::Density(Ok(DensityInfo {
+                density,
+                capacity,
+                used,
+            }))
+        }
+        _ => unreachable!("only whole-store verbs aggregate"),
+    }
+}
+
+impl StoreApi for ServeClient {
+    fn call(&mut self, now: SimTime, request: Request) -> Response {
+        self.dispatch(now, request, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_importance::{Importance, ImportanceCurve, ObjectId};
+
+    fn week_curve() -> ImportanceCurve {
+        ImportanceCurve::fixed_lifetime(SimDuration::from_days(7))
+    }
+
+    fn small_service(shards: u32) -> Tempimpd {
+        Tempimpd::builder()
+            .shards(shards)
+            .shard_capacity(ByteSize::from_mib(256))
+            .record_log(true)
+            .observer(Obs::none())
+            .spawn()
+    }
+
+    #[test]
+    fn serves_puts_gets_and_aggregate_queries() {
+        let service = small_service(4);
+        let mut client = service.client();
+        for i in 0..100u64 {
+            client
+                .put(
+                    ObjectId::new(i),
+                    ByteSize::from_mib(1),
+                    week_curve(),
+                    SimTime::from_minutes(i),
+                )
+                .unwrap();
+        }
+        for i in 0..100u64 {
+            let info = client
+                .get_info(ObjectId::new(i), SimTime::from_minutes(100))
+                .unwrap()
+                .expect("object stored");
+            assert_eq!(info.size, ByteSize::from_mib(1));
+        }
+        let advice = client
+            .advise(
+                ObjectId::new(1000),
+                ByteSize::from_mib(1),
+                Importance::FULL,
+                SimTime::from_minutes(100),
+            )
+            .unwrap();
+        assert!(advice.is_admitted());
+
+        let stats = client.store_stats(SimTime::from_minutes(100)).unwrap();
+        assert_eq!(stats.objects, 100);
+        assert_eq!(stats.unit.stores_accepted, 100);
+        assert_eq!(stats.capacity, ByteSize::from_gib(1));
+
+        let density = client.density_info(SimTime::from_minutes(100)).unwrap();
+        assert!(density.density > 0.0);
+        assert_eq!(density.used, ByteSize::from_mib(100));
+
+        drop(client);
+        let reports = service.shutdown();
+        assert_eq!(reports.len(), 4);
+        let logged: usize = reports.iter().map(|r| r.log.len()).sum();
+        // 100 puts + 100 gets + 1 advise routed once each; stats and
+        // density fan out to all four shards.
+        assert_eq!(logged, 201 + 2 * 4);
+        let total: u64 = reports.iter().map(|r| r.requests).sum();
+        assert_eq!(total, 209);
+        for (shard, report) in reports.iter().enumerate() {
+            assert_eq!(report.shard, shard as u32);
+            assert!(report.batches <= report.requests);
+        }
+    }
+
+    #[test]
+    fn pipelined_submissions_resolve_in_per_shard_fifo_order() {
+        let service = small_service(2);
+        let client = service.client();
+
+        // Submit a whole window before collecting a single reply: puts,
+        // then gets for the same keys, then a fan-out. Per-shard FIFO
+        // means every get observes the put that preceded it.
+        let puts: Vec<Pending> = (0..64u64)
+            .map(|i| {
+                client
+                    .submit(
+                        SimTime::from_minutes(i),
+                        Request::Put {
+                            id: ObjectId::new(i),
+                            bytes: ByteSize::from_mib(1),
+                            curve: week_curve(),
+                            class: Default::default(),
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let gets: Vec<Pending> = (0..64u64)
+            .map(|i| {
+                client
+                    .submit(
+                        SimTime::from_minutes(64),
+                        Request::Get {
+                            id: ObjectId::new(i),
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let stats = client
+            .submit(SimTime::from_minutes(64), Request::Stats)
+            .unwrap();
+
+        for pending in puts {
+            assert!(matches!(pending.wait(), Response::Put(Ok(_))));
+        }
+        for pending in gets {
+            match pending.wait() {
+                Response::Get(Ok(Some(info))) => assert_eq!(info.size, ByteSize::from_mib(1)),
+                other => panic!("pipelined get lost its put: {other:?}"),
+            }
+        }
+        match stats.wait() {
+            Response::Stats(Ok(stats)) => assert_eq!(stats.objects, 64),
+            other => panic!("fan-out stats failed: {other:?}"),
+        }
+
+        // An abandoned submission must not wedge the worker.
+        drop(
+            client
+                .submit(
+                    SimTime::from_minutes(65),
+                    Request::Get {
+                        id: ObjectId::new(0),
+                    },
+                )
+                .unwrap(),
+        );
+        drop(client);
+        service.shutdown();
+    }
+
+    #[test]
+    fn clients_are_cloneable_and_shareable_across_threads() {
+        let service = small_service(2);
+        let client = service.client();
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let mut client = client.clone();
+                scope.spawn(move |_| {
+                    for i in 0..50u64 {
+                        client
+                            .put(
+                                ObjectId::new(worker * 1000 + i),
+                                ByteSize::from_mib(1),
+                                week_curve(),
+                                SimTime::from_minutes(i),
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut client = client;
+        let stats = client.store_stats(SimTime::from_minutes(50)).unwrap();
+        assert_eq!(stats.objects, 200);
+        drop(client);
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_ingest_queue_surfaces_as_queue_full() {
+        // A hand-built client whose single shard has a depth-1 queue and
+        // no worker: the first job fills the queue, the second try_call
+        // must fail fast with the backpressure error.
+        let (tx, _rx) = mpsc::sync_channel::<Job>(1);
+        let (dummy_reply, _keep) = mpsc::channel();
+        tx.send(Job {
+            at: SimTime::ZERO,
+            request: Request::Density,
+            reply: dummy_reply,
+        })
+        .unwrap();
+        let client = ServeClient {
+            router: ShardRouter::new(1),
+            ingests: vec![tx],
+            obs: Obs::none(),
+        };
+        let response = client.try_call(
+            SimTime::ZERO,
+            Request::Get {
+                id: ObjectId::new(1),
+            },
+        );
+        match response {
+            Response::Get(Err(Error::QueueFull { shard: 0 })) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_workers_surface_as_disconnected() {
+        let (tx, rx) = mpsc::sync_channel::<Job>(1);
+        drop(rx);
+        let mut client = ServeClient {
+            router: ShardRouter::new(1),
+            ingests: vec![tx],
+            obs: Obs::none(),
+        };
+        let err = client
+            .put(
+                ObjectId::new(1),
+                ByteSize::from_mib(1),
+                week_curve(),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Disconnected));
+        let err = client.store_stats(SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, Error::Disconnected));
+    }
+
+    #[test]
+    fn shard_full_rejections_flow_back_as_store_errors() {
+        let service = Tempimpd::builder()
+            .shards(1)
+            .shard_capacity(ByteSize::from_mib(10))
+            .observer(Obs::none())
+            .spawn();
+        let mut client = service.client();
+        client
+            .put(
+                ObjectId::new(1),
+                ByteSize::from_mib(10),
+                ImportanceCurve::Persistent,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let err = client
+            .put(
+                ObjectId::new(2),
+                ByteSize::from_mib(10),
+                ImportanceCurve::Persistent,
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+        drop(client);
+        service.shutdown();
+    }
+}

@@ -1,21 +1,21 @@
 //! Quickstart: annotate objects with temporal importance and watch the
-//! store reclaim space by itself.
+//! store reclaim space by itself — through the [`StoreApi`] protocol,
+//! so the exact same code runs against the in-process engine and the
+//! sharded `tempimpd` service.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::Arc;
 
+use temporal_reclaim::serve::Tempimpd;
 use temporal_reclaim::tempimp::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A 10 GiB storage unit using the paper's preemptive policy, with a
-    // metrics registry attached so we can see what the engine did.
-    let metrics = Arc::new(MetricsRegistry::new());
-    let mut unit = StorageUnit::builder(ByteSize::from_gib(10))
-        .observer(Obs::attached(metrics.clone()))
-        .build();
-    let mut ids = ObjectIdGen::new();
-
+/// The whole demo is generic over [`StoreApi`]: `put` to store with an
+/// annotation, `advise` to probe admission, `density_info` for the §5.2
+/// feedback signal, `store_stats` for the lifetime counters. Everything
+/// below works identically whether `store` is a [`StorageUnit`] on this
+/// thread or a fleet of shard workers behind channels.
+fn demo<S: StoreApi>(store: &mut S, ids: &mut ObjectIdGen) -> Result<(), Error> {
     // The paper's §5.1 two-step annotation: "the object is definitely
     // important for 15 days, might be important for another 15 days and
     // probably not after 30 days".
@@ -27,24 +27,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Day 0: fill the disk with annotated objects.
     println!("day 0: storing 10 x 1 GiB objects with two-step lifetimes");
-    for _ in 0..10 {
-        let spec = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step.clone());
-        unit.store(spec, SimTime::ZERO)?;
+    let mut last = ids.next_id();
+    store.put(last, ByteSize::from_gib(1), two_step.clone(), SimTime::ZERO)?;
+    for _ in 1..10 {
+        last = ids.next_id();
+        store.put(last, ByteSize::from_gib(1), two_step.clone(), SimTime::ZERO)?;
     }
+    let density = store.density_info(SimTime::ZERO)?;
     println!(
         "  used {} of {}, importance density {:.3}",
-        unit.used(),
-        unit.capacity(),
-        unit.importance_density(SimTime::ZERO)
+        density.used, density.capacity, density.density
     );
 
     // Day 10: the disk is full of full-importance data — a new object of
-    // equal importance is refused. The error tells the creator exactly
-    // which importance level blocks them.
+    // equal importance is refused, and the admission probe says so
+    // *before* paying for the transfer. The error tells the creator
+    // exactly which importance level blocks them.
     let day10 = SimTime::from_days(10);
-    let refused = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step.clone());
-    match unit.store(refused, day10) {
-        Err(e) => println!("day 10: store refused as expected: {e}"),
+    let probe = ids.next_id();
+    match store.advise(probe, ByteSize::from_gib(1), Importance::FULL, day10)? {
+        Admission::Full { blocking } => println!(
+            "day 10: advise says full (blocking importance {})",
+            blocking
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "n/a".into())
+        ),
+        other => println!("day 10: advise answered {other:?}"),
+    }
+    match store.put(probe, ByteSize::from_gib(1), two_step.clone(), day10) {
+        Err(e) => println!("  store refused as expected: {e}"),
         Ok(_) => unreachable!("the disk is full of full-importance data"),
     }
 
@@ -54,10 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let day20 = SimTime::from_days(20);
     println!(
         "day 20: importance density has decayed to {:.3}",
-        unit.importance_density(day20)
+        store.density_info(day20)?.density
     );
-    let fresh = ObjectSpec::new(ids.next_id(), ByteSize::from_gib(1), two_step);
-    let outcome = unit.store(fresh, day20)?;
+    let outcome = store.put(ids.next_id(), ByteSize::from_gib(1), two_step, day20)?;
     println!(
         "  stored by preempting {} object(s); highest preempted importance {}",
         outcome.evicted.len(),
@@ -75,17 +85,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The storage importance density is the feedback signal: it tells
-    // creators which importance levels the storage is currently full for.
-    let snapshot = unit.density_snapshot(day20);
+    // The survivors are still addressable, with their importance
+    // evaluated at the asking time.
+    if let Some(info) = store.get_info(last, day20)? {
+        println!(
+            "  {} stored day 0 is still resident at importance {}",
+            info.id, info.importance
+        );
+    }
+
+    // Aggregate lifetime counters, identically shaped for one unit or a
+    // whole fleet.
+    let stats = store.store_stats(day20)?;
     println!(
-        "  density {:.3}; lowest stored importance {}",
-        snapshot.density,
-        snapshot
-            .min_stored_importance()
-            .map(|i| i.to_string())
-            .unwrap_or_else(|| "n/a".into())
+        "  totals: {} accepted, {} rejected full, {} preempted",
+        stats.unit.stores_accepted, stats.unit.rejections_full, stats.unit.evictions_preempted
     );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // First, the in-process engine: a 10 GiB storage unit using the
+    // paper's preemptive policy, with a metrics registry attached so we
+    // can see what it did.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut unit = StorageUnit::builder(ByteSize::from_gib(10))
+        .observer(Obs::attached(metrics.clone()))
+        .build();
+    let mut ids = ObjectIdGen::new();
+    println!("=== in-process StorageUnit ===");
+    demo(&mut unit, &mut ids)?;
+
+    // Now the *same function* against tempimpd, the sharded concurrent
+    // service: one shard here so the capacity narrative stays identical,
+    // but every request now crosses an ingest queue to a worker thread
+    // that owns the engine. See README.md for the multi-shard setup.
+    println!("\n=== tempimpd, same code over the wire ===");
+    let service = Tempimpd::builder()
+        .shards(1)
+        .shard_capacity(ByteSize::from_gib(10))
+        .spawn();
+    let mut client = service.client();
+    let mut ids = ObjectIdGen::new();
+    demo(&mut client, &mut ids)?;
+    drop(client);
+    service.shutdown();
 
     // Everything the engine did, straight from the observability layer
     // (compile with `--features obs-off` and this report is empty, at

@@ -13,6 +13,9 @@
 //! * [`experiments`] — drivers regenerating every paper table and figure.
 //! * [`obs`] — the zero-cost observability layer (metrics, event traces,
 //!   per-phase reports); compiled out entirely by the `obs-off` feature.
+//! * [`serve`](tempimpd) — `tempimpd`, the sharded concurrent serving
+//!   layer speaking the [`StoreApi`](temporal_importance::protocol)
+//!   request/response protocol.
 //! * [`sim`](sim_core) — simulated time, byte sizes, event queues.
 //!
 //! Most programs only need the [`tempimp`] prelude:
@@ -40,6 +43,7 @@ pub use besteffs;
 pub use experiments;
 pub use obs;
 pub use sim_core as sim;
+pub use tempimpd as serve;
 pub use temporal_importance as core;
 pub use tifs;
 pub use workload;
@@ -61,8 +65,12 @@ pub mod tempimp {
     pub use besteffs::{Besteffs, ClusterBuilder, Directory, PlacementConfig};
     pub use obs::{MetricsRegistry, Obs, Report, Snapshot, TraceSink};
     pub use sim_core::{rng, ByteSize, SimDuration, SimTime};
+    pub use tempimpd::{ServeClient, Tempimpd};
+    pub use temporal_importance::protocol::{
+        DensityInfo, ObjectInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+    };
     pub use temporal_importance::{
-        Error, EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen, ObjectSpec,
-        StorageUnit, StorageUnitBuilder,
+        Admission, Error, EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen,
+        ObjectSpec, StorageUnit, StorageUnitBuilder,
     };
 }

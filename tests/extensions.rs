@@ -1,28 +1,23 @@
 //! Integration tests for the extension subsystems: trace record/replay,
 //! the concurrent placement front-end, and the calendar's annotation
 //! invariants.
-
 use proptest::prelude::*;
-use temporal_reclaim::besteffs::{PlacementConfig, SharedCluster};
 use temporal_reclaim::core::{ImportanceCurve, ObjectIdGen, ObjectSpec, StorageUnit};
 use temporal_reclaim::sim::rng;
 use temporal_reclaim::workload::calendar::{AcademicCalendar, Creator};
 use temporal_reclaim::workload::lecture::{generate, LectureConfig};
 use temporal_reclaim::workload::trace;
 use temporal_reclaim::{ByteSize, SimTime};
-
 /// Replaying a recorded trace through the engine produces the same
 /// outcome as running the generator directly.
 #[test]
 fn trace_replay_is_bit_identical() {
     let arrivals = generate(&LectureConfig::default(), 2);
-
     // Record and replay.
     let mut buffer = Vec::new();
     trace::write(&mut buffer, &arrivals).unwrap();
     let replayed = trace::read(buffer.as_slice()).unwrap();
     assert_eq!(arrivals, replayed);
-
     // Drive two identical units from the two streams.
     let run = |stream: &[temporal_reclaim::workload::Arrival]| {
         let mut unit = StorageUnit::new(ByteSize::from_gib(40));
@@ -41,18 +36,13 @@ fn trace_replay_is_bit_identical() {
     };
     assert_eq!(run(&arrivals), run(&replayed));
 }
-
 /// The concurrent cluster under heavy multi-thread churn never violates
 /// per-node capacity and never loses accounting.
 #[test]
 fn shared_cluster_preserves_capacity_invariants_under_churn() {
     let mut rand = rng::seeded(77);
-    let cluster = SharedCluster::new(
-        30,
-        ByteSize::from_mib(50),
-        PlacementConfig::default(),
-        &mut rand,
-    );
+    let cluster = temporal_reclaim::besteffs::Besteffs::builder(30, ByteSize::from_mib(50))
+        .build_shared(&mut rand);
     crossbeam::thread::scope(|scope| {
         for t in 0..6 {
             let cluster = &cluster;
@@ -75,7 +65,6 @@ fn shared_cluster_preserves_capacity_invariants_under_churn() {
         }
     })
     .unwrap();
-
     // Every node's invariant held.
     for node in 0..cluster.len() {
         cluster.with_node(temporal_reclaim::besteffs::NodeId::new(node), |unit| {
@@ -87,11 +76,9 @@ fn shared_cluster_preserves_capacity_invariants_under_churn() {
     let stats = cluster.stats();
     assert_eq!(stats.placed() + stats.rejected(), 6 * 200);
 }
-
 fn sim_core_duration_days(days: u64) -> temporal_reclaim::SimDuration {
     temporal_reclaim::SimDuration::from_days(days)
 }
-
 proptest! {
     /// Calendar invariant: for any in-term day, the annotation's plateau
     /// ends exactly at the term's end day and the curve validates.
