@@ -5,7 +5,8 @@
 //! ```text
 //! bench_gate --baseline BENCH_engine.json --fresh fresh.json \
 //!            [--tolerance 0.25] [--min-delta-ns 100] \
-//!            [--residents N] [--max-obs-overhead 0.20]
+//!            [--residents N] [--max-obs-overhead 0.20] \
+//!            [--require-verb-latency]
 //! ```
 //!
 //! Exits 0 when every case of the fresh report is within `tolerance`
@@ -19,10 +20,16 @@
 //! parallel jobs. `--max-obs-overhead F` additionally fails the gate when
 //! the fresh report's instrumented churn (`store_churn_observed`) costs
 //! more than `F` (a fraction, e.g. `0.20`) over plain `store_churn`.
+//! `--require-verb-latency` (for `bench_serve` reports) fails the gate
+//! when the fresh report carries no sane per-verb queue-wait/service
+//! rows — catching a serve build whose request tracing silently stopped
+//! sampling. Latency *values* are not gated; they are runner-dependent.
 
 use std::process::ExitCode;
 
-use bench_harness::gate::{compare, obs_overheads, parse_report};
+use bench_harness::gate::{
+    check_verb_latencies, compare, obs_overheads, parse_report, parse_verb_latencies,
+};
 
 struct Options {
     baseline: String,
@@ -31,6 +38,7 @@ struct Options {
     min_delta_ns: f64,
     residents: Option<u64>,
     max_obs_overhead: Option<f64>,
+    require_verb_latency: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         min_delta_ns: 100.0,
         residents: None,
         max_obs_overhead: None,
+        require_verb_latency: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,11 +83,13 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| format!("invalid obs overhead '{raw}'"))?,
                 );
             }
+            "--require-verb-latency" => options.require_verb_latency = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_gate --baseline BASE.json --fresh FRESH.json \
                      [--tolerance 0.25] [--min-delta-ns 100] \
-                     [--residents N] [--max-obs-overhead 0.20]"
+                     [--residents N] [--max-obs-overhead 0.20] \
+                     [--require-verb-latency]"
                 );
                 std::process::exit(0);
             }
@@ -151,6 +162,25 @@ fn main() -> ExitCode {
         );
         for regression in &regressions {
             eprintln!("  {regression}");
+        }
+    }
+
+    if options.require_verb_latency {
+        // Re-read the fresh report raw: verb-latency rows live outside
+        // the "cases" array that `parse_report` consumes.
+        let checked = std::fs::read_to_string(&options.fresh)
+            .map_err(|e| format!("cannot read {}: {e}", options.fresh))
+            .and_then(|raw| parse_verb_latencies(&raw))
+            .and_then(|rows| {
+                let count = rows.len();
+                check_verb_latencies(&rows).map(|()| count)
+            });
+        match checked {
+            Ok(count) => println!("bench gate: {count} verb-latency rows present and sane"),
+            Err(message) => {
+                failed = true;
+                eprintln!("bench gate: verb-latency check failed: {message}");
+            }
         }
     }
 

@@ -15,33 +15,42 @@
 //!   the same `"case"` line shape as `BENCH_engine.json` so `bench_gate`
 //!   compares a fresh run against the committed `BENCH_serve.json`
 //!   baseline unchanged. `residents` carries the shard count; the
-//!   `naive_ns_per_op` column is the same workload forced through a
-//!   single shard, so `speedup` documents shard scaling.
-//! * **Latency** — client-side p50/p99 per verb, read from the log2
-//!   wall-ns histograms that the per-verb [`Obs::span`]s feed into a
-//!   shared [`MetricsRegistry`]. Spans record only on the blocking
-//!   probe calls (every [`PROBE_EVERY`]th op), so the histograms show
-//!   true loaded round-trip latency rather than time a reply spent
-//!   parked in the pipeline window. Under `--features obs-off` the
-//!   spans compile out and the columns print `n/a`; throughput still
-//!   gates.
+//!   `reference_ns_per_op` column (`"reference": "single_shard"`) is the
+//!   same workload forced through a single shard, so `scaling` documents
+//!   shard scaling — it is a reference, not an optimized rival.
+//! * **Latency** — per-verb **queue-wait vs service-time** p50/p99, from
+//!   the request-scoped trace stamps every job carries (see
+//!   `tempimpd`'s trace module): the worker derives both halves for
+//!   *every* request — pipelined submissions included, not just the
+//!   every-[`PROBE_EVERY`]th blocking probe — and records them through
+//!   the observer seam into a shared [`MetricsRegistry`]. The same
+//!   percentiles land in the report's `"verb_latencies"` rows, which
+//!   `bench_gate --require-verb-latency` checks in CI. Under
+//!   `--features obs-off` the stamps compile out and the columns print
+//!   `n/a`; throughput still gates.
+//!
+//! `--snapshots FILE` additionally samples the `health` verb during the
+//! sharded run and captures rendered serve-top frames (replayable with
+//! `tempimp-obs serve-top --from FILE`); `--prom FILE` writes the final
+//! registry state as Prometheus exposition text.
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin bench_serve -- \
 //!     --shards 8 --clients 32 --ops 2000000 --out BENCH_serve.json
 //! ```
 //!
-//! [`Obs::span`]: sim_core::Obs::span
 //! [`ServeClient`]: tempimpd::ServeClient
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use bench_harness::servetop::{render_frame, FRAME_SEPARATOR};
 use obs::MetricsRegistry;
 use rand::Rng;
 use sim_core::{ByteSize, Obs, SimDuration, SimTime};
 use tempimpd::Tempimpd;
-use temporal_importance::protocol::{Request, Response, StoreApi};
+use temporal_importance::protocol::{HealthSnapshot, Request, Response, StoreApi, VerbKind};
 use temporal_importance::{Importance, ImportanceCurve, ObjectClass, ObjectId};
 
 const OUTPUT: &str = "BENCH_serve.json";
@@ -59,9 +68,10 @@ const SIM_MINUTES_PER_OP: u64 = 4;
 /// window is what amortizes cross-thread wake-ups over many requests.
 const WINDOW: usize = 256;
 /// Every this-many ops, a client issues a *blocking* [`StoreApi::call`]
-/// instead of a pipelined submit. Only those round trips record
-/// `span.serve.*` latency, so the histograms show true service latency
-/// under load, not how long a reply sat uncollected in the window.
+/// instead of a pipelined submit — a liveness probe that bounds how far
+/// any client can run ahead of its replies. Latency is *not* measured
+/// here: every request (pipelined or blocking) carries trace stamps, and
+/// the workers derive queue-wait/service for all of them.
 const PROBE_EVERY: u64 = 64;
 
 /// Request mix in percent; the remainder up to 100 is admin traffic
@@ -113,10 +123,14 @@ fn main() {
     let mut min_mops: f64 = 0.0;
     let mut direct = false;
     let mut no_obs = false;
+    let mut snapshots: Option<String> = None;
+    let mut prom: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => output = args.next().expect("--out needs a path"),
+            "--snapshots" => snapshots = Some(args.next().expect("--snapshots needs a path")),
+            "--prom" => prom = Some(args.next().expect("--prom needs a path")),
             "--shards" => {
                 shards = parse(args.next(), "--shards");
                 assert!(shards > 0, "--shards needs at least one shard");
@@ -147,7 +161,7 @@ fn main() {
             other => panic!(
                 "unknown argument '{other}' (expected --out PATH / --shards N / \
                  --clients N / --ops N / --skew F / --mix P,G,A / --min-mops F / \
-                 --direct / --no-obs)"
+                 --direct / --no-obs / --snapshots PATH / --prom PATH)"
             ),
         }
     }
@@ -181,9 +195,21 @@ fn main() {
     // The sharded run under measurement, then the same pressure forced
     // through one shard (ops scaled down to keep the single worker's
     // runtime comparable) as the scaling reference column.
-    let sharded = run_serve(shards, clients, ops, skew, mix, no_obs, true);
+    let registry = Arc::new(MetricsRegistry::new());
+    let sharded = run_serve(
+        &registry,
+        shards,
+        clients,
+        ops,
+        skew,
+        mix,
+        no_obs,
+        true,
+        snapshots.as_deref(),
+    );
     let naive_clients = clients.div_ceil(shards).max(2);
     let single = run_serve(
+        &Arc::new(MetricsRegistry::new()),
         1,
         naive_clients,
         (ops / u64::from(shards)).max(50_000),
@@ -191,6 +217,7 @@ fn main() {
         mix,
         no_obs,
         false,
+        None,
     );
 
     let mops = 1e3 / sharded.ns_per_op;
@@ -217,9 +244,28 @@ fn main() {
     out.push_str("  \"unit\": \"ns per operation (aggregate wall time / total ops)\",\n");
     out.push_str("  \"cases\": [\n");
     out.push_str(&format!("    {case}\n"));
-    out.push_str("  ]\n}\n");
+    if sharded.verb_latency_lines.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        // Queue-wait/service percentiles per verb, from the request-
+        // scoped stamps (all submissions, pipelined included). Omitted
+        // under obs-off / --no-obs, where no stamps exist.
+        out.push_str("  ],\n");
+        out.push_str("  \"verb_latencies\": [\n");
+        out.push_str(&format!(
+            "    {}\n",
+            sharded.verb_latency_lines.join(",\n    ")
+        ));
+        out.push_str("  ]\n}\n");
+    }
     std::fs::write(&output, out).expect("write bench report");
     println!("wrote {output}");
+
+    if let Some(path) = prom {
+        std::fs::write(&path, registry.snapshot().render_prometheus())
+            .expect("write prometheus exposition");
+        println!("wrote {path}");
+    }
 
     if min_mops > 0.0 {
         assert!(
@@ -290,17 +336,23 @@ fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
         .unwrap_or_else(|| panic!("{flag} needs a valid value"))
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct RunResult {
     ns_per_op: f64,
+    /// Rendered `"verb_latencies"` report rows (empty when tracing is
+    /// compiled out, suppressed with `--no-obs`, or `report` is off).
+    verb_latency_lines: Vec<String>,
 }
 
 /// One closed-loop run: spawn the service, hammer it from `clients`
 /// threads until every client has issued its share of `total_ops`, then
 /// shut down and report aggregate wall-ns per op. When `report` is set,
-/// also prints the per-verb latency table and the outcome tally.
+/// also prints the per-verb queue-wait/service latency table and the
+/// outcome tally; `snapshots` additionally samples `health` every 250 ms
+/// on a monitor thread and writes the rendered serve-top frames there.
 #[allow(clippy::too_many_arguments)]
 fn run_serve(
+    registry: &Arc<MetricsRegistry>,
     shards: u32,
     clients: u32,
     total_ops: u64,
@@ -308,8 +360,8 @@ fn run_serve(
     mix: Mix,
     no_obs: bool,
     report: bool,
+    snapshots: Option<&str>,
 ) -> RunResult {
-    let registry = Arc::new(MetricsRegistry::new());
     let service = Tempimpd::builder()
         .shards(shards)
         // Sized so steady-state churn preempts: ~2.5 MiB mean puts at the
@@ -326,6 +378,37 @@ fn run_serve(
     let prototype = service.client();
     let per_client = (total_ops / u64::from(clients)).max(1);
 
+    // The health sampler rides alongside the load: one extra client
+    // polling the aggregating verb at SimTime::ZERO (which never advances
+    // a shard clock), rendering a frame per sample.
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = snapshots.map(|path| {
+        let mut client = service.client();
+        let stop = stop.clone();
+        let path = path.to_string();
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut capture = String::new();
+            let mut prev: Option<(HealthSnapshot, Duration)> = None;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                let Ok(health) = client.health(SimTime::ZERO) else {
+                    break;
+                };
+                let elapsed = started.elapsed();
+                capture.push_str(&render_frame(
+                    &health,
+                    elapsed,
+                    prev.as_ref().map(|(snapshot, at)| (snapshot, *at)),
+                ));
+                capture.push(FRAME_SEPARATOR);
+                prev = Some((health, elapsed));
+            }
+            std::fs::write(&path, capture).expect("write snapshots capture");
+            path
+        })
+    });
+
     let started = Instant::now();
     let mut tally = Tally::default();
     crossbeam::thread::scope(|scope| {
@@ -340,12 +423,18 @@ fn run_serve(
     })
     .expect("bench client scope");
     let elapsed = started.elapsed();
+    if let Some(handle) = monitor {
+        stop.store(true, Ordering::Relaxed);
+        let path = handle.join().expect("snapshot monitor panicked");
+        println!("wrote {path}");
+    }
     drop(prototype);
     let reports = service.shutdown();
 
     let done = per_client * u64::from(clients);
     let ns_per_op = elapsed.as_nanos() as f64 / done as f64;
 
+    let mut verb_latency_lines = Vec::new();
     if report {
         let requests: u64 = reports.iter().map(|r| r.requests).sum();
         let batches: u64 = reports.iter().map(|r| r.batches).sum();
@@ -361,16 +450,36 @@ fn run_serve(
             "  outcomes: {} puts accepted, {} rejected, {} gets hit, {} transport errors",
             tally.puts_accepted, tally.puts_rejected, tally.gets_hit, tally.errors
         );
-        for verb in ["put", "get", "advise", "density", "stats"] {
-            let name = format!("span.serve.{verb}");
-            match registry.histogram(&name) {
-                Some(hist) => println!(
-                    "  latency {verb:<8} p50 {:>8} ns, p99 {:>8} ns ({} samples)",
-                    hist.quantile(0.5),
-                    hist.quantile(0.99),
-                    hist.count()
-                ),
-                None => println!("  latency {verb:<8} n/a (obs-off or no samples)"),
+        // Every request's queue-wait/service split, from the trace
+        // stamps the workers record through the observer seam —
+        // pipelined submissions included, not just blocking probes.
+        for verb in VerbKind::ALL {
+            let name = verb.name();
+            let queue_wait = registry.histogram(verb.queue_wait_metric());
+            let service_time = registry.histogram(verb.service_metric());
+            match (queue_wait, service_time) {
+                (Some(queue_wait), Some(service_time)) if queue_wait.count() > 0 => {
+                    println!(
+                        "  latency {name:<8} queue-wait p50 {:>7} ns p99 {:>9} ns | \
+                         service p50 {:>7} ns p99 {:>9} ns ({} samples)",
+                        queue_wait.quantile(0.5),
+                        queue_wait.quantile(0.99),
+                        service_time.quantile(0.5),
+                        service_time.quantile(0.99),
+                        queue_wait.count()
+                    );
+                    verb_latency_lines.push(format!(
+                        "{{ \"verb\": \"{name}\", \"samples\": {}, \
+                         \"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
+                         \"service_p50_ns\": {}, \"service_p99_ns\": {} }}",
+                        queue_wait.count(),
+                        queue_wait.quantile(0.5),
+                        queue_wait.quantile(0.99),
+                        service_time.quantile(0.5),
+                        service_time.quantile(0.99),
+                    ));
+                }
+                _ => println!("  latency {name:<8} n/a (obs-off or no samples)"),
             }
         }
     }
@@ -379,7 +488,10 @@ fn run_serve(
         "transport errors during a clean run mean a worker died"
     );
 
-    RunResult { ns_per_op }
+    RunResult {
+        ns_per_op,
+        verb_latency_lines,
+    }
 }
 
 /// One client's closed loop, pipelined: keep up to [`WINDOW`] requests
@@ -461,12 +573,14 @@ fn settle(tally: &mut Tally, response: Response) {
         Response::Get(Ok(None))
         | Response::Advise(Ok(_))
         | Response::Density(Ok(_))
-        | Response::Stats(Ok(_)) => {}
+        | Response::Stats(Ok(_))
+        | Response::Health(Ok(_)) => {}
         Response::Put(Err(_))
         | Response::Get(Err(_))
         | Response::Advise(Err(_))
         | Response::Density(Err(_))
-        | Response::Stats(Err(_)) => tally.errors += 1,
+        | Response::Stats(Err(_))
+        | Response::Health(Err(_)) => tally.errors += 1,
     }
 }
 
@@ -514,16 +628,20 @@ fn curve_mix<R: Rng>(rng: &mut R) -> ImportanceCurve {
 /// Renders one gate-compatible case line (and its stdout row). Same
 /// shape `gate::parse_report` reads from `BENCH_engine.json`; the memory
 /// column is omitted — a serving fleet's footprint is workload-dependent,
-/// and the gate treats the column as optional.
-fn case_line(name: &str, shards: u64, indexed_ns: f64, naive_ns: f64) -> String {
-    let speedup = naive_ns / indexed_ns;
+/// and the gate treats the column as optional. The comparison column is
+/// self-describing: `reference_ns_per_op` with `"reference":
+/// "single_shard"`, and the ratio is `scaling` (shards vs one shard),
+/// not `speedup` (indexed vs a naive oracle) — the single-shard run is a
+/// reference point, not a rival implementation.
+fn case_line(name: &str, shards: u64, indexed_ns: f64, reference_ns: f64) -> String {
+    let scaling = reference_ns / indexed_ns;
     println!(
         "{name:<14} {shards:>3} shards: sharded {indexed_ns:>9.1} ns/op, \
-         single-shard {naive_ns:>9.1} ns/op, scaling {speedup:>5.1}x"
+         single-shard {reference_ns:>9.1} ns/op, scaling {scaling:>5.1}x"
     );
     format!(
         "{{ \"case\": \"{name}\", \"residents\": {shards}, \
-         \"indexed_ns_per_op\": {indexed_ns:.1}, \"naive_ns_per_op\": {naive_ns:.1}, \
-         \"speedup\": {speedup:.1} }}"
+         \"indexed_ns_per_op\": {indexed_ns:.1}, \"reference_ns_per_op\": {reference_ns:.1}, \
+         \"reference\": \"single_shard\", \"scaling\": {scaling:.1} }}"
     )
 }

@@ -7,6 +7,8 @@
 //! tempimp-obs object TRACE ID
 //! tempimp-obs golden [OUT]
 //! tempimp-obs verify-density TRACE FIGURE_CSV [--gib N] [--policy N]
+//! tempimp-obs serve-top [--shards N] [--clients N] [--frames N]
+//!                       [--interval-ms N] [--slow-ms N] [--from FILE]
 //! ```
 //!
 //! * `stats` — per-kind event counts with first/last simulated minute.
@@ -24,9 +26,18 @@
 //!   `density.sample` events or a `repro --series` CSV dump) and checks
 //!   it against the figure's CSV (`results/fig6_*.csv` or a fresh
 //!   `--json` dump), closing the loop trace → analysis → paper artifact.
+//! * `serve-top` — a refreshing per-shard live view of a `tempimpd`
+//!   service: spins one up in-process, drives it from client threads, and
+//!   renders the `health` verb's aggregate (queue depth, residents,
+//!   request rate, per-verb queue-wait/service percentiles) plus a
+//!   slow-request log each frame. `--from FILE` instead replays the
+//!   frames of a `bench_serve --snapshots` capture. Under
+//!   `--features obs-off` the view still runs; every latency column
+//!   honestly reads `n/a`.
 //!
-//! Parsing, diffing, and extraction live in [`obs::tracefile`]; this
-//! binary is argument handling and I/O.
+//! Parsing, diffing, and extraction live in [`obs::tracefile`]; frame
+//! rendering and the slow-request log live in [`bench_harness::servetop`];
+//! this binary is argument handling and I/O.
 
 use std::process::ExitCode;
 
@@ -41,6 +52,7 @@ fn main() -> ExitCode {
         Some("object") => cmd_object(&args[1..]),
         Some("golden") => cmd_golden(&args[1..]),
         Some("verify-density") => cmd_verify_density(&args[1..]),
+        Some("serve-top") => cmd_serve_top(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -61,7 +73,9 @@ const USAGE: &str = "usage: tempimp-obs stats TRACE
        tempimp-obs series TRACE KIND FIELD [key=value ...]
        tempimp-obs object TRACE ID
        tempimp-obs golden [OUT]
-       tempimp-obs verify-density TRACE FIGURE_CSV [--gib N] [--policy N]";
+       tempimp-obs verify-density TRACE FIGURE_CSV [--gib N] [--policy N]
+       tempimp-obs serve-top [--shards N] [--clients N] [--frames N] \\
+                             [--interval-ms N] [--slow-ms N] [--from FILE]";
 
 /// Reads and parses a trace file, mapping errors to readable messages.
 fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
@@ -323,4 +337,181 @@ fn cmd_verify_density(args: &[String]) -> Result<ExitCode, String> {
         samples.len()
     );
     Ok(ExitCode::SUCCESS)
+}
+
+/// `serve-top` — live per-shard telemetry view. Without `--from`, spins
+/// up an in-process `tempimpd`, drives it from client threads, and
+/// renders one frame per `--interval-ms` from the `health` verb plus the
+/// slow-request log (requests over `--slow-ms`). With `--from FILE`,
+/// replays the frames of a `bench_serve --snapshots` capture instead.
+fn cmd_serve_top(args: &[String]) -> Result<ExitCode, String> {
+    use bench_harness::servetop::{render_frame, split_frames, tracing_compiled_in, SlowLog};
+    use std::io::IsTerminal;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use temporal_importance::protocol::StoreApi;
+
+    let mut shards: u32 = 4;
+    let mut clients: Option<u32> = None;
+    let mut frames: u32 = 10;
+    let mut interval_ms: u64 = 500;
+    let mut slow_ms: u64 = 5;
+    let mut from: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or(format!("{flag} needs an integer"))
+        };
+        match arg.as_str() {
+            "--shards" => shards = value("--shards")? as u32,
+            "--clients" => clients = Some(value("--clients")? as u32),
+            "--frames" => frames = value("--frames")? as u32,
+            "--interval-ms" => interval_ms = value("--interval-ms")?,
+            "--slow-ms" => slow_ms = value("--slow-ms")?,
+            "--from" => {
+                from = Some(
+                    iter.next()
+                        .ok_or("--from needs a capture file path")?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("serve-top: unknown argument '{other}'")),
+        }
+    }
+    if shards == 0 {
+        return Err("serve-top needs at least one shard".into());
+    }
+    let clear_between = std::io::stdout().is_terminal();
+    let clear = |out_frame: &str| {
+        if clear_between {
+            // Home + clear-to-end keeps scrollback usable, unlike 2J.
+            print!("\x1b[H\x1b[J{out_frame}");
+        } else {
+            println!("{out_frame}");
+        }
+    };
+
+    // Replay mode: the capture already contains rendered frames.
+    if let Some(path) = from {
+        let capture = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read capture '{path}': {e}"))?;
+        let frames = split_frames(&capture);
+        if frames.is_empty() {
+            return Err(format!("'{path}' holds no serve-top frames"));
+        }
+        for (index, frame) in frames.iter().enumerate() {
+            if index > 0 && clear_between {
+                std::thread::sleep(Duration::from_millis(interval_ms));
+            }
+            clear(frame);
+        }
+        println!("replayed {} frames from {path}", frames.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if !tracing_compiled_in() {
+        println!("note: built with obs-off — latency columns and the slow log will read n/a/none");
+    }
+
+    // Live mode: an in-process service under synthetic load. The slow log
+    // listens for the workers' `serve.slow` events next to the registry.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    let slow_log = Arc::new(SlowLog::new(64));
+    let stack: Vec<Arc<dyn obs::Observer>> = vec![registry, slow_log.clone()];
+    let service = tempimpd::Tempimpd::builder()
+        .shards(shards)
+        .shard_capacity(sim_core::ByteSize::from_mib(256))
+        .slow_threshold(Duration::from_millis(slow_ms))
+        .observer(sim_core::Obs::attached(Arc::new(obs::Fanout::new(stack))))
+        .spawn();
+    let clients = clients.unwrap_or(shards * 2).max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut drivers = Vec::new();
+    for index in 0..clients {
+        let client = service.client();
+        let stop = stop.clone();
+        drivers.push(std::thread::spawn(move || drive_load(client, index, &stop)));
+    }
+
+    let mut monitor = service.client();
+    let started = Instant::now();
+    let mut prev: Option<(tempimpd::HealthSnapshot, Duration)> = None;
+    for _ in 0..frames {
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        let health = monitor
+            .health(sim_core::SimTime::ZERO)
+            .map_err(|e| format!("health probe failed: {e:?}"))?;
+        let elapsed = started.elapsed();
+        let mut frame = render_frame(
+            &health,
+            elapsed,
+            prev.as_ref().map(|(snapshot, at)| (snapshot, *at)),
+        );
+        frame.push_str(&slow_log.render_tail(8));
+        clear(&frame);
+        prev = Some((health, elapsed));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let driven: u64 = drivers
+        .into_iter()
+        .map(|h| h.join().expect("serve-top load thread panicked"))
+        .sum();
+    drop(monitor);
+    service.shutdown();
+    println!("serve-top: {frames} frames over {clients} clients, {driven} ops driven");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One serve-top load thread: a pipelined put/get loop (2:1) in a
+/// per-client key range, running until the view stops it. Returns the
+/// number of submissions issued.
+fn drive_load(
+    client: tempimpd::ServeClient,
+    index: u32,
+    stop: &std::sync::atomic::AtomicBool,
+) -> u64 {
+    use std::sync::atomic::Ordering;
+    use temporal_importance::protocol::Request;
+    use temporal_importance::{ImportanceCurve, ObjectClass, ObjectId};
+
+    const WINDOW: usize = 64;
+    let base = u64::from(index) << 40;
+    let mut issued = 0u64;
+    let mut inflight = std::collections::VecDeque::with_capacity(WINDOW);
+    while !stop.load(Ordering::Relaxed) {
+        if inflight.len() >= WINDOW {
+            let oldest: tempimpd::Pending = inflight.pop_front().expect("window is non-empty");
+            let _ = oldest.wait();
+        }
+        let at = sim_core::SimTime::from_minutes(issued * 4);
+        let request = if issued % 3 == 2 {
+            Request::Get {
+                id: ObjectId::new(base + issued.saturating_sub(2)),
+            }
+        } else {
+            Request::Put {
+                id: ObjectId::new(base + issued),
+                bytes: sim_core::ByteSize::from_mib(1),
+                curve: ImportanceCurve::two_step(
+                    temporal_importance::Importance::FULL,
+                    sim_core::SimDuration::from_days(15),
+                    sim_core::SimDuration::from_days(15),
+                ),
+                class: ObjectClass::default(),
+            }
+        };
+        match client.submit(at, request) {
+            Ok(pending) => inflight.push_back(pending),
+            Err(_) => break,
+        }
+        issued += 1;
+    }
+    for pending in inflight {
+        let _ = pending.wait();
+    }
+    issued
 }

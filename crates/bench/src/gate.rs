@@ -5,10 +5,16 @@
 //! is plain string extraction (the vendored `serde_json` is typed-only).
 //! Two columns gate: `indexed_ns_per_op` (time per operation) and
 //! `bytes_per_resident` (fixture heap footprint — the memory side of the
-//! ID-arena layout). The naive oracle column documents the speedup but is
-//! not a performance promise. [`obs_overheads`] additionally derives the
+//! ID-arena layout). The reference column (`reference_ns_per_op`, with
+//! the historical `naive_ns_per_op` spelling still accepted) documents
+//! what the measurement is compared against — the naive scan oracle for
+//! engine reports, the single-shard run for serve reports — but is not a
+//! performance promise. [`obs_overheads`] additionally derives the
 //! instrumentation cost from the fresh report alone, by comparing the
-//! `store_churn_observed` rows against their plain `store_churn` peers.
+//! `store_churn_observed` rows against their plain `store_churn` peers,
+//! and [`parse_verb_latencies`]/[`check_verb_latencies`] read and sanity-
+//! check the per-verb queue-wait/service percentile rows `bench_serve`
+//! derives from request-scoped trace stamps.
 
 use std::fmt;
 
@@ -22,8 +28,12 @@ pub struct BenchCase {
     pub residents: u64,
     /// Nanoseconds per operation on the indexed engine.
     pub indexed_ns_per_op: f64,
-    /// Nanoseconds per operation on the naive oracle.
-    pub naive_ns_per_op: f64,
+    /// Nanoseconds per operation on the reference configuration: the
+    /// naive scan oracle for engine reports, the same workload forced
+    /// through a single shard for serve reports. Reports label the
+    /// column `reference_ns_per_op` (old reports spelled it
+    /// `naive_ns_per_op`; both parse).
+    pub reference_ns_per_op: f64,
     /// Net heap bytes per resident of the indexed fixture. Optional so
     /// the gate still reads reports from before the memory column.
     pub bytes_per_resident: Option<f64>,
@@ -103,7 +113,8 @@ pub fn parse_report(json: &str) -> Result<Vec<BenchCase>, String> {
                 case: extract_str(line, "case")?.to_string(),
                 residents: extract_num(line, "residents")? as u64,
                 indexed_ns_per_op: extract_num(line, "indexed_ns_per_op")?,
-                naive_ns_per_op: extract_num(line, "naive_ns_per_op")?,
+                reference_ns_per_op: extract_num(line, "reference_ns_per_op")
+                    .or_else(|| extract_num(line, "naive_ns_per_op"))?,
                 bytes_per_resident: extract_num(line, "bytes_per_resident"),
             })
         })();
@@ -235,6 +246,94 @@ pub fn obs_overheads(cases: &[BenchCase]) -> Vec<ObsOverhead> {
     out
 }
 
+/// One per-verb latency row of a serve report: queue-wait and
+/// service-time percentiles derived from request-scoped trace stamps
+/// (all submissions, pipelined included — not just blocking probes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbLatencyRow {
+    /// The protocol verb (`put`, `get`, …).
+    pub verb: String,
+    /// Requests the percentiles summarize.
+    pub samples: u64,
+    /// Median nanoseconds from client enqueue to batch apply.
+    pub queue_wait_p50_ns: u64,
+    /// Tail (p99) queue-wait nanoseconds.
+    pub queue_wait_p99_ns: u64,
+    /// Median engine-call nanoseconds.
+    pub service_p50_ns: u64,
+    /// Tail (p99) engine-call nanoseconds.
+    pub service_p99_ns: u64,
+}
+
+/// Parses the `"verb_latencies"` rows of a serve report. Reports without
+/// the section (engine reports, `obs-off` serve runs) yield an empty
+/// vector — use [`check_verb_latencies`] to make presence mandatory.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line if a `"verb"` row is
+/// missing one of its required fields.
+pub fn parse_verb_latencies(json: &str) -> Result<Vec<VerbLatencyRow>, String> {
+    let mut rows = Vec::new();
+    for line in json.lines() {
+        if !line.contains("\"verb\":") {
+            continue;
+        }
+        let parsed = (|| {
+            Some(VerbLatencyRow {
+                verb: extract_str(line, "verb")?.to_string(),
+                samples: extract_num(line, "samples")? as u64,
+                queue_wait_p50_ns: extract_num(line, "queue_wait_p50_ns")? as u64,
+                queue_wait_p99_ns: extract_num(line, "queue_wait_p99_ns")? as u64,
+                service_p50_ns: extract_num(line, "service_p50_ns")? as u64,
+                service_p99_ns: extract_num(line, "service_p99_ns")? as u64,
+            })
+        })();
+        match parsed {
+            Some(row) => rows.push(row),
+            None => return Err(format!("malformed verb latency line: {line}")),
+        }
+    }
+    Ok(rows)
+}
+
+/// Verifies that a serve report's verb-latency rows exist and are sane:
+/// the `put` and `get` verbs (present in every serve workload) each have
+/// samples, and every row's p50 never exceeds its p99 on either the
+/// queue-wait or the service column. Values are deliberately not gated —
+/// absolute latency on a shared runner is noise; shape and presence are
+/// not.
+///
+/// # Errors
+///
+/// Returns a message naming the missing verb or the inverted percentile.
+pub fn check_verb_latencies(rows: &[VerbLatencyRow]) -> Result<(), String> {
+    for required in ["put", "get"] {
+        let row = rows
+            .iter()
+            .find(|r| r.verb == required)
+            .ok_or_else(|| format!("serve report has no '{required}' latency row"))?;
+        if row.samples == 0 {
+            return Err(format!("'{required}' latency row has zero samples"));
+        }
+    }
+    for row in rows {
+        if row.queue_wait_p50_ns > row.queue_wait_p99_ns {
+            return Err(format!(
+                "'{}' queue-wait p50 {} ns exceeds p99 {} ns",
+                row.verb, row.queue_wait_p50_ns, row.queue_wait_p99_ns
+            ));
+        }
+        if row.service_p50_ns > row.service_p99_ns {
+            return Err(format!(
+                "'{}' service p50 {} ns exceeds p99 {} ns",
+                row.verb, row.service_p50_ns, row.service_p99_ns
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,9 +369,66 @@ mod tests {
         assert_eq!(cases[0].case, "store_churn");
         assert_eq!(cases[0].residents, 10_000);
         assert_eq!(cases[0].indexed_ns_per_op, 2000.0);
-        assert_eq!(cases[0].naive_ns_per_op, 900_000.0);
+        assert_eq!(cases[0].reference_ns_per_op, 900_000.0);
         assert_eq!(cases[0].bytes_per_resident, Some(400.0));
         assert_eq!(cases[2].key(), ("density_sampling", 100_000));
+    }
+
+    #[test]
+    fn self_describing_reference_column_parses_and_wins_over_legacy() {
+        let serve = r#"{ "case": "serve_mixed", "residents": 8, "indexed_ns_per_op": 1963.3, "reference_ns_per_op": 1066.6, "reference": "single_shard", "scaling": 0.5 }"#;
+        let cases = parse_report(serve).unwrap();
+        assert_eq!(cases[0].reference_ns_per_op, 1066.6);
+        // A report carrying both spellings prefers the new column.
+        let both = r#"{ "case": "serve_mixed", "residents": 8, "indexed_ns_per_op": 1963.3, "reference_ns_per_op": 1066.6, "naive_ns_per_op": 42.0 }"#;
+        assert_eq!(parse_report(both).unwrap()[0].reference_ns_per_op, 1066.6);
+    }
+
+    #[test]
+    fn verb_latency_rows_parse_and_sanity_check() {
+        let report = r#"{
+  "cases": [
+    { "case": "serve_mixed", "residents": 8, "indexed_ns_per_op": 1963.3, "reference_ns_per_op": 1066.6, "reference": "single_shard", "scaling": 0.5 }
+  ],
+  "verb_latencies": [
+    { "verb": "put", "samples": 1000, "queue_wait_p50_ns": 1024, "queue_wait_p99_ns": 65536, "service_p50_ns": 2048, "service_p99_ns": 16384 },
+    { "verb": "get", "samples": 500, "queue_wait_p50_ns": 512, "queue_wait_p99_ns": 32768, "service_p50_ns": 256, "service_p99_ns": 4096 }
+  ]
+}
+"#;
+        let rows = parse_verb_latencies(report).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].verb, "put");
+        assert_eq!(rows[0].samples, 1000);
+        assert_eq!(rows[1].queue_wait_p99_ns, 32_768);
+        check_verb_latencies(&rows).unwrap();
+        // Engine reports have no rows: parse is empty, check refuses.
+        let empty = parse_verb_latencies(REPORT).unwrap();
+        assert!(empty.is_empty());
+        assert!(check_verb_latencies(&empty).is_err());
+        // Inverted percentiles and zero-sample required verbs refuse.
+        let mut inverted = rows.clone();
+        inverted[0].queue_wait_p50_ns = 1 << 40;
+        assert!(check_verb_latencies(&inverted)
+            .unwrap_err()
+            .contains("queue-wait"));
+        let mut starved = rows.clone();
+        starved[1].samples = 0;
+        assert!(check_verb_latencies(&starved).unwrap_err().contains("get"));
+        // A malformed row is an error, not a silent skip.
+        assert!(parse_verb_latencies(r#"{ "verb": "put", "samples": 5 }"#).is_err());
+    }
+
+    #[test]
+    fn parses_the_committed_serve_baseline() {
+        let committed = include_str!("../../../BENCH_serve.json");
+        let cases = parse_report(committed).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].case, "serve_mixed");
+        assert!(cases[0].indexed_ns_per_op > 0.0);
+        assert!(cases[0].reference_ns_per_op > 0.0);
+        let rows = parse_verb_latencies(committed).unwrap();
+        check_verb_latencies(&rows).expect("committed serve baseline carries sane verb latencies");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub fn incoming_spec(id: u64, mib: u64) -> ObjectSpec {
 }
 
 pub mod gate;
+pub mod servetop;
 
 #[cfg(test)]
 mod tests {

@@ -14,7 +14,8 @@ use rand::Rng;
 use sim_core::{ByteSize, Obs, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use temporal_importance::protocol::{
-    DensityInfo, ObjectInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+    DensityInfo, HealthSnapshot, ObjectInfo, Request, Response, ShardHealth, ShardRouter, StoreApi,
+    StoreStats,
 };
 use temporal_importance::{Importance, ObjectSpec, StorageUnit};
 
@@ -421,6 +422,35 @@ impl StoreApi for SharedCluster {
                 }
                 Response::Stats(Ok(total))
             }
+            Request::Health => {
+                // One entry per *live* node, in node order (matching the
+                // Density/Stats aggregation membership); the queue-depth
+                // and worker counters are inert — a lock-per-node cluster
+                // has no ingest queues.
+                let mut snapshot = HealthSnapshot::default();
+                for index in 0..self.units.len() {
+                    let node = NodeId::new(index);
+                    if !self.is_alive(node) {
+                        continue;
+                    }
+                    self.with_node(node, |unit| {
+                        unit.advance(now);
+                        snapshot.shards.push(ShardHealth {
+                            shard: index as u32,
+                            clock: now,
+                            residents: unit.len() as u64,
+                            used: unit.used(),
+                            capacity: unit.capacity(),
+                            queue_depth: 0,
+                            requests: 0,
+                            batches: 0,
+                            rejected: 0,
+                            latencies: Vec::new(),
+                        });
+                    });
+                }
+                Response::Health(Ok(snapshot))
+            }
         }
     }
 }
@@ -574,6 +604,24 @@ mod tests {
         assert_eq!(stats.capacity, ByteSize::from_mib(900));
         let density = cluster.density_info(SimTime::ZERO).unwrap();
         assert_eq!(density.capacity, ByteSize::from_mib(900));
+
+        // Health reports one inert entry per live node, in node order,
+        // skipping the failed node's index.
+        let health = cluster.health(SimTime::ZERO).unwrap();
+        assert_eq!(health.shards.len(), 9);
+        assert!(health.shards.iter().all(|s| s.shard != node.index() as u32));
+        assert!(health
+            .shards
+            .windows(2)
+            .all(|pair| pair[0].shard < pair[1].shard));
+        assert!(health
+            .shards
+            .iter()
+            .all(|s| s.queue_depth == 0 && s.latencies.is_empty()));
+        assert_eq!(
+            health.shards.iter().map(|s| s.residents).sum::<u64>(),
+            stats.objects
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@ use crate::{
 
 /// One protocol request. `Put`, `Get` and `Advise` are keyed by an
 /// [`ObjectId`] and route to a single shard in sharded implementations;
-/// `Density` and `Stats` are whole-store queries that fan out and
-/// aggregate.
+/// `Density`, `Stats` and `Health` are whole-store queries that fan out
+/// and aggregate.
 ///
 /// Requests are serializable so a serving layer can keep a replayable
 /// request log — the differential determinism tests record the per-shard
@@ -88,6 +88,138 @@ pub enum Request {
     Density,
     /// Lifetime counters and occupancy, aggregated across shards.
     Stats,
+    /// Per-shard serving health: clock, occupancy, ingest queue depth,
+    /// backpressure counters and queue-wait/service-time latency
+    /// quantiles per verb. Sharded stores answer one [`ShardHealth`]
+    /// entry per shard, in shard order; plain stores answer a single
+    /// entry with the serving-layer fields at their inert zero values.
+    Health,
+}
+
+/// Identifies one in-flight request in a serving layer's trace stream.
+///
+/// Ids are allocated per service from a shared counter, so they are
+/// unique within a service's lifetime but carry no meaning across
+/// processes — they exist to correlate a request's stage timestamps and
+/// its slow-log trace events, never to address objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Wraps a raw id value.
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw id value (what trace events carry in their `id` field).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Which protocol verb a [`Request`] is, detached from its payload.
+///
+/// Serving layers use this for everything that needs a verb after the
+/// request value has been moved into a queue: building the matching
+/// failure [`Response`], naming per-verb metrics, and tagging trace
+/// events with a stable integer [`code`](VerbKind::code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerbKind {
+    /// [`Request::Put`].
+    Put,
+    /// [`Request::Get`].
+    Get,
+    /// [`Request::Advise`].
+    Advise,
+    /// [`Request::Density`].
+    Density,
+    /// [`Request::Stats`].
+    Stats,
+    /// [`Request::Health`].
+    Health,
+}
+
+impl VerbKind {
+    /// Every verb, in [`code`](VerbKind::code) order.
+    pub const ALL: [VerbKind; 6] = [
+        VerbKind::Put,
+        VerbKind::Get,
+        VerbKind::Advise,
+        VerbKind::Density,
+        VerbKind::Stats,
+        VerbKind::Health,
+    ];
+
+    /// The verb of `request`.
+    pub fn of(request: &Request) -> VerbKind {
+        match request {
+            Request::Put { .. } => VerbKind::Put,
+            Request::Get { .. } => VerbKind::Get,
+            Request::Advise { .. } => VerbKind::Advise,
+            Request::Density => VerbKind::Density,
+            Request::Stats => VerbKind::Stats,
+            Request::Health => VerbKind::Health,
+        }
+    }
+
+    /// The verb's lowercase wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            VerbKind::Put => "put",
+            VerbKind::Get => "get",
+            VerbKind::Advise => "advise",
+            VerbKind::Density => "density",
+            VerbKind::Stats => "stats",
+            VerbKind::Health => "health",
+        }
+    }
+
+    /// A stable integer for trace-event fields (events carry only `u64`s
+    /// so traces stay byte-reproducible). Matches the position in
+    /// [`VerbKind::ALL`].
+    pub const fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// The serving-layer histogram name for this verb's queue-wait time
+    /// (nanoseconds a request spent between client enqueue and batch
+    /// apply).
+    pub const fn queue_wait_metric(self) -> &'static str {
+        match self {
+            VerbKind::Put => "serve.queue_wait.put",
+            VerbKind::Get => "serve.queue_wait.get",
+            VerbKind::Advise => "serve.queue_wait.advise",
+            VerbKind::Density => "serve.queue_wait.density",
+            VerbKind::Stats => "serve.queue_wait.stats",
+            VerbKind::Health => "serve.queue_wait.health",
+        }
+    }
+
+    /// The serving-layer histogram name for this verb's service time
+    /// (nanoseconds from batch apply to reply).
+    pub const fn service_metric(self) -> &'static str {
+        match self {
+            VerbKind::Put => "serve.service.put",
+            VerbKind::Get => "serve.service.get",
+            VerbKind::Advise => "serve.service.advise",
+            VerbKind::Density => "serve.service.density",
+            VerbKind::Stats => "serve.service.stats",
+            VerbKind::Health => "serve.service.health",
+        }
+    }
+
+    /// Builds the failure response matching this verb, mirroring
+    /// [`Response::failed`] for callers that no longer hold the request.
+    pub fn failed(self, error: Error) -> Response {
+        match self {
+            VerbKind::Put => Response::Put(Err(error)),
+            VerbKind::Get => Response::Get(Err(error)),
+            VerbKind::Advise => Response::Advise(Err(error)),
+            VerbKind::Density => Response::Density(Err(error)),
+            VerbKind::Stats => Response::Stats(Err(error)),
+            VerbKind::Health => Response::Health(Err(error)),
+        }
+    }
 }
 
 /// The metadata view of one stored object answered by [`Request::Get`].
@@ -153,6 +285,85 @@ pub struct DensityInfo {
     pub used: ByteSize,
 }
 
+/// The serving-health aggregate answered by [`Request::Health`]: one
+/// [`ShardHealth`] per shard, in shard order. A plain [`StorageUnit`]
+/// answers a single entry whose serving-layer fields (queue depth,
+/// request counters, latencies) sit at their inert zero values — the
+/// same shape an `obs-off` build of a serving layer reports.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Per-shard health, in shard order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthSnapshot {
+    /// Appends another store's shards (used by fan-out aggregation;
+    /// entries keep their per-shard indices).
+    pub fn absorb(&mut self, other: HealthSnapshot) {
+        self.shards.extend(other.shards);
+    }
+
+    /// Ingest-queue depth summed across shards.
+    pub fn total_queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Requests served, summed across shards.
+    pub fn total_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+}
+
+/// One shard's health: engine occupancy plus the serving-layer telemetry
+/// of its worker (queue depth, throughput counters, latency quantiles).
+///
+/// The engine-side fields (`clock`, `residents`, `used`, `capacity`) are
+/// always live; the serving-layer fields are zero/empty when answered by
+/// a non-serving store or by a serving layer compiled with `obs-off`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// The shard index.
+    pub shard: u32,
+    /// The shard's effective clock at the time of the answer.
+    pub clock: SimTime,
+    /// Objects resident on the shard.
+    pub residents: u64,
+    /// Bytes resident.
+    pub used: ByteSize,
+    /// The shard's capacity.
+    pub capacity: ByteSize,
+    /// Requests waiting in the shard's ingest queue when the health
+    /// request was applied (zero for non-queued stores).
+    pub queue_depth: u64,
+    /// Requests the shard worker has completed.
+    pub requests: u64,
+    /// Batches the shard worker has drained.
+    pub batches: u64,
+    /// Requests rejected with a full-queue backpressure error.
+    pub rejected: u64,
+    /// Queue-wait/service-time quantiles per verb, for verbs with at
+    /// least one sample. Empty when tracing is off (`obs-off`).
+    pub latencies: Vec<VerbLatency>,
+}
+
+/// Bucket-resolution latency quantiles for one verb on one shard,
+/// derived from the request-scoped stage timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerbLatency {
+    /// The verb.
+    pub verb: VerbKind,
+    /// Samples behind the quantiles.
+    pub samples: u64,
+    /// Median nanoseconds between client enqueue and batch apply.
+    pub queue_wait_p50_ns: u64,
+    /// 99th-percentile queue-wait nanoseconds.
+    pub queue_wait_p99_ns: u64,
+    /// Median nanoseconds between batch apply and reply.
+    pub service_p50_ns: u64,
+    /// 99th-percentile service nanoseconds.
+    pub service_p99_ns: u64,
+}
+
 /// One protocol response. Every variant carries a `Result` because a
 /// serving layer can fail any request for reasons the engine never sees —
 /// a dead shard, a full ingest queue, a disconnected worker — and those
@@ -169,19 +380,15 @@ pub enum Response {
     Density(Result<DensityInfo, Error>),
     /// Answer to [`Request::Stats`].
     Stats(Result<StoreStats, Error>),
+    /// Answer to [`Request::Health`].
+    Health(Result<HealthSnapshot, Error>),
 }
 
 impl Response {
     /// Builds the failure response matching `request`'s variant, so a
     /// transport error surfaces through the same shape a success would.
     pub fn failed(request: &Request, error: Error) -> Response {
-        match request {
-            Request::Put { .. } => Response::Put(Err(error)),
-            Request::Get { .. } => Response::Get(Err(error)),
-            Request::Advise { .. } => Response::Advise(Err(error)),
-            Request::Density => Response::Density(Err(error)),
-            Request::Stats => Response::Stats(Err(error)),
-        }
+        VerbKind::of(request).failed(error)
     }
 }
 
@@ -285,6 +492,19 @@ pub trait StoreApi {
             other => panic!("protocol violation: Stats answered with {other:?}"),
         }
     }
+
+    /// Per-shard serving health: clock, occupancy, queue depth and
+    /// latency quantiles per verb (see [`HealthSnapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// A service variant of [`Error`] when any shard is unreachable.
+    fn health(&mut self, now: SimTime) -> Result<HealthSnapshot, Error> {
+        match self.call(now, Request::Health) {
+            Response::Health(result) => result,
+            other => panic!("protocol violation: Health answered with {other:?}"),
+        }
+    }
 }
 
 /// Deterministic, total object-to-shard routing shared by every sharded
@@ -382,6 +602,27 @@ impl StoreApi for StorageUnit {
                 capacity: self.capacity(),
                 objects: self.len() as u64,
             })),
+            Request::Health => {
+                self.advance(now);
+                // A bare unit is its own single shard; the serving-layer
+                // fields report their inert zeroes. Serving layers call
+                // through to this arm (so clock/occupancy side effects
+                // replay identically) and then fill in worker telemetry.
+                Response::Health(Ok(HealthSnapshot {
+                    shards: vec![ShardHealth {
+                        shard: 0,
+                        clock: now,
+                        residents: self.len() as u64,
+                        used: self.used(),
+                        capacity: self.capacity(),
+                        queue_depth: 0,
+                        requests: 0,
+                        batches: 0,
+                        rejected: 0,
+                        latencies: Vec::new(),
+                    }],
+                }))
+            }
         }
     }
 }
@@ -474,6 +715,95 @@ mod tests {
             Response::Density(Err(Error::Disconnected)) => {}
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn health_answers_a_single_inert_shard() {
+        let mut unit = StorageUnit::new(ByteSize::from_mib(100));
+        unit.put(
+            ObjectId::new(1),
+            ByteSize::from_mib(40),
+            curve(30),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let snapshot = unit.health(SimTime::from_days(1)).unwrap();
+        assert_eq!(snapshot.shards.len(), 1);
+        let shard = &snapshot.shards[0];
+        assert_eq!(shard.shard, 0);
+        assert_eq!(shard.clock, SimTime::from_days(1));
+        assert_eq!(shard.residents, 1);
+        assert_eq!(shard.used, ByteSize::from_mib(40));
+        assert_eq!(shard.capacity, ByteSize::from_mib(100));
+        // Serving-layer fields are inert on a bare unit.
+        assert_eq!(shard.queue_depth, 0);
+        assert_eq!(shard.requests, 0);
+        assert_eq!(shard.rejected, 0);
+        assert!(shard.latencies.is_empty());
+        assert_eq!(snapshot.total_queue_depth(), 0);
+        assert_eq!(snapshot.total_requests(), 0);
+    }
+
+    #[test]
+    fn verb_kinds_cover_every_request_and_response() {
+        let requests = [
+            Request::Put {
+                id: ObjectId::new(1),
+                bytes: ByteSize::from_mib(1),
+                curve: curve(30),
+                class: ObjectClass::GENERIC,
+            },
+            Request::Get {
+                id: ObjectId::new(1),
+            },
+            Request::Advise {
+                id: ObjectId::new(1),
+                bytes: ByteSize::from_mib(1),
+                incoming: Importance::FULL,
+            },
+            Request::Density,
+            Request::Stats,
+            Request::Health,
+        ];
+        for (request, &verb) in requests.iter().zip(VerbKind::ALL.iter()) {
+            assert_eq!(VerbKind::of(request), verb);
+            assert_eq!(VerbKind::ALL[verb.code() as usize], verb);
+            assert!(verb.queue_wait_metric().ends_with(verb.name()));
+            assert!(verb.service_metric().ends_with(verb.name()));
+            // VerbKind::failed and Response::failed agree on the variant.
+            let from_kind = format!("{:?}", verb.failed(Error::Disconnected));
+            let from_request = format!("{:?}", Response::failed(request, Error::Disconnected));
+            assert_eq!(from_kind, from_request);
+        }
+    }
+
+    #[test]
+    fn health_snapshots_absorb_by_concatenation() {
+        let shard = |index: u32| ShardHealth {
+            shard: index,
+            clock: SimTime::ZERO,
+            residents: 1,
+            used: ByteSize::from_mib(1),
+            capacity: ByteSize::from_mib(2),
+            queue_depth: u64::from(index),
+            requests: 10,
+            batches: 2,
+            rejected: 0,
+            latencies: Vec::new(),
+        };
+        let mut total = HealthSnapshot {
+            shards: vec![shard(0)],
+        };
+        total.absorb(HealthSnapshot {
+            shards: vec![shard(1), shard(2)],
+        });
+        assert_eq!(total.shards.len(), 3);
+        assert_eq!(total.total_queue_depth(), 3);
+        assert_eq!(total.total_requests(), 30);
+        assert_eq!(
+            total.shards.iter().map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -137,6 +137,24 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other`'s samples into `self`. Merging is exact: the two
+    /// bucket arrays add element-wise and count/sum/min/max combine, so
+    /// per-thread histograms merged afterwards answer identically to one
+    /// histogram that saw every sample (quantiles included — they only
+    /// read buckets and the min/max clamp).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (bucket, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket += n;
+        }
+    }
+
     /// A compact copy for [`Snapshot`]s.
     pub(crate) fn summarize(&self) -> HistogramSummary {
         HistogramSummary {
@@ -389,6 +407,41 @@ mod tests {
         assert_eq!(Histogram::bucket_index(u64::MAX), 64);
         assert_eq!(Histogram::bucket_index(1 << 63), 64);
         assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn merged_histograms_answer_like_one_that_saw_every_sample() {
+        let samples_a = [0u64, 1, 7, 512, 4096];
+        let samples_b = [3u64, 900, 1 << 40, u64::MAX];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+        // Merging an empty histogram changes nothing — in particular it
+        // must not disturb the empty-min sentinel.
+        let before = a.quantile(0.5);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.5), before);
+        let mut empty = Histogram::new();
+        empty.merge(&Histogram::new());
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

@@ -66,11 +66,16 @@
 
 mod engine;
 mod service;
+mod trace;
 
 pub use engine::{replay, ShardEngine};
 pub use service::{Pending, ServeClient, ShardReport, Tempimpd, TempimpdBuilder};
+pub use trace::RequestTrace;
 
 // The routing function lives in the protocol module so `besteffs` can use
 // the identical mapping; re-exported here because it is part of this
-// crate's vocabulary.
-pub use temporal_importance::protocol::ShardRouter;
+// crate's vocabulary, as are the health-verb answer types every serve
+// consumer reads.
+pub use temporal_importance::protocol::{
+    HealthSnapshot, RequestId, ShardHealth, ShardRouter, VerbKind, VerbLatency,
+};

@@ -4,72 +4,53 @@
 //! [`ShardEngine`] fed by a bounded MPSC ingest queue. [`ServeClient`]s
 //! hash every keyed request to its shard ([`ShardRouter`]), enqueue it
 //! with the client's timestamp, and block on a per-request reply channel;
-//! whole-store queries (`Density`, `Stats`) fan out to every shard and
-//! aggregate in shard order. Workers drain requests in batches and
-//! process each batch at a single effective instant — see
+//! whole-store queries (`Density`, `Stats`, `Health`) fan out to every
+//! shard and aggregate in shard order. Workers drain requests in batches
+//! and process each batch at a single effective instant — see
 //! [`ShardEngine`] for why that keeps shards deterministically replayable.
+//!
+//! Every job additionally carries request-scoped trace stamps (see
+//! [`crate::trace`]): clients stamp an id and the enqueue instant, the
+//! worker stamps dequeue/apply/reply and derives per-verb queue-wait and
+//! service-time histograms from them — both per shard (surfaced through
+//! the `health` verb) and in aggregate through the `Observer` seam. The
+//! stamps ride outside the serialized [`Request`], so effective request
+//! logs and replay stay byte-identical with or without tracing.
 
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use sim_core::{ByteSize, Obs, SimDuration, SimTime};
 use temporal_importance::protocol::{
-    DensityInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+    DensityInfo, HealthSnapshot, Request, Response, ShardRouter, StoreApi, StoreStats, VerbKind,
 };
 use temporal_importance::{Error, EvictionPolicy, StorageUnit};
 
 use crate::engine::ShardEngine;
+use crate::trace::{Reply, Stamps, Telemetry, WorkerTracing};
+use crate::RequestTrace;
 
-/// One queued request: the client's timestamp, the request, and where to
-/// send the answer.
+/// One queued request: the client's timestamp, the request, its trace
+/// stamps, and where to send the answer.
 struct Job {
     at: SimTime,
     request: Request,
-    reply: Sender<Response>,
+    stamps: Stamps,
+    reply: Sender<Reply>,
 }
 
-/// Which protocol verb a request was, kept so a transport failure after
-/// the request has been moved into a queue can still build the matching
-/// [`Response`] variant.
-#[derive(Debug, Clone, Copy)]
-enum Verb {
-    Put,
-    Get,
-    Advise,
-    Density,
-    Stats,
-}
-
-impl Verb {
-    fn of(request: &Request) -> Verb {
-        match request {
-            Request::Put { .. } => Verb::Put,
-            Request::Get { .. } => Verb::Get,
-            Request::Advise { .. } => Verb::Advise,
-            Request::Density => Verb::Density,
-            Request::Stats => Verb::Stats,
-        }
-    }
-
-    fn span_name(self) -> &'static str {
-        match self {
-            Verb::Put => "span.serve.put",
-            Verb::Get => "span.serve.get",
-            Verb::Advise => "span.serve.advise",
-            Verb::Density => "span.serve.density",
-            Verb::Stats => "span.serve.stats",
-        }
-    }
-
-    fn failed(self, error: Error) -> Response {
-        match self {
-            Verb::Put => Response::Put(Err(error)),
-            Verb::Get => Response::Get(Err(error)),
-            Verb::Advise => Response::Advise(Err(error)),
-            Verb::Density => Response::Density(Err(error)),
-            Verb::Stats => Response::Stats(Err(error)),
-        }
+/// The round-trip span name blocking dispatch records for each verb.
+fn span_name(verb: VerbKind) -> &'static str {
+    match verb {
+        VerbKind::Put => "span.serve.put",
+        VerbKind::Get => "span.serve.get",
+        VerbKind::Advise => "span.serve.advise",
+        VerbKind::Density => "span.serve.density",
+        VerbKind::Stats => "span.serve.stats",
+        VerbKind::Health => "span.serve.health",
     }
 }
 
@@ -85,6 +66,7 @@ pub struct TempimpdBuilder {
     batch_max: usize,
     sweep_every: SimDuration,
     record_log: bool,
+    slow_threshold: Option<Duration>,
     obs: Option<Obs>,
 }
 
@@ -141,6 +123,15 @@ impl TempimpdBuilder {
         self
     }
 
+    /// Requests whose total in-service wall time (enqueue → reply)
+    /// reaches `threshold` emit an integer-only `serve.slow` trace event
+    /// naming the shard, verb, request id, and the queue-wait/service
+    /// split (default: no slow log). A no-op under `obs-off`.
+    pub fn slow_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_threshold = Some(threshold);
+        self
+    }
+
     /// Attaches an explicit observer shared by all shards and clients.
     /// Without this, the service observes into [`Obs::global`].
     pub fn observer(mut self, obs: Obs) -> Self {
@@ -159,6 +150,11 @@ impl TempimpdBuilder {
         assert!(self.queue_depth > 0, "ingest queues need capacity");
         assert!(self.batch_max > 0, "batches must hold at least one request");
         let obs = self.obs.unwrap_or_else(Obs::global);
+        let telemetry = Arc::new(Telemetry::new(self.shards));
+        let slow_ns = self
+            .slow_threshold
+            .map(|threshold| u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(u64::MAX);
         let mut ingests = Vec::with_capacity(self.shards as usize);
         let mut workers = Vec::with_capacity(self.shards as usize);
         for shard in 0..self.shards {
@@ -170,6 +166,8 @@ impl TempimpdBuilder {
                 sweep_every: self.sweep_every,
                 batch_max: self.batch_max,
                 record_log: self.record_log,
+                slow_ns,
+                telemetry: telemetry.clone(),
                 obs: obs.clone(),
             };
             let handle = std::thread::Builder::new()
@@ -183,6 +181,7 @@ impl TempimpdBuilder {
             router: ShardRouter::new(self.shards),
             ingests,
             workers,
+            telemetry,
             obs,
             shard_capacity: self.shard_capacity,
             policy: self.policy,
@@ -219,10 +218,35 @@ struct Worker {
     sweep_every: SimDuration,
     batch_max: usize,
     record_log: bool,
+    slow_ns: u64,
+    telemetry: Arc<Telemetry>,
     obs: Obs,
 }
 
 impl Worker {
+    /// Splices this worker's live telemetry into the engine's inert
+    /// `health` answer: the engine contributes clock/residents/occupancy
+    /// (so replay sees identical side effects), the worker contributes
+    /// everything only the serving layer knows.
+    fn enrich_health(
+        &self,
+        response: &mut Response,
+        tracing: &WorkerTracing,
+        requests: u64,
+        batches: u64,
+    ) {
+        if let Response::Health(Ok(snapshot)) = response {
+            if let Some(health) = snapshot.shards.first_mut() {
+                health.shard = self.shard;
+                health.queue_depth = self.telemetry.depth(self.shard);
+                health.requests = requests;
+                health.batches = batches;
+                health.rejected = self.telemetry.rejected_count(self.shard);
+                health.latencies = tracing.verb_latencies();
+            }
+        }
+    }
+
     fn run(self, ingest: Receiver<Job>) -> ShardReport {
         let mut engine = ShardEngine::with_observer(
             self.capacity,
@@ -230,6 +254,7 @@ impl Worker {
             self.sweep_every,
             self.obs.clone(),
         );
+        let mut tracing = WorkerTracing::new(&self.telemetry, self.slow_ns);
         let mut log = Vec::new();
         let mut batch: Vec<Job> = Vec::with_capacity(self.batch_max);
         let mut requests = 0u64;
@@ -253,26 +278,45 @@ impl Worker {
                 .expect("non-empty batch");
             let now = engine.observe(latest);
             let drained = batch.len() as u64;
+            // One clock read covers the whole drain; the per-job apply
+            // stamp below restores per-request resolution.
+            let dequeued = tracing.mark();
+            let depth = self.telemetry.drained(self.shard, drained);
+            batches += 1;
             let mut span = self.obs.span("span.serve.shard_batch");
             span.sim_to(now);
-            for job in batch.drain(..) {
+            for mut job in batch.drain(..) {
+                job.stamps.dequeued(dequeued);
                 if self.record_log {
                     log.push((now, job.request.clone()));
                 }
-                let response = engine.call(now, job.request);
+                let verb = VerbKind::of(&job.request);
+                let applied = tracing.mark();
+                let mut response = engine.call(now, job.request);
+                requests += 1;
+                if verb == VerbKind::Health {
+                    self.enrich_health(&mut response, &tracing, requests, batches);
+                }
+                let reply = tracing.complete(
+                    &self.obs, now, self.shard, verb, job.stamps, applied, response,
+                );
                 // A client that gave up on the reply is not an error.
-                let _ = job.reply.send(response);
+                let _ = job.reply.send(reply);
             }
             drop(span);
-            requests += drained;
-            batches += 1;
             self.obs.counter("serve.requests", drained);
             self.obs.counter("serve.batches", 1);
             self.obs.record("serve.batch_fill", drained);
+            self.obs.gauge("serve.queue_depth", depth);
             self.obs.event(
                 now,
                 "serve.batch",
                 &[("shard", u64::from(self.shard)), ("drained", drained)],
+            );
+            self.obs.event(
+                now,
+                "serve.depth",
+                &[("shard", u64::from(self.shard)), ("depth", depth)],
             );
         }
         let final_now = engine.now();
@@ -314,6 +358,9 @@ impl Worker {
 /// let stats = client.store_stats(SimTime::ZERO).unwrap();
 /// assert_eq!(stats.objects, 1);
 ///
+/// let health = client.health(SimTime::ZERO).unwrap();
+/// assert_eq!(health.shards.len(), 2);
+///
 /// drop(client);
 /// let reports = service.shutdown();
 /// assert_eq!(reports.len(), 2);
@@ -323,6 +370,7 @@ pub struct Tempimpd {
     router: ShardRouter,
     ingests: Vec<SyncSender<Job>>,
     workers: Vec<JoinHandle<ShardReport>>,
+    telemetry: Arc<Telemetry>,
     obs: Obs,
     shard_capacity: ByteSize,
     policy: EvictionPolicy,
@@ -346,6 +394,7 @@ impl Tempimpd {
             batch_max: 64,
             sweep_every: SimDuration::DAY,
             record_log: false,
+            slow_threshold: None,
             obs: None,
         }
     }
@@ -376,6 +425,7 @@ impl Tempimpd {
         ServeClient {
             router: self.router,
             ingests: self.ingests.clone(),
+            telemetry: self.telemetry.clone(),
             obs: self.obs.clone(),
         }
     }
@@ -402,14 +452,15 @@ impl Tempimpd {
 /// A connection to a [`Tempimpd`]: implements [`StoreApi`] by enqueueing
 /// requests to the owning shard and blocking on the reply.
 ///
-/// Keyed verbs (`put`/`get`/`advise`) touch exactly one shard; `density`
-/// and `stats` fan out to all shards and aggregate in shard order. The
-/// non-blocking [`try_call`](ServeClient::try_call) surfaces a full
-/// ingest queue as [`Error::QueueFull`] instead of waiting.
+/// Keyed verbs (`put`/`get`/`advise`) touch exactly one shard; `density`,
+/// `stats`, and `health` fan out to all shards and aggregate in shard
+/// order. The non-blocking [`try_call`](ServeClient::try_call) surfaces a
+/// full ingest queue as [`Error::QueueFull`] instead of waiting.
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     router: ShardRouter,
     ingests: Vec<SyncSender<Job>>,
+    telemetry: Arc<Telemetry>,
     obs: Obs,
 }
 
@@ -428,7 +479,8 @@ impl ServeClient {
 
     /// Routes `request` to its shard(s) and returns without waiting for
     /// the reply. The returned [`Pending`] is the claim ticket; redeem it
-    /// with [`Pending::wait`].
+    /// with [`Pending::wait`] (or [`Pending::wait_traced`] to also get
+    /// the request's stage timestamps).
     ///
     /// This is the pipelining primitive: a client that keeps a window of
     /// submissions in flight amortizes the thread wake-ups of the
@@ -451,7 +503,7 @@ impl ServeClient {
         request: Request,
         blocking: bool,
     ) -> Result<Pending, Error> {
-        let verb = Verb::of(&request);
+        let verb = VerbKind::of(&request);
         let replies = match &request {
             Request::Put { id, .. } | Request::Get { id } | Request::Advise { id, .. } => {
                 let shard = self.router.route(*id);
@@ -459,25 +511,27 @@ impl ServeClient {
                 let job = Job {
                     at: now,
                     request,
+                    stamps: self.telemetry.stamp(),
                     reply: reply_tx,
                 };
-                enqueue(&self.ingests[shard as usize], job, shard, blocking)?;
+                self.enqueue(job, shard, blocking)?;
                 Replies::One(reply_rx)
             }
             // Fan-out: every shard gets the request, each with its own
             // reply channel, kept in shard order so aggregation is
             // deterministic (float summation order never depends on
             // which worker answers first).
-            Request::Density | Request::Stats => {
+            Request::Density | Request::Stats | Request::Health => {
                 let mut replies = Vec::with_capacity(self.ingests.len());
-                for (shard, queue) in self.ingests.iter().enumerate() {
+                for shard in 0..self.ingests.len() as u32 {
                     let (reply_tx, reply_rx) = mpsc::channel();
                     let job = Job {
                         at: now,
                         request: request.clone(),
+                        stamps: self.telemetry.stamp(),
                         reply: reply_tx,
                     };
-                    enqueue(queue, job, shard as u32, blocking)?;
+                    self.enqueue(job, shard, blocking)?;
                     replies.push(reply_rx);
                 }
                 Replies::FanOut(replies)
@@ -487,30 +541,40 @@ impl ServeClient {
     }
 
     /// Blocking calls span the full round trip under the verb's
-    /// `span.serve.*` name; pipelined submissions don't (the client
-    /// decides when to collect, so submit-to-wait covers its own
-    /// scheduling, not the service — callers wanting pipelined latency
-    /// time their own windows).
+    /// `span.serve.*` name; pipelined submissions carry their own stage
+    /// stamps instead — redeem them with [`Pending::wait_traced`].
     fn dispatch(&self, now: SimTime, request: Request, blocking: bool) -> Response {
-        let verb = Verb::of(&request);
-        let mut span = self.obs.span(verb.span_name());
+        let verb = VerbKind::of(&request);
+        let mut span = self.obs.span(span_name(verb));
         span.sim_to(now);
         match self.submit_inner(now, request, blocking) {
             Ok(pending) => pending.wait(),
             Err(error) => verb.failed(error),
         }
     }
-}
 
-fn enqueue(queue: &SyncSender<Job>, job: Job, shard: u32, blocking: bool) -> Result<(), Error> {
-    if blocking {
-        queue.send(job).map_err(|_| Error::Disconnected)
-    } else {
-        match queue.try_send(job) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(Error::QueueFull { shard }),
-            Err(TrySendError::Disconnected(_)) => Err(Error::Disconnected),
+    /// Sends `job` to `shard`, keeping the queue-depth accounting
+    /// conservative: the depth is incremented before the send and undone
+    /// if the send fails, so it exactly counts jobs in the channel.
+    fn enqueue(&self, job: Job, shard: u32, blocking: bool) -> Result<(), Error> {
+        self.telemetry.enqueued(shard);
+        let queue = &self.ingests[shard as usize];
+        let result = if blocking {
+            queue.send(job).map_err(|_| Error::Disconnected)
+        } else {
+            match queue.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(Error::QueueFull { shard }),
+                Err(TrySendError::Disconnected(_)) => Err(Error::Disconnected),
+            }
+        };
+        if let Err(error) = &result {
+            self.telemetry.enqueue_failed(shard);
+            if matches!(error, Error::QueueFull { .. }) {
+                self.telemetry.rejected(shard);
+            }
         }
+        result
     }
 }
 
@@ -522,13 +586,13 @@ fn enqueue(queue: &SyncSender<Job>, job: Job, shard: u32, blocking: bool) -> Res
 /// worker still processes the request (it may already have), only the
 /// answer is discarded.
 pub struct Pending {
-    verb: Verb,
+    verb: VerbKind,
     replies: Replies,
 }
 
 enum Replies {
-    One(Receiver<Response>),
-    FanOut(Vec<Receiver<Response>>),
+    One(Receiver<Reply>),
+    FanOut(Vec<Receiver<Reply>>),
 }
 
 impl fmt::Debug for Pending {
@@ -549,29 +613,52 @@ impl Pending {
     /// verb) and returns it. A worker that died before answering yields
     /// the verb's response variant carrying [`Error::Disconnected`].
     pub fn wait(self) -> Response {
+        self.wait_traced().0
+    }
+
+    /// Like [`wait`](Pending::wait), but also returns the request's
+    /// completed [`RequestTrace`] — the honest pipelined latency record:
+    /// queue wait and service time measured by the worker, regardless of
+    /// when the caller collected the reply.
+    ///
+    /// The trace is `None` under `obs-off` (tracing compiled out) or
+    /// when the worker died before answering. Fan-out verbs return the
+    /// slowest shard's trace: its reply instant is when the whole
+    /// aggregate became available.
+    pub fn wait_traced(self) -> (Response, Option<RequestTrace>) {
         let Pending { verb, replies } = self;
         match replies {
-            Replies::One(reply_rx) => reply_rx
-                .recv()
-                .unwrap_or_else(|_| verb.failed(Error::Disconnected)),
+            Replies::One(reply_rx) => match reply_rx.recv() {
+                Ok(reply) => reply.into_parts(),
+                Err(_) => (verb.failed(Error::Disconnected), None),
+            },
             Replies::FanOut(reply_rxs) => {
                 let mut responses = Vec::with_capacity(reply_rxs.len());
+                let mut slowest: Option<RequestTrace> = None;
                 for reply_rx in reply_rxs {
                     match reply_rx.recv() {
-                        Ok(response) => responses.push(response),
-                        Err(_) => return verb.failed(Error::Disconnected),
+                        Ok(reply) => {
+                            let (response, trace) = reply.into_parts();
+                            responses.push(response);
+                            if let Some(trace) = trace {
+                                if slowest.is_none_or(|s| trace.replied_ns > s.replied_ns) {
+                                    slowest = Some(trace);
+                                }
+                            }
+                        }
+                        Err(_) => return (verb.failed(Error::Disconnected), None),
                     }
                 }
-                aggregate(verb, responses)
+                (aggregate(verb, responses), slowest)
             }
         }
     }
 }
 
 /// Folds per-shard answers to a whole-store query into one response.
-fn aggregate(verb: Verb, responses: Vec<Response>) -> Response {
+fn aggregate(verb: VerbKind, responses: Vec<Response>) -> Response {
     match verb {
-        Verb::Stats => {
+        VerbKind::Stats => {
             let mut total = StoreStats::default();
             for response in responses {
                 match response {
@@ -582,7 +669,7 @@ fn aggregate(verb: Verb, responses: Vec<Response>) -> Response {
             }
             Response::Stats(Ok(total))
         }
-        Verb::Density => {
+        VerbKind::Density => {
             let mut weighted = 0.0f64;
             let mut capacity = ByteSize::ZERO;
             let mut used = ByteSize::ZERO;
@@ -607,6 +694,20 @@ fn aggregate(verb: Verb, responses: Vec<Response>) -> Response {
                 capacity,
                 used,
             }))
+        }
+        VerbKind::Health => {
+            // Workers answer in shard order (the fan-out enqueued in
+            // shard order and each reply channel is per-shard), so the
+            // concatenated snapshot lists shards 0..N.
+            let mut total = HealthSnapshot::default();
+            for response in responses {
+                match response {
+                    Response::Health(Ok(snapshot)) => total.absorb(snapshot),
+                    Response::Health(Err(error)) => return Response::Health(Err(error)),
+                    other => panic!("protocol violation: Health answered with {other:?}"),
+                }
+            }
+            Response::Health(Ok(total))
         }
         _ => unreachable!("only whole-store verbs aggregate"),
     }
@@ -689,6 +790,95 @@ mod tests {
             assert_eq!(report.shard, shard as u32);
             assert!(report.batches <= report.requests);
         }
+    }
+
+    #[test]
+    fn health_reports_live_per_shard_telemetry() {
+        let service = small_service(4);
+        let mut client = service.client();
+        for i in 0..100u64 {
+            client
+                .put(
+                    ObjectId::new(i),
+                    ByteSize::from_mib(1),
+                    week_curve(),
+                    SimTime::from_minutes(i),
+                )
+                .unwrap();
+        }
+        let health = client.health(SimTime::from_minutes(100)).unwrap();
+        assert_eq!(health.shards.len(), 4);
+        for (index, shard) in health.shards.iter().enumerate() {
+            assert_eq!(shard.shard, index as u32);
+            assert_eq!(shard.clock, SimTime::from_minutes(100));
+            assert_eq!(shard.capacity, ByteSize::from_mib(256));
+            // The blocking health probe drained this shard's queue.
+            assert_eq!(shard.queue_depth, 0);
+            assert_eq!(shard.rejected, 0);
+            assert!(shard.requests >= 1, "the probe itself counts");
+            assert!(shard.batches >= 1);
+            assert!(shard.batches <= shard.requests);
+            assert!(shard.used <= shard.capacity);
+        }
+        assert_eq!(health.shards.iter().map(|s| s.residents).sum::<u64>(), 100);
+        assert_eq!(health.total_queue_depth(), 0);
+        // 100 puts + the health probe on every shard.
+        assert_eq!(health.total_requests(), 104);
+        if cfg!(feature = "obs-off") {
+            for shard in &health.shards {
+                assert!(shard.latencies.is_empty(), "obs-off health is inert");
+            }
+        } else {
+            for shard in &health.shards {
+                let puts = shard
+                    .latencies
+                    .iter()
+                    .find(|l| l.verb == VerbKind::Put)
+                    .expect("every shard served puts");
+                assert!(puts.samples > 0);
+                assert!(puts.queue_wait_p50_ns <= puts.queue_wait_p99_ns);
+                assert!(puts.service_p50_ns <= puts.service_p99_ns);
+            }
+        }
+        drop(client);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submissions_carry_stage_traces() {
+        let service = small_service(2);
+        let client = service.client();
+        let pending = client
+            .submit(
+                SimTime::ZERO,
+                Request::Put {
+                    id: ObjectId::new(7),
+                    bytes: ByteSize::from_mib(1),
+                    curve: week_curve(),
+                    class: Default::default(),
+                },
+            )
+            .unwrap();
+        let (response, trace) = pending.wait_traced();
+        assert!(matches!(response, Response::Put(Ok(_))));
+        let fanout = client.submit(SimTime::ZERO, Request::Stats).unwrap();
+        let (response, fanout_trace) = fanout.wait_traced();
+        assert!(matches!(response, Response::Stats(Ok(_))));
+        if cfg!(feature = "obs-off") {
+            assert!(trace.is_none());
+            assert!(fanout_trace.is_none());
+        } else {
+            let trace = trace.expect("tracing compiled in");
+            assert!(trace.enqueued_ns <= trace.dequeued_ns);
+            assert!(trace.dequeued_ns <= trace.applied_ns);
+            assert!(trace.applied_ns <= trace.replied_ns);
+            assert_eq!(trace.queue_wait_ns() + trace.service_ns(), trace.total_ns());
+            let fanout_trace = fanout_trace.expect("tracing compiled in");
+            // Ids allocate per shard leg; the fan-out came after the put.
+            assert!(fanout_trace.id.raw() > trace.id.raw());
+        }
+        drop(client);
+        service.shutdown();
     }
 
     #[test]
@@ -793,17 +983,20 @@ mod tests {
         // A hand-built client whose single shard has a depth-1 queue and
         // no worker: the first job fills the queue, the second try_call
         // must fail fast with the backpressure error.
+        let telemetry = Arc::new(Telemetry::new(1));
         let (tx, _rx) = mpsc::sync_channel::<Job>(1);
         let (dummy_reply, _keep) = mpsc::channel();
         tx.send(Job {
             at: SimTime::ZERO,
             request: Request::Density,
+            stamps: Stamps::default(),
             reply: dummy_reply,
         })
         .unwrap();
         let client = ServeClient {
             router: ShardRouter::new(1),
             ingests: vec![tx],
+            telemetry: telemetry.clone(),
             obs: Obs::none(),
         };
         let response = client.try_call(
@@ -816,6 +1009,11 @@ mod tests {
             Response::Get(Err(Error::QueueFull { shard: 0 })) => {}
             other => panic!("expected QueueFull, got {other:?}"),
         }
+        if !cfg!(feature = "obs-off") {
+            // The rejection counted; the failed enqueue was undone.
+            assert_eq!(telemetry.rejected_count(0), 1);
+            assert_eq!(telemetry.depth(0), 0, "hand-sent job is untracked");
+        }
     }
 
     #[test]
@@ -825,6 +1023,7 @@ mod tests {
         let mut client = ServeClient {
             router: ShardRouter::new(1),
             ingests: vec![tx],
+            telemetry: Arc::new(Telemetry::new(1)),
             obs: Obs::none(),
         };
         let err = client
@@ -837,6 +1036,8 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::Disconnected));
         let err = client.store_stats(SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, Error::Disconnected));
+        let err = client.health(SimTime::ZERO).unwrap_err();
         assert!(matches!(err, Error::Disconnected));
     }
 

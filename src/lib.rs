@@ -65,9 +65,10 @@ pub mod tempimp {
     pub use besteffs::{Besteffs, ClusterBuilder, Directory, PlacementConfig};
     pub use obs::{MetricsRegistry, Obs, Report, Snapshot, TraceSink};
     pub use sim_core::{rng, ByteSize, SimDuration, SimTime};
-    pub use tempimpd::{ServeClient, Tempimpd};
+    pub use tempimpd::{RequestTrace, ServeClient, Tempimpd};
     pub use temporal_importance::protocol::{
-        DensityInfo, ObjectInfo, Request, Response, ShardRouter, StoreApi, StoreStats,
+        DensityInfo, HealthSnapshot, ObjectInfo, Request, RequestId, Response, ShardHealth,
+        ShardRouter, StoreApi, StoreStats, VerbKind, VerbLatency,
     };
     pub use temporal_importance::{
         Admission, Error, EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectIdGen,
