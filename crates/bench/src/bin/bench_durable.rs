@@ -1,0 +1,339 @@
+//! Durable-backend cost measurement, emitted as `BENCH_durable.json`.
+//!
+//! Runs the two write paths the segment log adds on top of the in-memory
+//! engine — a sustained append burst into a fresh log, and steady-state
+//! churn with automatic compaction — and records nanoseconds per
+//! operation for the journaled unit (`indexed_ns_per_op`, the gated
+//! column) against the identical workload on the plain in-memory
+//! `StorageUnit` (`reference_ns_per_op`, documentation only: the journal
+//! can never be free). Each case also records `bytes_per_resident` (disk
+//! bytes of the log per resident object at the end of the run — the
+//! measure of how much file space the metadata journal costs) and
+//! `write_amplification` (total bytes appended over first-write bytes;
+//! compaction's survivor rewrites are the excess). Both disk columns are
+//! deterministic: the workload is fixed, so only the timing columns see
+//! runner noise. Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin bench_durable
+//! ```
+//!
+//! `--out PATH` redirects the report (CI measures into a scratch file and
+//! gates it against the committed baseline with `bench_gate`).
+//! `--recovery-smoke` skips measurement entirely and instead exercises
+//! the crash paths end-to-end in a release build: a torn tail must
+//! recover to the exact pre-corruption state, and a truncated final
+//! record must drop exactly the last mutation.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench_harness::incoming_spec;
+use sim_core::{ByteSize, SimDuration, SimTime};
+use tempimp_durable::{DurableConfig, DurableUnit};
+use temporal_importance::{
+    EvictionPolicy, Importance, ImportanceCurve, ObjectId, ObjectSpec, StorageUnit,
+};
+
+const RESIDENTS: u64 = 10_000;
+/// Churn operations: each store preempts one prefilled resident, so this
+/// must stay well inside the preemptible pool (see `store_churn` in
+/// `bench_engine`). Fixed rather than calibrated so the disk columns are
+/// deterministic run to run.
+const CHURN_OPS: u64 = RESIDENTS / 2;
+const REPETITIONS: u32 = 5;
+const OUTPUT: &str = "BENCH_durable.json";
+
+/// Small segments so the churn case actually rolls, seals, and compacts
+/// inside the measurement window instead of living in one active file.
+const SEGMENT_BYTES: u64 = 64 * 1024;
+
+fn main() {
+    let mut output = OUTPUT.to_string();
+    let mut recovery_smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => output = args.next().expect("--out needs a path"),
+            "--recovery-smoke" => recovery_smoke = true,
+            other => panic!("unknown argument '{other}' (expected --out PATH / --recovery-smoke)"),
+        }
+    }
+    if recovery_smoke {
+        run_recovery_smoke();
+        return;
+    }
+
+    let cases = [append_case(), churn_case()];
+
+    // The vendored serde_json exposes only typed (de)serialization, so the
+    // report is rendered by hand, matching the shape `bench_gate` parses.
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"durable segment-log backend vs in-memory engine\",\n");
+    out.push_str("  \"command\": \"cargo run --release -p bench-harness --bin bench_durable\",\n");
+    out.push_str("  \"unit\": \"ns per operation\",\n");
+    out.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        out.push_str(&format!("    {case}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&output, out).expect("write bench report");
+    println!("wrote {output}");
+}
+
+/// A fresh scratch directory under the workspace `target/` (the bench
+/// must not touch anything outside the repository).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/bench-durable-scratch"
+    ))
+    .join(format!("{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch");
+    }
+    dir
+}
+
+fn config() -> DurableConfig {
+    DurableConfig::default().segment_bytes(SEGMENT_BYTES)
+}
+
+/// The prefill object family of `bench_engine`'s churn fixture: fixed
+/// importance cycling through ten levels, effectively non-expiring.
+fn resident_spec(id: u64) -> ObjectSpec {
+    ObjectSpec::new(
+        ObjectId::new(id),
+        ByteSize::from_mib(10),
+        ImportanceCurve::Fixed {
+            importance: Importance::new_clamped(0.05 + (id % 10) as f64 * 0.1),
+            expiry: SimDuration::from_days(3650),
+        },
+    )
+}
+
+fn case_line(
+    name: &str,
+    durable_ns: f64,
+    memory_ns: f64,
+    bytes_per_resident: f64,
+    write_amplification: f64,
+) -> String {
+    let overhead = durable_ns / memory_ns;
+    println!(
+        "{name:<15} {RESIDENTS:>6} residents: durable {durable_ns:>8.1} ns/op, \
+         in-memory {memory_ns:>8.1} ns/op ({overhead:>5.1}x), \
+         {bytes_per_resident:>7.1} disk B/resident, WA {write_amplification:.3}"
+    );
+    format!(
+        "{{ \"case\": \"{name}\", \"residents\": {RESIDENTS}, \
+         \"indexed_ns_per_op\": {durable_ns:.1}, \"reference_ns_per_op\": {memory_ns:.1}, \
+         \"reference\": \"in_memory\", \"bytes_per_resident\": {bytes_per_resident:.1}, \
+         \"write_amplification\": {write_amplification:.3} }}"
+    )
+}
+
+/// Appending `RESIDENTS` fresh stores into an empty journaled unit — the
+/// pure journal write path: serialize, frame, buffered write, flush.
+/// Nothing dies, so write amplification is exactly 1.
+fn append_case() -> String {
+    let capacity = ByteSize::from_mib(RESIDENTS * 10);
+    let mut durable_ns = f64::INFINITY;
+    let mut bytes_per_resident = 0.0;
+    for _ in 0..REPETITIONS {
+        let dir = scratch("append");
+        let mut unit = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config())
+            .expect("open fresh log");
+        let start = Instant::now();
+        for id in 0..RESIDENTS {
+            unit.store(resident_spec(id), SimTime::ZERO)
+                .expect("append fits");
+        }
+        durable_ns = durable_ns.min(start.elapsed().as_nanos() as f64 / RESIDENTS as f64);
+        bytes_per_resident = unit.disk_info().file_bytes as f64 / RESIDENTS as f64;
+        drop(unit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let mut memory_ns = f64::INFINITY;
+    for _ in 0..REPETITIONS {
+        let mut unit = StorageUnit::builder(capacity).recording(false).build();
+        let start = Instant::now();
+        for id in 0..RESIDENTS {
+            unit.store(resident_spec(id), SimTime::ZERO)
+                .expect("append fits");
+        }
+        memory_ns = memory_ns.min(start.elapsed().as_nanos() as f64 / RESIDENTS as f64);
+    }
+    case_line(
+        "durable_append",
+        durable_ns,
+        memory_ns,
+        bytes_per_resident,
+        1.0,
+    )
+}
+
+/// Steady-state churn on a full unit: every full-importance store
+/// preempts one resident, each preemption leaves dead records behind,
+/// and automatic compaction rewrites the emptiest sealed segments while
+/// the measurement runs — reclamation as compaction, measured end to end.
+fn churn_case() -> String {
+    let capacity = ByteSize::from_mib(RESIDENTS * 10);
+    let mut durable_ns = f64::INFINITY;
+    let mut bytes_per_resident = 0.0;
+    let mut write_amplification = 1.0;
+    // Preempting half the pool leaves the sealed dead ratio just above a
+    // quarter; a 0.25 trigger makes compaction fire repeatedly inside the
+    // window (the default 0.5 would need a deeper kill fraction).
+    let churn_config = config().compact_trigger(0.25);
+    for _ in 0..REPETITIONS {
+        let dir = scratch("churn");
+        let mut unit = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, churn_config)
+            .expect("open fresh log");
+        for id in 0..RESIDENTS {
+            unit.store(resident_spec(id), SimTime::ZERO)
+                .expect("prefill fits");
+        }
+        let start = Instant::now();
+        for op in 0..CHURN_OPS {
+            unit.store(
+                incoming_spec(RESIDENTS + op, 10),
+                SimTime::from_minutes(op + 1),
+            )
+            .expect("churn store preempts one victim");
+        }
+        durable_ns = durable_ns.min(start.elapsed().as_nanos() as f64 / CHURN_OPS as f64);
+        let disk = unit.disk_info();
+        assert!(
+            disk.compactions > 0,
+            "the churn case must exercise compaction (got {} segments, 0 compactions)",
+            disk.segments
+        );
+        bytes_per_resident = disk.file_bytes as f64 / unit.unit().len() as f64;
+        write_amplification = disk.write_amplification();
+        drop(unit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let mut memory_ns = f64::INFINITY;
+    for _ in 0..REPETITIONS {
+        let mut unit = StorageUnit::builder(capacity).recording(false).build();
+        for id in 0..RESIDENTS {
+            unit.store(resident_spec(id), SimTime::ZERO)
+                .expect("prefill fits");
+        }
+        let start = Instant::now();
+        for op in 0..CHURN_OPS {
+            unit.store(
+                incoming_spec(RESIDENTS + op, 10),
+                SimTime::from_minutes(op + 1),
+            )
+            .expect("churn store preempts one victim");
+        }
+        memory_ns = memory_ns.min(start.elapsed().as_nanos() as f64 / CHURN_OPS as f64);
+    }
+    case_line(
+        "durable_churn",
+        durable_ns,
+        memory_ns,
+        bytes_per_resident,
+        write_amplification,
+    )
+}
+
+/// The CI crash-recovery smoke: both torn-tail shapes, in a release
+/// build, through the public API only.
+fn run_recovery_smoke() {
+    let capacity = ByteSize::from_mib(4_000);
+    let stores = 300u64;
+
+    // Shape 1: garbage appended after the last complete record (the
+    // write that never finished). Recovery must truncate it away and
+    // reproduce the pre-corruption state exactly.
+    let dir = scratch("smoke-torn");
+    let mut unit =
+        DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config()).expect("open");
+    for id in 0..stores {
+        unit.store(resident_spec(id), SimTime::from_minutes(id))
+            .expect("store fits");
+    }
+    let before = serde_json::to_string(unit.unit()).expect("serialize state");
+    drop(unit.close().expect("clean close"));
+
+    let last = last_segment(&dir);
+    let mut bytes = std::fs::read(&last).expect("read last segment");
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(&[0x42u8; 13]);
+    std::fs::write(&last, &bytes).expect("corrupt tail");
+
+    let unit =
+        DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config()).expect("recover");
+    assert_eq!(unit.recovered_torn_bytes(), 13, "torn bytes truncated");
+    let after = serde_json::to_string(unit.unit()).expect("serialize state");
+    assert_eq!(before, after, "torn tail recovered to pre-corruption state");
+    assert_eq!(
+        std::fs::metadata(&last).expect("stat").len(),
+        clean_len as u64,
+        "tail truncated back to the last complete record"
+    );
+    drop(unit);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("recovery smoke: torn tail recovered {stores} stores intact");
+
+    // Shape 2: the final record itself cut mid-write. Recovery must drop
+    // exactly that one mutation and keep everything before it.
+    let dir = scratch("smoke-cut");
+    let mut unit =
+        DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config()).expect("open");
+    for id in 0..stores {
+        unit.store(resident_spec(id), SimTime::from_minutes(id))
+            .expect("store fits");
+    }
+    drop(unit.close().expect("clean close"));
+
+    let last = last_segment(&dir);
+    let len = std::fs::metadata(&last).expect("stat").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last)
+        .expect("reopen last segment");
+    file.set_len(len - 3).expect("cut final record");
+    drop(file);
+
+    let unit =
+        DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config()).expect("recover");
+    assert_eq!(
+        unit.unit().len(),
+        stores as usize - 1,
+        "exactly the cut final store is gone"
+    );
+    assert!(
+        unit.unit().get(ObjectId::new(stores - 1)).is_none(),
+        "the dropped mutation is the last one"
+    );
+    assert!(
+        unit.unit().get(ObjectId::new(stores - 2)).is_some(),
+        "every earlier mutation survives"
+    );
+    drop(unit);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("recovery smoke: cut final record dropped exactly one store");
+    println!("recovery smoke: OK");
+}
+
+/// The highest-numbered segment file in a log directory.
+fn last_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read log dir")
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("seg-") && name.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    segments.pop().expect("log has at least one segment")
+}

@@ -429,7 +429,7 @@ fn run_serve(
         println!("wrote {path}");
     }
     drop(prototype);
-    let reports = service.shutdown();
+    let reports = service.shutdown().expect_clean();
 
     let done = per_client * u64::from(clients);
     let ns_per_op = elapsed.as_nanos() as f64 / done as f64;

@@ -461,7 +461,7 @@ fn cmd_serve_top(args: &[String]) -> Result<ExitCode, String> {
         .map(|h| h.join().expect("serve-top load thread panicked"))
         .sum();
     drop(monitor);
-    service.shutdown();
+    service.shutdown().expect_clean();
     println!("serve-top: {frames} frames over {clients} clients, {driven} ops driven");
     Ok(ExitCode::SUCCESS)
 }

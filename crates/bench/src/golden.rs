@@ -27,8 +27,10 @@ pub const RESIDENTS: u64 = 1_000;
 /// Traced churn stores.
 pub const CHURN_STORES: u64 = 256;
 
-/// A 1–4 MiB object whose curve family cycles with `id % 3`.
-fn mixed_spec(rng: &mut impl Rng, id: u64) -> ObjectSpec {
+/// A 1–4 MiB object whose curve family cycles with `id % 3` — public so
+/// the durable-backend differential tests can drive the *same* workload
+/// the golden trace pins through a journaled unit.
+pub fn mixed_spec(rng: &mut impl Rng, id: u64) -> ObjectSpec {
     let mib = rng.gen_range(1..=4);
     let curve = match id % 3 {
         0 => ImportanceCurve::two_step(

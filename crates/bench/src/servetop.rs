@@ -10,7 +10,7 @@
 //! `--snapshots` capture file.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use sim_core::SimTime;
@@ -157,14 +157,25 @@ impl SlowLog {
     }
 
     /// The captured entries, oldest first.
+    ///
+    /// A poisoned lock is fine to read through: every mutation keeps the
+    /// deque structurally valid (the panic that poisoned it happened on
+    /// some other observer's stack, not mid-push), and a diagnostics log
+    /// losing its tail to a worker panic would hide exactly the evidence
+    /// the panic investigation needs.
     pub fn entries(&self) -> Vec<SlowEntry> {
-        self.entries.lock().unwrap().iter().copied().collect()
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Renders the newest `limit` entries as table lines (newest last),
     /// or a single placeholder line when nothing was slow.
     pub fn render_tail(&self, limit: usize) -> String {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if entries.is_empty() {
             return "slow requests: none\n".to_string();
         }
@@ -219,7 +230,7 @@ impl obs::Observer for SlowLog {
             service_ns: field("service_ns"),
             total_ns: field("total_ns"),
         };
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if entries.len() == self.capacity {
             entries.pop_front();
         }
@@ -357,5 +368,37 @@ mod tests {
         assert_eq!(tail.lines().count(), 2, "header plus one entry");
         assert!(tail.contains("get"));
         assert!(tail.contains("total"));
+    }
+
+    #[test]
+    fn slow_log_survives_a_poisoned_lock() {
+        let log = Arc::new(SlowLog::new(4));
+        log.event(
+            SimTime::ZERO,
+            "serve.slow",
+            &[("shard", 0), ("verb", VerbKind::Put.code()), ("id", 7)],
+        );
+        // Poison the mutex the way a real service does: some thread
+        // panics while holding it. The log must keep reading and
+        // recording — a crashed worker is precisely when the slow-request
+        // evidence matters most.
+        let poisoner = Arc::clone(&log);
+        std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join()
+        .unwrap_err();
+        assert!(log.entries.is_poisoned());
+
+        assert_eq!(log.entries().len(), 1);
+        assert_eq!(log.entries()[0].id, 7);
+        assert!(log.render_tail(5).contains("put"));
+        log.event(
+            SimTime::from_minutes(1),
+            "serve.slow",
+            &[("shard", 1), ("verb", VerbKind::Get.code()), ("id", 8)],
+        );
+        assert_eq!(log.entries().len(), 2, "recording continues after poison");
     }
 }

@@ -143,6 +143,52 @@ impl From<FairStoreError> for Error {
     }
 }
 
+/// Externally persisted unit state that cannot be reassembled into a
+/// consistent [`StorageUnit`](crate::StorageUnit).
+///
+/// Returned by [`StorageUnitBuilder::restore`]; durable backends hit these
+/// when a log replay produces contradictory state (which means the log —
+/// not the unit — is corrupt).
+///
+/// [`StorageUnitBuilder::restore`]: crate::StorageUnitBuilder::restore
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// Two live objects carried the same id.
+    DuplicateId(ObjectId),
+    /// The live objects sum past the unit's capacity.
+    OverCapacity {
+        /// Bytes the restored objects occupy.
+        used: ByteSize,
+        /// The unit's configured capacity.
+        capacity: ByteSize,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::DuplicateId(id) => {
+                write!(f, "restored state holds object {} twice", id.raw())
+            }
+            RestoreError::OverCapacity { used, capacity } => {
+                write!(
+                    f,
+                    "restored objects occupy {used}, over the {capacity} capacity"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for RestoreError {}
+
+impl From<RestoreError> for Error {
+    fn from(e: RestoreError) -> Self {
+        Error::external(e)
+    }
+}
+
 /// An importance value outside the valid `[0, 1]` range.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImportanceError {

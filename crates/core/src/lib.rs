@@ -78,7 +78,7 @@ pub mod protocol;
 pub use advisor::{Advisor, Forecast};
 pub use curve::{ImportanceCurve, PiecewiseCurve};
 pub use density::DensitySnapshot;
-pub use error::{CurveError, Error, ImportanceError, RejuvenateError, StoreError};
+pub use error::{CurveError, Error, ImportanceError, RejuvenateError, RestoreError, StoreError};
 pub use fairness::{FairStore, FairStoreError, PrincipalId, PrincipalUsage};
 pub use importance::Importance;
 pub use object::{ObjectClass, ObjectId, ObjectIdGen, ObjectSpec, StoredObject};

@@ -5,7 +5,7 @@ use sim_core::{ByteSize, Obs, SimTime};
 
 use crate::arena::ObjectArena;
 use crate::engine::{EngineIndex, EvictionKey};
-use crate::error::{RejuvenateError, StoreError};
+use crate::error::{RejuvenateError, RestoreError, StoreError};
 use crate::records::{
     Admission, EvictionReason, EvictionRecord, RejectionRecord, StoreOutcome, UnitStats,
 };
@@ -151,6 +151,48 @@ impl StorageUnitBuilder {
             naive: self.naive,
             obs: self.obs.unwrap_or_else(Obs::global),
         }
+    }
+
+    /// Builds the unit from externally persisted state: the lifetime
+    /// counters plus every live object, exactly as a durable backend
+    /// recovers them from its log.
+    ///
+    /// The restored unit is indistinguishable from one that arrived at the
+    /// same `(stats, objects)` through live operations with per-event
+    /// recording off: occupancy is recomputed from the objects, and the
+    /// incremental indexes rebuild lazily on the next
+    /// [`advance`](StorageUnit::advance) (exactly as after
+    /// deserialization). Per-event eviction/rejection records are not
+    /// restored — aggregate history lives in `stats`.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::DuplicateId`] when two objects share an id and
+    /// [`RestoreError::OverCapacity`] when the objects outgrow the
+    /// capacity — both mean the persisted state, not this unit, is
+    /// corrupt.
+    pub fn restore(
+        self,
+        stats: UnitStats,
+        objects: impl IntoIterator<Item = StoredObject>,
+    ) -> Result<StorageUnit, RestoreError> {
+        let mut unit = self.build();
+        for object in objects {
+            if unit.objects.contains(object.id()) {
+                return Err(RestoreError::DuplicateId(object.id()));
+            }
+            let used = unit.used + object.size();
+            if used > unit.capacity {
+                return Err(RestoreError::OverCapacity {
+                    used,
+                    capacity: unit.capacity,
+                });
+            }
+            unit.used = used;
+            unit.objects.insert(object);
+        }
+        unit.stats = stats;
+        Ok(unit)
     }
 }
 

@@ -1,0 +1,348 @@
+//! Durable log-structured backend for the temporal-importance engine —
+//! where storage reclamation *is* segment compaction.
+//!
+//! The in-memory engine (`temporal-importance`) decides what lives and
+//! what dies; this crate makes those decisions survive process death.
+//! A [`DurableUnit`] wraps a
+//! [`StorageUnit`](temporal_importance::StorageUnit) with a
+//! [`SegmentLog`](segment): an append-only directory of fixed-size
+//! segment files holding CRC-framed JSON records, one per engine
+//! mutation. Replaying the log reconstructs the engine byte-for-byte —
+//! residents, lifetime statistics, clock high-water marks — which is
+//! what makes crash recovery a *replay*, not a heuristic.
+//!
+//! Reclamation of disk space follows the paper's reclamation of
+//! logical space: the compactor picks victim segments by the engine's
+//! eviction order — the sealed segment whose least important live
+//! object ranks first in the temporal-importance eviction queue — and
+//! rewrites the few survivors forward, reclaiming everything dead or
+//! superseded. Importance annotations thus drive both layers: the
+//! engine preempts unimportant *objects*, the log compacts segments
+//! whose remaining content the engine values least.
+//!
+//! The protocol surface is unchanged: [`DurableUnit`] implements the
+//! same [`StoreApi`](temporal_importance::protocol::StoreApi) as the
+//! in-memory unit and the sharded server, so every layer above it —
+//! including `tempimpd` via its `durable(dir)` builder option — is
+//! oblivious to the journal underneath. [`RetentionPolicy`] closes the
+//! operator loop, compiling `[retention]` days-per-class TOML into
+//! fixed-lifetime importance curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod frame;
+mod record;
+mod retention;
+mod segment;
+mod unit;
+
+pub use error::DurableError;
+pub use retention::{RetentionError, RetentionPolicy, RetentionRule};
+pub use segment::{CompactionReport, DiskInfo};
+pub use unit::{DurableConfig, DurableUnit};
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use sim_core::{ByteSize, SimDuration, SimTime};
+    use temporal_importance::protocol::StoreApi;
+    use temporal_importance::{
+        EvictionPolicy, ImportanceCurve, ObjectClass, ObjectId, ObjectSpec, StorageUnit,
+    };
+
+    use crate::{DurableConfig, DurableUnit};
+
+    /// A fresh scratch directory under the workspace `target/` (tests
+    /// must not touch anything outside the repository).
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/durable-test-scratch"
+        ))
+        .join(format!(
+            "{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clear stale scratch");
+        }
+        dir
+    }
+
+    fn spec(id: u64, kib: u64, lifetime_minutes: u64) -> ObjectSpec {
+        ObjectSpec::new(
+            ObjectId::new(id),
+            ByteSize::from_kib(kib),
+            ImportanceCurve::fixed_lifetime(SimDuration::from_minutes(lifetime_minutes)),
+        )
+        .with_class(ObjectClass::new((id % 5) as u16))
+    }
+
+    /// Serialized engine state is the equality oracle: it covers the
+    /// resident arena (sorted by id), occupancy, policy, and lifetime
+    /// statistics in one comparison.
+    fn fingerprint(unit: &StorageUnit) -> String {
+        serde_json::to_string(unit).expect("engine state serializes")
+    }
+
+    fn tiny_config() -> DurableConfig {
+        // Small segments so a short workload spans many files.
+        DurableConfig::default()
+            .segment_bytes(2048)
+            .auto_compact(false)
+    }
+
+    /// Drives the same mixed workload against a durable unit and a bare
+    /// in-memory unit, checking the durable wrapper is transparent,
+    /// then reopens the log and checks recovery lands on the same
+    /// state.
+    #[test]
+    fn durable_unit_matches_memory_and_survives_reopen() {
+        let dir = scratch("differential");
+        let capacity = ByteSize::from_kib(64);
+        let mut durable =
+            DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, tiny_config())
+                .expect("open fresh");
+        let mut memory = StorageUnit::builder(capacity).recording(false).build();
+
+        for step in 0..600u64 {
+            let now = SimTime::from_minutes(step * 3);
+            match step % 7 {
+                // Mostly stores, with lifetimes short enough to churn.
+                0 | 1 | 2 | 4 => {
+                    let spec = spec(step % 40, 1 + step % 7, 30 + (step % 11) * 15);
+                    let a = durable.store(spec.clone(), now);
+                    let b = memory.store(spec, now);
+                    assert_eq!(a.is_ok(), b.is_ok(), "store divergence at step {step}");
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        assert_eq!(a, b, "outcome divergence at step {step}");
+                    }
+                }
+                3 => {
+                    let a = durable.sweep_expired(now).expect("sweep journals");
+                    let b = memory.sweep_expired(now);
+                    assert_eq!(a, b, "sweep divergence at step {step}");
+                }
+                5 => {
+                    let id = ObjectId::new(step % 40);
+                    let a = durable.remove(id, now).expect("remove journals");
+                    let b = memory.remove(id, now);
+                    assert_eq!(a, b, "remove divergence at step {step}");
+                }
+                _ => {
+                    let id = ObjectId::new(step % 40);
+                    let curve = ImportanceCurve::fixed_lifetime(SimDuration::from_minutes(240));
+                    let a = durable.rejuvenate(id, curve.clone(), now);
+                    let b = memory.rejuvenate(id, curve, now);
+                    assert_eq!(a.is_ok(), b.is_ok(), "rejuvenate divergence at step {step}");
+                }
+            }
+        }
+
+        assert!(
+            durable.disk_info().segments > 3,
+            "workload should span several segments, got {:?}",
+            durable.disk_info()
+        );
+        let clock = durable.clock();
+        let last_sweep = durable.last_sweep();
+        let closed = durable.close().expect("clean close");
+        assert_eq!(fingerprint(&closed), fingerprint(&memory));
+
+        let reopened = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, tiny_config())
+            .expect("reopen");
+        assert_eq!(fingerprint(reopened.unit()), fingerprint(&memory));
+        assert_eq!(reopened.clock(), clock);
+        assert_eq!(reopened.last_sweep(), last_sweep);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Compaction folds segments away without changing recovered state,
+    /// and reports reclaimed bytes.
+    #[test]
+    fn compaction_reclaims_disk_and_preserves_state() {
+        let dir = scratch("compaction");
+        let capacity = ByteSize::from_kib(64);
+        let mut durable =
+            DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, tiny_config())
+                .expect("open fresh");
+        for step in 0..400u64 {
+            let now = SimTime::from_minutes(step * 5);
+            // Re-storing a small id range makes most records dead.
+            let _ = durable.store(spec(step % 12, 2, 45), now);
+            if step % 9 == 8 {
+                durable.sweep_expired(now).expect("sweep journals");
+            }
+        }
+        let now = SimTime::from_minutes(400 * 5);
+        let before = durable.disk_info();
+        assert!(before.segments > 3, "expected several segments: {before:?}");
+
+        let mut reclaimed = 0u64;
+        while let Some(report) = durable.compact(now).expect("compaction") {
+            reclaimed += report.reclaimed_bytes;
+        }
+        let after = durable.disk_info();
+        assert!(reclaimed > 0, "compaction reclaimed nothing");
+        assert_eq!(after.reclaimed_bytes, before.reclaimed_bytes + reclaimed);
+        assert!(
+            after.file_bytes < before.file_bytes,
+            "disk should shrink: {before:?} -> {after:?}"
+        );
+        assert!(after.compactions > before.compactions);
+        assert!(durable.write_amplification() >= 1.0);
+
+        let expected = fingerprint(&durable.close().expect("clean close"));
+        let reopened = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, tiny_config())
+            .expect("reopen after compaction");
+        assert_eq!(fingerprint(reopened.unit()), expected);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// A torn final record (simulated crash mid-append) is truncated
+    /// away; the recovered state is the clean prefix's state.
+    #[test]
+    fn torn_tail_recovers_to_the_last_complete_record() {
+        let dir = scratch("torn-tail");
+        let capacity = ByteSize::from_kib(64);
+        let config = DurableConfig::default(); // one big segment
+        let mut durable = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config)
+            .expect("open fresh");
+        for step in 0..20u64 {
+            let now = SimTime::from_minutes(step * 10);
+            durable.store(spec(step, 2, 600), now).expect("fits");
+        }
+        let expected = fingerprint(&durable.close().expect("clean close"));
+
+        // Append garbage — the flushed prefix of a record the crashed
+        // writer never finished.
+        let seg = std::fs::read_dir(&dir)
+            .expect("log dir")
+            .map(|e| e.expect("entry").path())
+            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .expect("one segment");
+        let mut bytes = std::fs::read(&seg).expect("segment bytes");
+        let torn = bytes.len();
+        bytes.extend_from_slice(&42u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02]);
+        std::fs::write(&seg, &bytes).expect("inject torn tail");
+
+        let reopened = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config)
+            .expect("reopen truncates the tear");
+        assert_eq!(fingerprint(reopened.unit()), expected);
+        assert_eq!(
+            std::fs::metadata(&seg).expect("segment meta").len(),
+            torn as u64,
+            "the torn tail should be truncated off the file"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Dropping a segment that holds an id's *death* must not let a
+    /// stale full-state record in an older segment resurrect it: the
+    /// compactor re-asserts such kills with tombstones.
+    #[test]
+    fn compaction_never_resurrects_the_dead() {
+        let dir = scratch("resurrection");
+        let capacity = ByteSize::from_kib(256);
+        // Segments small enough that store / annotate / remove land in
+        // different files.
+        let config = DurableConfig::default()
+            .segment_bytes(512)
+            .auto_compact(false);
+        let mut durable = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config)
+            .expect("open fresh");
+
+        let victim_id = ObjectId::new(9999);
+        let long = ImportanceCurve::fixed_lifetime(SimDuration::from_days(365));
+        durable
+            .store(
+                ObjectSpec::new(victim_id, ByteSize::from_kib(1), long.clone()),
+                SimTime::from_minutes(1),
+            )
+            .expect("store the future corpse");
+        for filler in 0..4u64 {
+            durable
+                .store(spec(filler, 1, 60 * 24), SimTime::from_minutes(2 + filler))
+                .expect("filler store");
+        }
+        // Annotate in a later segment — the Store record goes stale.
+        durable
+            .rejuvenate(victim_id, long, SimTime::from_minutes(10))
+            .expect("rejuvenate");
+        for filler in 4..8u64 {
+            durable
+                .store(spec(filler, 1, 60 * 24), SimTime::from_minutes(11 + filler))
+                .expect("filler store");
+        }
+        // Kill it in a yet later segment.
+        let removed = durable
+            .remove(victim_id, SimTime::from_minutes(30))
+            .expect("remove journals");
+        assert!(removed.is_some(), "the object was resident");
+
+        // Compact everything compactable, reopening after each round:
+        // whichever order segments fold, the id must stay dead.
+        let now = SimTime::from_minutes(60);
+        loop {
+            let report = durable.compact(now).expect("compaction");
+            let expected = fingerprint(durable.unit());
+            let reopened = DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, config)
+                .expect("reopen mid-compaction-sequence");
+            assert_eq!(fingerprint(reopened.unit()), expected);
+            assert!(
+                reopened.unit().get(victim_id).is_none(),
+                "removed object resurrected after compacting segment {report:?}"
+            );
+            durable = reopened;
+            if report.is_none() {
+                break;
+            }
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// The `StoreApi` protocol surface answers identically to a bare
+    /// in-memory unit over a mixed request sequence.
+    #[test]
+    fn store_api_delegation_matches_memory() {
+        use temporal_importance::protocol::Request;
+
+        let dir = scratch("protocol");
+        let capacity = ByteSize::from_kib(32);
+        let mut durable =
+            DurableUnit::open(&dir, capacity, EvictionPolicy::Preemptive, tiny_config())
+                .expect("open fresh");
+        let mut memory = StorageUnit::builder(capacity).recording(false).build();
+
+        for step in 0..200u64 {
+            let now = SimTime::from_minutes(step * 2);
+            let id = ObjectId::new(step % 25);
+            let request = match step % 5 {
+                0 | 1 => Request::Put {
+                    id,
+                    bytes: ByteSize::from_kib(1 + step % 4),
+                    curve: ImportanceCurve::fixed_lifetime(SimDuration::from_minutes(90)),
+                    class: ObjectClass::GENERIC,
+                },
+                2 => Request::Get { id },
+                3 => Request::Density,
+                _ => Request::Stats,
+            };
+            let a = durable.call(now, request.clone());
+            let b = memory.call(now, request);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "protocol divergence at step {step}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,218 @@
+//! The durable log's record vocabulary.
+//!
+//! One design rule keeps recovery and compaction simple: **every
+//! state-bearing record is authoritative**. [`LogRecord::Store`],
+//! [`LogRecord::Annotate`], and [`LogRecord::Survivor`] each carry the
+//! complete [`StoredObject`] — curve, arrival, annotation clock, class —
+//! so replay is strictly latest-record-wins per id and a compactor can
+//! rewrite any live object from its newest record alone, without chasing
+//! a chain of deltas through older segments.
+//!
+//! Bookkeeping records close the loop: [`LogRecord::Dead`] tombstones
+//! keep a dropped segment's kills visible to replay, and
+//! [`LogRecord::Compacted`] is the *commit point* of a compaction — it
+//! folds the victim segment's statistics and clock high-water marks into
+//! the log so deleting the victim's file loses no accounting.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{ByteSize, SimTime};
+use temporal_importance::{EvictionRecord, ObjectId, StoredObject, UnitStats};
+
+/// A reclaimed object's identity and size — enough to replay the stats
+/// and occupancy bookkeeping of an eviction without carrying the whole
+/// object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Victim {
+    /// The reclaimed object.
+    pub id: ObjectId,
+    /// Bytes it occupied.
+    pub size: ByteSize,
+}
+
+impl From<&EvictionRecord> for Victim {
+    fn from(record: &EvictionRecord) -> Self {
+        Victim {
+            id: record.id,
+            size: record.size,
+        }
+    }
+}
+
+/// Why a store attempt was turned away. Every rejection still counts as
+/// an attempt, so the log must remember them to replay [`UnitStats`]
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum RejectKind {
+    /// Insufficient reclaimable importance below the incoming object's.
+    Full,
+    /// Larger than the unit's total capacity.
+    TooLarge,
+    /// An object with this id is already resident.
+    Duplicate,
+    /// Zero-byte spec.
+    Empty,
+    /// A rejection kind this version of the crate does not know —
+    /// `StoreError` is non-exhaustive, and an attempt must still count.
+    Other,
+}
+
+/// One entry in a segment. Serialized as self-describing JSON inside a
+/// CRC-framed record (see [`frame`](crate::frame)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum LogRecord {
+    /// An accepted store, with the objects it preempted.
+    Store {
+        /// Engine clock at the store.
+        at: SimTime,
+        /// The object as admitted (authoritative full state).
+        object: StoredObject,
+        /// Residents preempted to make room, in eviction order.
+        evicted: Vec<Victim>,
+    },
+    /// A rejected store attempt.
+    Reject {
+        /// Engine clock at the attempt.
+        at: SimTime,
+        /// Which rejection path fired.
+        kind: RejectKind,
+    },
+    /// An explicit removal.
+    Remove {
+        /// Engine clock at the removal.
+        at: SimTime,
+        /// The removed object.
+        id: ObjectId,
+        /// Bytes it occupied.
+        size: ByteSize,
+    },
+    /// An expiry sweep. Recorded even when `expired` is empty so the
+    /// sweep cadence clock survives a crash.
+    Sweep {
+        /// Engine clock at the sweep.
+        at: SimTime,
+        /// Objects reclaimed as expired.
+        expired: Vec<Victim>,
+    },
+    /// A rejuvenation or reannotation; carries the object's complete
+    /// post-annotation state so it supersedes the original `Store`.
+    Annotate {
+        /// Engine clock at the annotation.
+        at: SimTime,
+        /// The object after the annotation (authoritative full state).
+        object: StoredObject,
+    },
+    /// A live object rewritten out of a compaction victim. Contributes
+    /// nothing to statistics — the object's admission was already
+    /// counted by its `Store`.
+    Survivor {
+        /// The object's current full state.
+        object: StoredObject,
+    },
+    /// Tombstones re-asserting deaths whose killing records are being
+    /// dropped with a compaction victim while stale full-state records
+    /// of the same ids still exist in other segments.
+    Dead {
+        /// The ids that must stay dead on replay.
+        ids: Vec<ObjectId>,
+    },
+    /// Commit point of a compaction: segment `seq` is now fully folded
+    /// into this record and its file may be deleted. Recovery treats a
+    /// segment with a surviving `Compacted` record as dropped.
+    Compacted {
+        /// The victim segment's sequence number.
+        seq: u64,
+        /// The victim's file size — bytes reclaimed on disk.
+        bytes: u64,
+        /// The statistics contribution of the victim's records.
+        stats: UnitStats,
+        /// The victim's engine-clock high-water mark.
+        at: SimTime,
+        /// The victim's sweep-clock high-water mark.
+        sweep: SimTime,
+    },
+}
+
+impl LogRecord {
+    /// The engine-clock stamp this record advances, if any.
+    pub fn at(&self) -> Option<SimTime> {
+        match self {
+            LogRecord::Store { at, .. }
+            | LogRecord::Reject { at, .. }
+            | LogRecord::Remove { at, .. }
+            | LogRecord::Sweep { at, .. }
+            | LogRecord::Annotate { at, .. }
+            | LogRecord::Compacted { at, .. } => Some(*at),
+            LogRecord::Survivor { .. } | LogRecord::Dead { .. } => None,
+        }
+    }
+
+    /// The sweep-clock stamp this record advances, if any.
+    pub fn sweep_at(&self) -> Option<SimTime> {
+        match self {
+            LogRecord::Sweep { at, .. } => Some(*at),
+            LogRecord::Compacted { sweep, .. } => Some(*sweep),
+            _ => None,
+        }
+    }
+
+    /// This record's [`UnitStats`] contribution, mirroring the engine's
+    /// counter discipline exactly: every store attempt (accepted or
+    /// rejected) bumps `stores_attempted`; every byte leaving the unit
+    /// bumps `bytes_evicted`. `Survivor` and `Dead` are compaction
+    /// bookkeeping and contribute nothing; `Compacted` carries a folded
+    /// segment's whole contribution verbatim.
+    pub fn stats_delta(&self) -> UnitStats {
+        let mut delta = UnitStats::default();
+        match self {
+            LogRecord::Store {
+                object, evicted, ..
+            } => {
+                delta.stores_attempted = 1;
+                delta.stores_accepted = 1;
+                delta.bytes_accepted = object.size().as_bytes();
+                delta.evictions_preempted = evicted.len() as u64;
+                delta.bytes_evicted = evicted.iter().map(|v| v.size.as_bytes()).sum();
+            }
+            LogRecord::Reject { kind, .. } => {
+                delta.stores_attempted = 1;
+                match kind {
+                    RejectKind::Full => delta.rejections_full = 1,
+                    RejectKind::TooLarge => delta.rejections_too_large = 1,
+                    RejectKind::Duplicate | RejectKind::Empty | RejectKind::Other => {}
+                }
+            }
+            LogRecord::Remove { size, .. } => {
+                delta.removals = 1;
+                delta.bytes_evicted = size.as_bytes();
+            }
+            LogRecord::Sweep { expired, .. } => {
+                delta.evictions_expired = expired.len() as u64;
+                delta.bytes_evicted = expired.iter().map(|v| v.size.as_bytes()).sum();
+            }
+            LogRecord::Annotate { .. } | LogRecord::Survivor { .. } | LogRecord::Dead { .. } => {}
+            LogRecord::Compacted { stats, .. } => delta = *stats,
+        }
+        delta
+    }
+
+    /// The full-state object this record asserts, if any.
+    pub fn asserted(&self) -> Option<&StoredObject> {
+        match self {
+            LogRecord::Store { object, .. }
+            | LogRecord::Annotate { object, .. }
+            | LogRecord::Survivor { object } => Some(object),
+            _ => None,
+        }
+    }
+
+    /// The ids this record kills, appended to `out`.
+    pub fn killed(&self, out: &mut Vec<ObjectId>) {
+        match self {
+            LogRecord::Store { evicted, .. } => out.extend(evicted.iter().map(|v| v.id)),
+            LogRecord::Remove { id, .. } => out.push(*id),
+            LogRecord::Sweep { expired, .. } => out.extend(expired.iter().map(|v| v.id)),
+            LogRecord::Dead { ids } => out.extend(ids.iter().copied()),
+            _ => {}
+        }
+    }
+}

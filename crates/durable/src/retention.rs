@@ -1,0 +1,264 @@
+//! Retention-policy compiler: operator-facing `[retention]` TOML into
+//! [`ImportanceCurve`]s.
+//!
+//! Operators think in "keep build logs 30 days"; the engine thinks in
+//! importance curves. This module maps the former onto the latter: each
+//! `name = days` line under a `[retention]` section becomes an
+//! [`ObjectClass`] paired with an
+//! [`ImportanceCurve::fixed_lifetime`] curve of that many days — the
+//! paper's simplest annotation, full importance until a hard expiry.
+//!
+//! The parser handles exactly the TOML subset such a file needs:
+//! `[section]` headers, `key = value` lines with numeric values,
+//! comments, and blank lines. Sections other than `[retention]` are
+//! ignored, so the policy can live inside a larger deployment config.
+//! The container vendors no TOML crate, and this keeps it that way.
+
+use std::fmt;
+
+use sim_core::SimDuration;
+use temporal_importance::{ImportanceCurve, ObjectClass};
+
+/// One compiled retention rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionRule {
+    /// The rule's name, as written in the config.
+    pub name: String,
+    /// The class tag assigned to objects stored under this rule.
+    pub class: ObjectClass,
+    /// How long the rule keeps objects.
+    pub lifetime: SimDuration,
+}
+
+/// A compiled `[retention]` policy: an ordered set of named rules, each
+/// owning an [`ObjectClass`] and a fixed-lifetime curve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RetentionPolicy {
+    rules: Vec<RetentionRule>,
+}
+
+/// A malformed `[retention]` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RetentionError {
+    /// A line in the section was not `name = days`.
+    Malformed {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A rule's day count was not a positive number.
+    BadDays {
+        /// The rule's name.
+        name: String,
+        /// The value as written.
+        value: String,
+    },
+    /// Two rules share a name.
+    Duplicate(String),
+    /// More rules than [`ObjectClass`] tags (u16 space minus the
+    /// reserved generic class).
+    TooManyRules,
+}
+
+impl fmt::Display for RetentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetentionError::Malformed { line, text } => {
+                write!(f, "retention line {line} is not `name = days`: {text:?}")
+            }
+            RetentionError::BadDays { name, value } => {
+                write!(
+                    f,
+                    "retention rule {name:?} needs a positive day count, got {value:?}"
+                )
+            }
+            RetentionError::Duplicate(name) => {
+                write!(f, "retention rule {name:?} is defined twice")
+            }
+            RetentionError::TooManyRules => write!(f, "too many retention rules"),
+        }
+    }
+}
+
+impl std::error::Error for RetentionError {}
+
+impl RetentionPolicy {
+    /// Compiles the `[retention]` section of `toml`. Absent section or
+    /// empty input yields an empty policy. Rules are numbered in file
+    /// order starting at class 1 — class 0 stays
+    /// [`ObjectClass::GENERIC`], for objects no rule claims.
+    ///
+    /// # Errors
+    ///
+    /// [`RetentionError`] on a malformed line, non-positive or
+    /// non-numeric day count, duplicate rule name, or class-tag
+    /// exhaustion.
+    pub fn parse(toml: &str) -> Result<RetentionPolicy, RetentionError> {
+        let mut rules: Vec<RetentionRule> = Vec::new();
+        let mut in_retention = false;
+        for (number, raw) in toml.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(hash) => &raw[..hash],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_retention = line == "[retention]";
+                continue;
+            }
+            if !in_retention {
+                continue;
+            }
+            let Some((name, value)) = line.split_once('=') else {
+                return Err(RetentionError::Malformed {
+                    line: number + 1,
+                    text: raw.to_owned(),
+                });
+            };
+            let name = name.trim().trim_matches('"');
+            let value = value.trim();
+            if name.is_empty() {
+                return Err(RetentionError::Malformed {
+                    line: number + 1,
+                    text: raw.to_owned(),
+                });
+            }
+            let days: f64 = value.parse().map_err(|_| RetentionError::BadDays {
+                name: name.to_owned(),
+                value: value.to_owned(),
+            })?;
+            if !days.is_finite() || days <= 0.0 {
+                return Err(RetentionError::BadDays {
+                    name: name.to_owned(),
+                    value: value.to_owned(),
+                });
+            }
+            if rules.iter().any(|r| r.name == name) {
+                return Err(RetentionError::Duplicate(name.to_owned()));
+            }
+            let class = u16::try_from(rules.len() + 1).map_err(|_| RetentionError::TooManyRules)?;
+            // Fractional day counts are honored to the minute.
+            let minutes = (days * 24.0 * 60.0).round().max(1.0) as u64;
+            rules.push(RetentionRule {
+                name: name.to_owned(),
+                class: ObjectClass::new(class),
+                lifetime: SimDuration::from_minutes(minutes),
+            });
+        }
+        Ok(RetentionPolicy { rules })
+    }
+
+    /// The compiled rules, in file order.
+    pub fn rules(&self) -> &[RetentionRule] {
+        &self.rules
+    }
+
+    /// Looks up a rule by name.
+    pub fn rule(&self, name: &str) -> Option<&RetentionRule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// The class tag for a named rule.
+    pub fn class_for(&self, name: &str) -> Option<ObjectClass> {
+        self.rule(name).map(|r| r.class)
+    }
+
+    /// The annotation curve for a named rule: full importance until the
+    /// rule's lifetime elapses, then expired.
+    pub fn curve_for(&self, name: &str) -> Option<ImportanceCurve> {
+        self.rule(name)
+            .map(|r| ImportanceCurve::fixed_lifetime(r.lifetime))
+    }
+
+    /// The annotation curve for a class tag assigned by this policy.
+    pub fn curve_for_class(&self, class: ObjectClass) -> Option<ImportanceCurve> {
+        self.rules
+            .iter()
+            .find(|r| r.class == class)
+            .map(|r| ImportanceCurve::fixed_lifetime(r.lifetime))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_days_per_class_into_fixed_lifetime_curves() {
+        let policy = RetentionPolicy::parse(
+            r#"
+# deployment config
+[serve]
+shards = 4
+
+[retention]
+build_logs = 30
+crash_dumps = 7.5   # fractional days are fine
+"audit" = 365
+"#,
+        )
+        .expect("well-formed policy");
+        assert_eq!(policy.rules().len(), 3);
+
+        let logs = policy.rule("build_logs").expect("rule exists");
+        assert_eq!(logs.class, ObjectClass::new(1));
+        assert_eq!(logs.lifetime, SimDuration::from_days(30));
+
+        let dumps = policy.rule("crash_dumps").expect("rule exists");
+        assert_eq!(
+            dumps.lifetime,
+            SimDuration::from_minutes(7 * 24 * 60 + 12 * 60)
+        );
+
+        let audit = policy.rule("audit").expect("quoted keys are unquoted");
+        assert_eq!(audit.class, ObjectClass::new(3));
+
+        let curve = policy.curve_for("build_logs").expect("curve exists");
+        assert_eq!(
+            curve,
+            ImportanceCurve::fixed_lifetime(SimDuration::from_days(30))
+        );
+        assert_eq!(
+            policy.curve_for_class(ObjectClass::new(3)),
+            policy.curve_for("audit")
+        );
+        assert_eq!(policy.curve_for("unknown"), None);
+        assert_eq!(policy.class_for("crash_dumps"), Some(ObjectClass::new(2)));
+    }
+
+    #[test]
+    fn ignores_other_sections_and_missing_section() {
+        let empty = RetentionPolicy::parse("[serve]\nshards = 4\n").expect("parses");
+        assert!(empty.rules().is_empty());
+        assert_eq!(RetentionPolicy::parse(""), Ok(RetentionPolicy::default()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            RetentionPolicy::parse("[retention]\njust-a-word\n"),
+            Err(RetentionError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            RetentionPolicy::parse("[retention]\nlogs = soon\n"),
+            Err(RetentionError::BadDays { .. })
+        ));
+        assert!(matches!(
+            RetentionPolicy::parse("[retention]\nlogs = 0\n"),
+            Err(RetentionError::BadDays { .. })
+        ));
+        assert!(matches!(
+            RetentionPolicy::parse("[retention]\nlogs = -3\n"),
+            Err(RetentionError::BadDays { .. })
+        ));
+        assert!(matches!(
+            RetentionPolicy::parse("[retention]\nlogs = 1\nlogs = 2\n"),
+            Err(RetentionError::Duplicate(_))
+        ));
+    }
+}

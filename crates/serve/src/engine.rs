@@ -7,9 +7,27 @@
 //! [`replay`] used by the differential determinism tests: a shard's final
 //! state is a pure function of its effective request log, by construction.
 
+use std::path::Path;
+
 use sim_core::{ByteSize, Obs, ShardClock, SimDuration, SimTime};
+use tempimp_durable::{DiskInfo, DurableConfig, DurableError, DurableUnit};
 use temporal_importance::protocol::{Request, Response, StoreApi};
 use temporal_importance::{EvictionPolicy, StorageUnit};
+
+/// What actually holds a shard's objects: the in-memory engine, or the
+/// same engine wrapped in a segment journal. The dispatch below is the
+/// *entire* difference between a volatile and a durable shard — clock,
+/// sweep cadence, batching, and replay semantics are shared.
+#[derive(Debug)]
+enum Backend {
+    /// Volatile: state dies with the process. Boxed (like the durable
+    /// variant) so the enum stays pointer-sized — a shard engine moves
+    /// across threads at spawn and shutdown.
+    Memory(Box<StorageUnit>),
+    /// Journaled: every mutation lands in an append-only segment log
+    /// and state survives process death.
+    Durable(Box<DurableUnit>),
+}
 
 /// One shard's engine: storage unit + monotonic clock + sweep cadence.
 ///
@@ -34,7 +52,7 @@ use temporal_importance::{EvictionPolicy, StorageUnit};
 /// ```
 #[derive(Debug)]
 pub struct ShardEngine {
-    unit: StorageUnit,
+    backend: Backend,
     clock: ShardClock,
     last_sweep: SimTime,
     sweep_every: SimDuration,
@@ -64,11 +82,41 @@ impl ShardEngine {
             .observer(obs)
             .build();
         ShardEngine {
-            unit,
+            backend: Backend::Memory(Box::new(unit)),
             clock: ShardClock::new(),
             last_sweep: SimTime::ZERO,
             sweep_every,
         }
+    }
+
+    /// A durable shard backed by a segment log at `dir`: opening
+    /// replays any existing segments, so the engine resumes exactly
+    /// where the previous process's last persisted mutation left it —
+    /// including the shard clock and sweep cadence clock, which seed
+    /// from the log's recovered high-water marks.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] on filesystem trouble, segment corruption, or a
+    /// recovered resident set this capacity/policy cannot hold.
+    pub fn durable(
+        dir: impl AsRef<Path>,
+        capacity: ByteSize,
+        policy: EvictionPolicy,
+        sweep_every: SimDuration,
+        config: DurableConfig,
+        obs: Obs,
+    ) -> Result<Self, DurableError> {
+        let unit = DurableUnit::with_observer(dir, capacity, policy, config, obs)?;
+        let mut clock = ShardClock::new();
+        clock.observe(unit.clock());
+        let last_sweep = unit.last_sweep();
+        Ok(ShardEngine {
+            backend: Backend::Durable(Box::new(unit)),
+            clock,
+            last_sweep,
+            sweep_every,
+        })
     }
 
     /// Folds a request timestamp into the shard clock without applying
@@ -87,12 +135,37 @@ impl ShardEngine {
 
     /// The shard's storage unit.
     pub fn unit(&self) -> &StorageUnit {
-        &self.unit
+        match &self.backend {
+            Backend::Memory(unit) => unit,
+            Backend::Durable(durable) => durable.unit(),
+        }
     }
 
-    /// Consumes the engine, returning the final unit state.
+    /// Disk occupancy of the shard's segment log; `None` for a
+    /// volatile shard.
+    pub fn disk_info(&self) -> Option<DiskInfo> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::Durable(durable) => Some(durable.disk_info()),
+        }
+    }
+
+    /// Consumes the engine, returning the final unit state. A durable
+    /// backend syncs its log to stable storage first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the final sync of a durable backend fails — the shard
+    /// cannot truthfully report clean state it could not persist. On a
+    /// worker thread the panic surfaces through the service's shutdown
+    /// report.
     pub fn into_unit(self) -> StorageUnit {
-        self.unit
+        match self.backend {
+            Backend::Memory(unit) => *unit,
+            Backend::Durable(durable) => durable
+                .close()
+                .expect("final sync of the shard's segment log failed"),
+        }
     }
 }
 
@@ -108,10 +181,25 @@ impl StoreApi for ShardEngine {
     fn call(&mut self, at: SimTime, request: Request) -> Response {
         let now = self.clock.observe(at);
         if now.saturating_since(self.last_sweep) >= self.sweep_every {
-            self.unit.sweep_expired(now);
+            match &mut self.backend {
+                Backend::Memory(unit) => {
+                    unit.sweep_expired(now);
+                }
+                Backend::Durable(durable) => {
+                    // A journaling failure here cannot be answered to
+                    // any one client (the sweep belongs to no request);
+                    // panic and let the shutdown report surface it.
+                    durable
+                        .sweep_expired(now)
+                        .expect("journaling a shard sweep failed");
+                }
+            }
             self.last_sweep = now;
         }
-        self.unit.call(now, request)
+        match &mut self.backend {
+            Backend::Memory(unit) => unit.call(now, request),
+            Backend::Durable(durable) => durable.call(now, request),
+        }
     }
 }
 

@@ -56,7 +56,7 @@
 //!     .is_some());
 //!
 //! drop(client); // workers exit once every client is gone
-//! let reports = service.shutdown();
+//! let reports = service.shutdown().expect_clean();
 //! assert_eq!(reports.iter().map(|r| r.unit.len()).sum::<usize>(), 1);
 //! # Ok::<(), temporal_importance::Error>(())
 //! ```
@@ -69,8 +69,15 @@ mod service;
 mod trace;
 
 pub use engine::{replay, ShardEngine};
-pub use service::{Pending, ServeClient, ShardReport, Tempimpd, TempimpdBuilder};
+pub use service::{
+    Pending, ServeClient, ShardFailure, ShardReport, ShutdownReport, Tempimpd, TempimpdBuilder,
+};
 pub use trace::RequestTrace;
+
+// Durable-shard vocabulary a serve consumer configures or reads, so
+// wiring a persistent service doesn't force a direct dependency on the
+// storage-backend crate.
+pub use tempimp_durable::{DiskInfo, DurableConfig};
 
 // The routing function lives in the protocol module so `besteffs` can use
 // the identical mapping; re-exported here because it is part of this

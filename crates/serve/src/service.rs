@@ -18,12 +18,14 @@
 //! logs and replay stay byte-identical with or without tracing.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sim_core::{ByteSize, Obs, SimDuration, SimTime};
+use tempimp_durable::DurableConfig;
 use temporal_importance::protocol::{
     DensityInfo, HealthSnapshot, Request, Response, ShardRouter, StoreApi, StoreStats, VerbKind,
 };
@@ -68,6 +70,8 @@ pub struct TempimpdBuilder {
     record_log: bool,
     slow_threshold: Option<Duration>,
     obs: Option<Obs>,
+    durable: Option<PathBuf>,
+    durable_config: DurableConfig,
 }
 
 impl TempimpdBuilder {
@@ -139,6 +143,27 @@ impl TempimpdBuilder {
         self
     }
 
+    /// Backs every shard with an append-only segment log under
+    /// `dir/shard-{n}` (default: volatile, in-memory shards). Spawning
+    /// replays any logs already there, so a service restarted on the
+    /// same directory — with the same shard count, capacity, and policy
+    /// — resumes from the last persisted mutation of each shard.
+    /// Reclamation on a durable shard additionally compacts the log:
+    /// segments whose objects the importance engine has let die are
+    /// rewritten down to their survivors and the disk space reclaimed.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable = Some(dir.into());
+        self
+    }
+
+    /// Segment-log tuning (segment size, compaction trigger) for
+    /// [`durable`](TempimpdBuilder::durable) shards; ignored for
+    /// volatile ones.
+    pub fn durable_config(mut self, config: DurableConfig) -> Self {
+        self.durable_config = config;
+        self
+    }
+
     /// Spawns the worker threads and returns the running service.
     ///
     /// # Panics
@@ -169,6 +194,11 @@ impl TempimpdBuilder {
                 slow_ns,
                 telemetry: telemetry.clone(),
                 obs: obs.clone(),
+                durable: self
+                    .durable
+                    .as_ref()
+                    .map(|dir| dir.join(format!("shard-{shard}"))),
+                durable_config: self.durable_config,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("tempimpd-shard-{shard}"))
@@ -208,6 +238,9 @@ pub struct ShardReport {
     /// [`record_log`](TempimpdBuilder::record_log). Feeding this to
     /// [`replay`](crate::replay) must reproduce `unit` exactly.
     pub log: Vec<(SimTime, Request)>,
+    /// Final disk occupancy of the shard's segment log; `None` for a
+    /// volatile shard.
+    pub disk: Option<tempimp_durable::DiskInfo>,
 }
 
 /// Per-shard worker state; `run` consumes it on the shard thread.
@@ -221,6 +254,9 @@ struct Worker {
     slow_ns: u64,
     telemetry: Arc<Telemetry>,
     obs: Obs,
+    /// This shard's segment-log directory, when the service is durable.
+    durable: Option<PathBuf>,
+    durable_config: DurableConfig,
 }
 
 impl Worker {
@@ -248,12 +284,32 @@ impl Worker {
     }
 
     fn run(self, ingest: Receiver<Job>) -> ShardReport {
-        let mut engine = ShardEngine::with_observer(
-            self.capacity,
-            self.policy,
-            self.sweep_every,
-            self.obs.clone(),
-        );
+        // An unopenable or corrupt segment log panics the worker thread;
+        // the panic (with the underlying error) surfaces in the service's
+        // [`ShutdownReport`] rather than silently serving an empty shard.
+        let mut engine = match &self.durable {
+            Some(dir) => ShardEngine::durable(
+                dir,
+                self.capacity,
+                self.policy,
+                self.sweep_every,
+                self.durable_config,
+                self.obs.clone(),
+            )
+            .unwrap_or_else(|error| {
+                panic!(
+                    "opening the segment log for shard {} at {} failed: {error}",
+                    self.shard,
+                    dir.display()
+                )
+            }),
+            None => ShardEngine::with_observer(
+                self.capacity,
+                self.policy,
+                self.sweep_every,
+                self.obs.clone(),
+            ),
+        };
         let mut tracing = WorkerTracing::new(&self.telemetry, self.slow_ns);
         let mut log = Vec::new();
         let mut batch: Vec<Job> = Vec::with_capacity(self.batch_max);
@@ -320,6 +376,7 @@ impl Worker {
             );
         }
         let final_now = engine.now();
+        let disk = engine.disk_info();
         ShardReport {
             shard: self.shard,
             unit: engine.into_unit(),
@@ -327,6 +384,7 @@ impl Worker {
             requests,
             batches,
             log,
+            disk,
         }
     }
 }
@@ -362,7 +420,7 @@ impl Worker {
 /// assert_eq!(health.shards.len(), 2);
 ///
 /// drop(client);
-/// let reports = service.shutdown();
+/// let reports = service.shutdown().expect_clean();
 /// assert_eq!(reports.len(), 2);
 /// ```
 #[derive(Debug)]
@@ -396,6 +454,8 @@ impl Tempimpd {
             record_log: false,
             slow_threshold: None,
             obs: None,
+            durable: None,
+            durable_config: DurableConfig::default(),
         }
     }
 
@@ -430,22 +490,97 @@ impl Tempimpd {
         }
     }
 
-    /// Stops the workers and returns one [`ShardReport`] per shard, in
-    /// shard order.
+    /// Stops the workers and returns a [`ShutdownReport`]: one
+    /// [`ShardReport`] per surviving shard, in shard order, plus a
+    /// [`ShardFailure`] for every worker that panicked.
     ///
     /// Workers exit when their ingest queue has no senders left, so every
     /// [`ServeClient`] must be dropped first — joining while clients are
     /// alive would wait forever.
     ///
+    /// Every worker is joined even when an earlier one panicked — one
+    /// poisoned shard must not discard the final state of the healthy
+    /// ones (for a durable service, it must not skip their final log
+    /// sync either). Callers that treat any failure as fatal use
+    /// [`ShutdownReport::expect_clean`].
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.ingests.clear();
+        let mut reports = Vec::with_capacity(self.workers.len());
+        let mut failures = Vec::new();
+        for (shard, worker) in self.workers.drain(..).enumerate() {
+            match worker.join() {
+                Ok(report) => reports.push(report),
+                Err(panic) => failures.push(ShardFailure {
+                    shard: shard as u32,
+                    message: panic_message(panic.as_ref()),
+                }),
+            }
+        }
+        ShutdownReport { reports, failures }
+    }
+}
+
+/// Best-effort text of a worker panic payload. `panic!` with a format
+/// string yields a `String`, a bare literal a `&'static str`; anything
+/// else (a custom `panic_any` payload) is reported opaquely.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&'static str>() {
+        (*message).to_owned()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "shard worker panicked with a non-string payload".to_owned()
+    }
+}
+
+/// What [`Tempimpd::shutdown`] hands back: the final state of every
+/// shard whose worker ran to completion, and what went wrong on the
+/// ones that did not.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShutdownReport {
+    /// Reports from the workers that exited cleanly, in shard order.
+    pub reports: Vec<ShardReport>,
+    /// One entry per worker that panicked, in shard order.
+    pub failures: Vec<ShardFailure>,
+}
+
+/// A shard worker that panicked instead of reporting final state.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShardFailure {
+    /// The shard index.
+    pub shard: u32,
+    /// The panic message, as well as it could be recovered.
+    pub message: String,
+}
+
+impl ShutdownReport {
+    /// True when every worker exited cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwraps the per-shard reports, panicking if any worker failed.
+    ///
     /// # Panics
     ///
-    /// Panics if a shard worker panicked.
-    pub fn shutdown(mut self) -> Vec<ShardReport> {
-        self.ingests.clear();
-        self.workers
-            .drain(..)
-            .map(|worker| worker.join().expect("shard worker panicked"))
-            .collect()
+    /// Panics with every failed shard's message if the shutdown was not
+    /// clean.
+    pub fn expect_clean(self) -> Vec<ShardReport> {
+        if !self.is_clean() {
+            let detail: Vec<String> = self
+                .failures
+                .iter()
+                .map(|failure| format!("shard {}: {}", failure.shard, failure.message))
+                .collect();
+            panic!(
+                "{} shard worker(s) panicked — {}",
+                self.failures.len(),
+                detail.join("; ")
+            );
+        }
+        self.reports
     }
 }
 
@@ -778,7 +913,7 @@ mod tests {
         assert_eq!(density.used, ByteSize::from_mib(100));
 
         drop(client);
-        let reports = service.shutdown();
+        let reports = service.shutdown().expect_clean();
         assert_eq!(reports.len(), 4);
         let logged: usize = reports.iter().map(|r| r.log.len()).sum();
         // 100 puts + 100 gets + 1 advise routed once each; stats and
@@ -841,7 +976,7 @@ mod tests {
             }
         }
         drop(client);
-        service.shutdown();
+        service.shutdown().expect_clean();
     }
 
     #[test]
@@ -878,7 +1013,7 @@ mod tests {
             assert!(fanout_trace.id.raw() > trace.id.raw());
         }
         drop(client);
-        service.shutdown();
+        service.shutdown().expect_clean();
     }
 
     #[test]
@@ -946,7 +1081,7 @@ mod tests {
                 .unwrap(),
         );
         drop(client);
-        service.shutdown();
+        service.shutdown().expect_clean();
     }
 
     #[test]
@@ -975,7 +1110,7 @@ mod tests {
         let stats = client.store_stats(SimTime::from_minutes(50)).unwrap();
         assert_eq!(stats.objects, 200);
         drop(client);
-        service.shutdown();
+        service.shutdown().expect_clean();
     }
 
     #[test]
@@ -1041,6 +1176,135 @@ mod tests {
         assert!(matches!(err, Error::Disconnected));
     }
 
+    /// A fresh scratch directory under the workspace `target/` (tests
+    /// must not touch anything outside the repository).
+    fn scratch(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/serve-test-scratch"
+        ))
+        .join(format!(
+            "{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clear stale scratch");
+        }
+        dir
+    }
+
+    /// A service with one healthy worker and one that dies mid-flight:
+    /// shutdown must still join and report the healthy shard, carrying
+    /// the dead one's panic message instead of propagating the panic and
+    /// discarding every later shard's final state (the old behavior).
+    fn half_dead_service() -> Tempimpd {
+        let healthy = std::thread::spawn(|| ShardReport {
+            shard: 0,
+            unit: StorageUnit::builder(ByteSize::from_mib(1)).build(),
+            final_now: SimTime::from_minutes(7),
+            requests: 3,
+            batches: 1,
+            log: Vec::new(),
+            disk: None,
+        });
+        let dead = std::thread::spawn(|| -> ShardReport {
+            panic!("segment log sync failed on the way out")
+        });
+        // Wait out the deliberate panic so its abort doesn't race the
+        // assertions below.
+        while !dead.is_finished() {
+            std::thread::yield_now();
+        }
+        Tempimpd {
+            router: ShardRouter::new(2),
+            ingests: Vec::new(),
+            workers: vec![healthy, dead],
+            telemetry: Arc::new(Telemetry::new(2)),
+            obs: Obs::none(),
+            shard_capacity: ByteSize::from_mib(1),
+            policy: EvictionPolicy::Preemptive,
+            sweep_every: SimDuration::DAY,
+        }
+    }
+
+    #[test]
+    fn shutdown_survives_a_panicked_shard_and_reports_the_rest() {
+        let report = half_dead_service().shutdown();
+        assert!(!report.is_clean());
+        assert_eq!(report.reports.len(), 1);
+        assert_eq!(report.reports[0].shard, 0);
+        assert_eq!(report.reports[0].final_now, SimTime::from_minutes(7));
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].shard, 1);
+        assert!(
+            report.failures[0]
+                .message
+                .contains("segment log sync failed"),
+            "panic message lost: {:?}",
+            report.failures[0].message
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 1: segment log sync failed on the way out")]
+    fn expect_clean_propagates_shard_panics() {
+        half_dead_service().shutdown().expect_clean();
+    }
+
+    #[test]
+    fn durable_service_resumes_from_its_segment_logs() {
+        let dir = scratch("service-restart");
+        let build = || {
+            Tempimpd::builder()
+                .shards(2)
+                .shard_capacity(ByteSize::from_mib(256))
+                .durable(&dir)
+                .observer(Obs::none())
+                .spawn()
+        };
+
+        let service = build();
+        let mut client = service.client();
+        for i in 0..50u64 {
+            client
+                .put(
+                    ObjectId::new(i),
+                    ByteSize::from_mib(1),
+                    week_curve(),
+                    SimTime::from_minutes(i),
+                )
+                .unwrap();
+        }
+        let before = client.store_stats(SimTime::from_minutes(50)).unwrap();
+        drop(client);
+        let reports = service.shutdown().expect_clean();
+        for report in &reports {
+            let disk = report.disk.as_ref().expect("durable shards report disk");
+            assert!(disk.file_bytes > 0, "mutations reached the log");
+        }
+
+        // A second service on the same directory serves the same objects
+        // without a single re-put.
+        let service = build();
+        let mut client = service.client();
+        let after = client.store_stats(SimTime::from_minutes(50)).unwrap();
+        assert_eq!(after.objects, before.objects);
+        assert_eq!(after.used, before.used);
+        for i in 0..50u64 {
+            let info = client
+                .get_info(ObjectId::new(i), SimTime::from_minutes(50))
+                .unwrap()
+                .expect("object survived the restart");
+            assert_eq!(info.size, ByteSize::from_mib(1));
+        }
+        drop(client);
+        service.shutdown().expect_clean();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn shard_full_rejections_flow_back_as_store_errors() {
         let service = Tempimpd::builder()
@@ -1067,6 +1331,6 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::Store(_)));
         drop(client);
-        service.shutdown();
+        service.shutdown().expect_clean();
     }
 }

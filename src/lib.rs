@@ -16,6 +16,8 @@
 //! * [`serve`](tempimpd) — `tempimpd`, the sharded concurrent serving
 //!   layer speaking the [`StoreApi`](temporal_importance::protocol)
 //!   request/response protocol.
+//! * [`durable`] — the append-only segment-log backend
+//!   where reclamation is compaction; crash recovery replays the log.
 //! * [`sim`](sim_core) — simulated time, byte sizes, event queues.
 //!
 //! Most programs only need the [`tempimp`] prelude:
@@ -43,6 +45,7 @@ pub use besteffs;
 pub use experiments;
 pub use obs;
 pub use sim_core as sim;
+pub use tempimp_durable as durable;
 pub use tempimpd as serve;
 pub use temporal_importance as core;
 pub use tifs;
@@ -65,6 +68,7 @@ pub mod tempimp {
     pub use besteffs::{Besteffs, ClusterBuilder, Directory, PlacementConfig};
     pub use obs::{MetricsRegistry, Obs, Report, Snapshot, TraceSink};
     pub use sim_core::{rng, ByteSize, SimDuration, SimTime};
+    pub use tempimp_durable::{DurableConfig, DurableUnit, RetentionPolicy};
     pub use tempimpd::{RequestTrace, ServeClient, Tempimpd};
     pub use temporal_importance::protocol::{
         DensityInfo, HealthSnapshot, ObjectInfo, Request, RequestId, Response, ShardHealth,

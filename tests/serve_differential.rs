@@ -125,7 +125,7 @@ fn concurrent_run_replays_to_identical_shards() {
     .expect("client scope");
     drop(prototype);
 
-    let reports = service.shutdown();
+    let reports = service.shutdown().expect_clean();
     assert_eq!(reports.len() as u32, SHARDS);
     let total_requests: u64 = reports.iter().map(|r| r.requests).sum();
     // Keyed requests land on exactly one shard; each Density/Stats

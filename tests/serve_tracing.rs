@@ -82,7 +82,7 @@ fn stage_stamps_are_monotone_and_ids_unique_under_concurrency() {
     })
     .expect("client scope");
     drop(prototype);
-    service.shutdown();
+    service.shutdown().expect_clean();
 
     let traces = collected.into_inner().unwrap();
     if cfg!(feature = "obs-off") {
@@ -153,5 +153,5 @@ fn drained_service_reports_empty_queues_and_consistent_counts() {
     }
 
     drop(client);
-    service.shutdown();
+    service.shutdown().expect_clean();
 }

@@ -515,6 +515,22 @@ pub mod __private {
         }
     }
 
+    /// Looks up a `#[serde(default)]` struct field: a missing key yields
+    /// `Default::default()` instead of a missing-field error, so types
+    /// can grow fields without invalidating previously serialized data.
+    pub fn struct_field_or_default<T: Deserialize + Default>(
+        map: &[(String, Content)],
+        ty: &str,
+        field: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == field) {
+            Some((_, value)) => {
+                T::deserialize(value).map_err(|e| Error::custom(format!("{ty}.{field}: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
     /// Splits an externally tagged enum into `(variant, data)`.
     pub fn expect_enum<'a>(
         content: &'a Content,

@@ -419,6 +419,11 @@ fn build_named(ctor: &str, ty_label: &str, fields: &[Field]) -> String {
             let fname = f.name.as_ref().unwrap();
             if f.attrs.skip {
                 format!("{fname}: ::std::default::Default::default()")
+            } else if f.attrs.default {
+                format!(
+                    "{fname}: ::serde::__private::struct_field_or_default(map, \
+                     \"{ty_label}\", \"{fname}\")?"
+                )
             } else {
                 format!(
                     "{fname}: ::serde::__private::struct_field(map, \"{ty_label}\", \
